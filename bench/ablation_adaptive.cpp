@@ -1,0 +1,85 @@
+// Ablation — iteration-wise adaptive error bounds (DESIGN.md §5.2).
+//
+// Compares three COMPSO policies over a full training run:
+//   fixed-aggressive  : filter + SR at loose bounds for every iteration,
+//   fixed-conservative: SR-only at tight bounds for every iteration,
+//   adaptive (Alg. 1) : aggressive before the LR drop, conservative after.
+//
+// Expected shape: adaptive matches fixed-conservative accuracy while
+// achieving (almost) fixed-aggressive compression during the early phase —
+// the Ok-topk contrast the paper draws in §4.3.
+
+#include "bench/bench_util.hpp"
+
+#include "src/core/adaptive_schedule.hpp"
+#include "src/core/trainer.hpp"
+
+int main() {
+  using namespace compso;
+  bench::print_header("Ablation: iteration-wise adaptive compression");
+
+  core::TrainerConfig cfg;
+  cfg.noise = 1.2F;
+  cfg.classes = 12;
+  cfg.features = 24;
+  cfg.hidden = 24;
+  cfg.depth = 2;
+  cfg.batch_per_rank = 8;
+  const std::size_t iters = 120;
+  const std::size_t drop = 70;
+  const optim::StepLr lr(0.01, 0.1, {drop});
+  optim::DistKfacConfig kc;
+  kc.damping = 0.1;
+  kc.aggregation = 4;  // the paper fixes the aggregation factor to 4
+
+  const core::AdaptiveSchedule sched(lr, iters);
+  const auto aggressive = compress::make_compso(sched.params_at(0));
+  const auto conservative = compress::make_compso(sched.params_at(drop));
+
+  struct Policy {
+    const char* name;
+    core::CompressorProvider provider;
+  };
+  const Policy policies[] = {
+      {"fixed-aggressive",
+       [&](std::size_t) { return aggressive.get(); }},
+      {"fixed-conservative",
+       [&](std::size_t) { return conservative.get(); }},
+      {"adaptive (Alg. 1)",
+       [&](std::size_t t) {
+         return sched.at(t).use_filter ? aggressive.get()
+                                       : conservative.get();
+       }},
+  };
+
+  const int seeds = 3;
+  std::printf("%-20s | %9s %8s\n", "policy", "accuracy", "avg CR");
+  bench::print_rule();
+  double base_acc = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    auto c = cfg;
+    c.seed = 1234 + static_cast<std::uint64_t>(s);
+    core::ClusterTrainer trainer(c);
+    base_acc += trainer.train_kfac(iters, lr, nullptr, kc).final_accuracy;
+  }
+  std::printf("%-20s | %8.1f%% %8s\n", "no compression",
+              100.0 * base_acc / seeds, "1.0");
+  for (const auto& p : policies) {
+    double acc = 0.0, cr = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+      auto c = cfg;
+      c.seed = 1234 + static_cast<std::uint64_t>(s);
+      core::ClusterTrainer trainer(c);
+      const auto r = trainer.train_kfac(iters, lr, p.provider, kc);
+      acc += r.final_accuracy;
+      cr += r.avg_compression_ratio;
+    }
+    std::printf("%-20s | %8.1f%% %8.1f\n", p.name, 100.0 * acc / seeds,
+                cr / seeds);
+  }
+  std::printf(
+      "\nShape checks: adaptive accuracy ~ conservative ~ no-compression;\n"
+      "adaptive CR sits between the two fixed policies, close to\n"
+      "aggressive (most iterations precede the LR drop).\n");
+  return 0;
+}

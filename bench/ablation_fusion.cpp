@@ -1,0 +1,79 @@
+// Ablation — GPU kernel fusion and reduction strategy (DESIGN.md §5.3,
+// paper §4.5).
+//
+// Part A: the same COMPSO pipeline under the three dispatch strategies
+// (fused kernel / separate kernels / PyTorch-style framework ops).
+// Part B: the extrema (range) computation under the three reduction
+// strategies (global atomics / block shared-memory / block + warp
+// shuffle), plus the padding/imbalance stats of the layer-block map.
+
+#include "bench/bench_util.hpp"
+
+#include "src/compress/compressor.hpp"
+#include "src/gpusim/layer_mapping.hpp"
+#include "src/gpusim/reduction.hpp"
+
+int main() {
+  using namespace compso;
+  const auto dev = gpusim::DeviceModel::a100();
+  bench::print_header("Ablation A: pipeline dispatch (COMPSO lossy+encode)");
+  const auto compso = compress::make_compso({});
+  const auto base = compso->gpu_profile();
+  std::printf("%10s | %10s %14s %14s\n", "size(MB)", "fused", "separate",
+              "framework");
+  bench::print_rule();
+  for (std::size_t mb : {1, 8, 64}) {
+    const std::size_t in = mb << 20;
+    const std::size_t out = in / 22;
+    double t[3];
+    const gpusim::Dispatch modes[] = {gpusim::Dispatch::kFusedKernel,
+                                      gpusim::Dispatch::kSeparateKernels,
+                                      gpusim::Dispatch::kFrameworkOps};
+    for (int i = 0; i < 3; ++i) {
+      const gpusim::PipelineSpec spec{
+          .input_bytes = in,
+          .output_bytes = out,
+          .stages = base.stages,
+          .flops_per_byte = base.flops_per_byte,
+          .bandwidth_efficiency = base.bandwidth_efficiency,
+          .framework_ops_per_stage = 4,
+          .memory_passes = base.memory_passes};
+      t[i] = gpusim::pipeline_throughput(dev, spec, modes[i]);
+    }
+    std::printf("%10zu | %8.1f G %12.1f G %12.1f G\n", mb, t[0] / 1e9,
+                t[1] / 1e9, t[2] / 1e9);
+  }
+
+  bench::print_header("Ablation B: extrema reduction strategy");
+  std::printf("%12s | %14s %14s %16s\n", "elements", "global-atomic",
+              "block-shared", "block+shuffle");
+  bench::print_rule();
+  for (std::size_t n : {1UL << 20, 1UL << 24, 1UL << 27}) {
+    std::printf("%12zu | %11.3f ms %11.3f ms %13.3f ms\n", n,
+                1e3 * gpusim::reduction_time(
+                          dev, n, gpusim::ReductionStrategy::kGlobalAtomic),
+                1e3 * gpusim::reduction_time(
+                          dev, n, gpusim::ReductionStrategy::kBlockShared),
+                1e3 * gpusim::reduction_time(
+                          dev, n,
+                          gpusim::ReductionStrategy::kBlockWarpShuffle));
+  }
+
+  bench::print_header("Ablation B2: layer-block map (per-layer padding)");
+  const auto r50 = nn::resnet50_shape();
+  std::vector<std::size_t> sizes;
+  for (const auto& l : r50.layers) sizes.push_back(l.kfac_elements());
+  for (std::size_t elems_per_block : {1024, 4096, 16384}) {
+    const gpusim::LayerBlockMap map(sizes, elems_per_block);
+    std::printf("block %6zu elems: %5zu blocks, padding %5.2f%%, "
+                "imbalance %.2f\n",
+                elems_per_block, map.block_count(),
+                100.0 * map.padding_overhead(), map.imbalance());
+  }
+  std::printf(
+      "\nShape checks: fused > separate > framework at every size (the\n"
+      "gap shrinks as launch overhead amortizes); shuffle < shared <<\n"
+      "atomic for the range computation; padding overhead grows with block\n"
+      "size (the §4.5 trade-off behind the precomputed layer-block map).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#pragma once
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Each bench regenerates one table or figure from the paper: it prints the
+// same rows/series the paper reports, from this repository's simulators
+// and trainers. Absolute numbers come from the substituted substrate (see
+// DESIGN.md); the shapes are the reproduction target.
+
+#include "src/core/perf_sim.hpp"
+#include "src/nn/model_zoo.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace compso::bench {
+
+/// Per-GPU batch used for the performance experiments, matching each
+/// model's practical training regime (see EXPERIMENTS.md, calibration).
+inline std::size_t batch_for(const std::string& model_name) {
+  if (model_name == "ResNet-50") return 4;
+  return 1;  // Mask R-CNN / BERT-large / GPT-neo-125M train at batch ~1/GPU
+}
+
+inline core::PerfConfig perf_config(const nn::ModelShape& shape,
+                                    std::size_t nodes,
+                                    const comm::NetworkModel& net) {
+  core::PerfConfig cfg;
+  cfg.model = shape;
+  cfg.topo = comm::Topology{.nodes = nodes, .gpus_per_node = 4};
+  cfg.net = net;
+  cfg.batch_per_gpu = batch_for(shape.name);
+  return cfg;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace compso::bench

@@ -1,0 +1,94 @@
+// Figure 5 — Distribution of KFAC-gradient compression error with error
+// bound 4e-3, rounding-to-nearest (left) vs stochastic rounding (right),
+// for two layer types, sampled repeatedly across "iterations".
+//
+// Paper result: RN produces a uniform error distribution, SR a triangular
+// one; the shapes are stable across layers and iterations. (§4.2 links
+// the triangular shape to preserved accuracy.)
+
+#include "bench/bench_util.hpp"
+
+#include "src/quant/quantizer.hpp"
+#include "src/tensor/stats.hpp"
+#include "src/tensor/synthetic.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace compso;
+
+std::vector<float> errors(quant::RoundingMode mode,
+                          const tensor::GradientProfile& profile,
+                          std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  std::vector<float> all_err;
+  // "every 50 iterations": several snapshots, same distribution shape.
+  for (int snapshot = 0; snapshot < 5; ++snapshot) {
+    const auto grad = tensor::synthetic_gradient(40000, profile, rng);
+    const quant::ErrorBoundedQuantizer q(4e-3, mode);
+    const auto block = q.quantize(grad, rng);
+    std::vector<float> rec(grad.size());
+    quant::ErrorBoundedQuantizer::dequantize(block, rec);
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      all_err.push_back(rec[i] - grad[i]);
+    }
+  }
+  return all_err;
+}
+
+void print_histogram(const char* title, std::span<const float> err) {
+  const auto ex = tensor::extrema(err);
+  const double lim = ex.abs_max;
+  const auto h = tensor::histogram(err, -lim, lim, 21);
+  std::printf("%s  (kurtosis %.2f: uniform=1.8, triangular=2.4)\n", title,
+              tensor::kurtosis(err));
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    dmax = std::max(dmax, h.density(i));
+  }
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const int bars = static_cast<int>(std::lround(40.0 * h.density(i) / dmax));
+    std::printf("  %+9.2e |%.*s\n", h.bucket_center(i), bars,
+                "########################################");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 5: KFAC-gradient quantization error distribution (eb = 4e-3)");
+  // Two "layer types": conv-like (KFAC profile) and fc-like (SGD profile
+  // stands in for a narrower-range layer).
+  struct LayerType {
+    const char* name;
+    tensor::GradientProfile profile;
+  };
+  const LayerType types[] = {
+      {"layer type 1 (conv-like)", tensor::GradientProfile::kfac()},
+      {"layer type 2 (fc-like)", tensor::GradientProfile::sgd()},
+  };
+  for (const auto& t : types) {
+    std::printf("\n--- %s ---\n", t.name);
+    const auto rn = errors(quant::RoundingMode::kNearest, t.profile, 11);
+    print_histogram("Rounding to Nearest", rn);
+    const auto sr = errors(quant::RoundingMode::kStochastic, t.profile, 12);
+    print_histogram("Stochastic Rounding", sr);
+    // P0.5 for the §4.2 discussion: on near-zero-concentrated gradients,
+    // flipping a coin regardless of the fractional part inflates the error
+    // far beyond RN's (tiny values jump a full step half the time) — the
+    // mechanism behind P0.5's accuracy loss at equal bit width.
+    const auto p05 =
+        errors(quant::RoundingMode::kHalfProbability, t.profile, 13);
+    std::printf("P0.5 kurtosis %.2f, error variance %.1fx RN's "
+                "(the accuracy-killing inflation, §4.2)\n",
+                tensor::kurtosis(p05),
+                tensor::variance(p05) / tensor::variance(rn));
+  }
+  std::printf(
+      "\nShape checks: RN kurtosis ~1.8 (uniform), SR ~2.4 (triangular),\n"
+      "stable across layer types and snapshots.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Figure 6 — Convergence comparison of SGD+CocktailSGD, KFAC (no
+// compression), KFAC+cuSZ, KFAC+QSGD, KFAC+CocktailSGD, KFAC+COMPSO on
+// three proxy workloads (image-classification proxy for ResNet-50, a
+// harder detection-style proxy for Mask R-CNN, and an LM-style proxy for
+// GPT-neo-125M), plus the Fig. 6b final-metric table.
+//
+// Paper result (shape): the KFAC optimizer reaches its converged accuracy
+// in fewer iterations than SGD (the paper grants SGD 1.5x more); all
+// SR-based compressors (QSGD 8-bit, CocktailSGD, COMPSO) track the
+// uncompressed KFAC curve; COMPSO switches from aggressive to conservative
+// bounds at the LR drop without losing accuracy.
+
+#include "bench/bench_util.hpp"
+
+#include "src/core/adaptive_schedule.hpp"
+#include "src/core/trainer.hpp"
+
+namespace {
+
+using namespace compso;
+
+struct Workload {
+  const char* name;
+  core::TrainerConfig cfg;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> w;
+  {
+    core::TrainerConfig c;
+    c.noise = 1.1F; c.classes = 10; c.features = 20; c.hidden = 24;
+    c.depth = 2; c.batch_per_rank = 8;
+    w.push_back({"ResNet-50 proxy", c});
+  }
+  {
+    core::TrainerConfig c;
+    c.noise = 1.2F; c.classes = 12; c.features = 24; c.hidden = 24;
+    c.depth = 2; c.batch_per_rank = 8; c.seed = 4321;
+    w.push_back({"Mask R-CNN proxy", c});
+  }
+  {
+    core::TrainerConfig c;
+    c.noise = 1.0F; c.classes = 16; c.features = 24; c.hidden = 28;
+    c.depth = 2; c.batch_per_rank = 8; c.seed = 9876;
+    w.push_back({"GPT-neo proxy", c});
+  }
+  return w;
+}
+
+void print_curve(const char* label, const std::vector<double>& evals) {
+  std::printf("  %-18s", label);
+  for (double a : evals) std::printf(" %5.2f", a);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 6: convergence under compression");
+  constexpr std::size_t kIters = 100;   // KFAC budget
+  constexpr std::size_t kLrDrop = 60;
+  struct Row {
+    std::string workload;
+    double sgd_cocktail, kfac, cusz, qsgd, cocktail, compso;
+    double sgd_iteration_ratio;
+  };
+  std::vector<Row> table;
+
+  for (const auto& w : workloads()) {
+    std::printf("\n--- %s (KFAC budget %zu iters, LR drop @%zu) ---\n",
+                w.name, kIters, kLrDrop);
+    core::ClusterTrainer trainer(w.cfg);
+    const optim::StepLr kfac_lr(0.01, 0.1, {kLrDrop});
+    const optim::StepLr sgd_lr(0.05, 0.1, {2 * kLrDrop});
+    optim::DistKfacConfig kc;
+    kc.damping = 0.1;
+    kc.aggregation = 4;  // the paper fixes the aggregation factor to 4
+
+    const auto cusz = compress::make_sz(4e-3);
+    const auto qsgd = compress::make_qsgd(8);
+    const auto cocktail = compress::make_cocktail(0.2, 8);
+    // COMPSO uses the iteration-wise adaptive schedule (Alg. 1):
+    // aggressive (filter+SR) before the LR drop, conservative after.
+    const core::AdaptiveSchedule sched(kfac_lr, kIters);
+    const auto compso_aggr = compress::make_compso(sched.params_at(0));
+    const auto compso_cons = compress::make_compso(sched.params_at(kLrDrop));
+    const auto compso_provider = [&](std::size_t t) {
+      return sched.at(t).use_filter ? compso_aggr.get() : compso_cons.get();
+    };
+
+    const auto r_kfac = trainer.train_kfac(kIters, kfac_lr, nullptr, kc);
+    // SGD gets a 2x budget; the "iterations to KFAC accuracy" ratio is the
+    // paper's KFAC-vs-SGD iteration advantage.
+    const auto r_sgd =
+        trainer.train_sgd(2 * kIters, sgd_lr, cocktail.get());
+    double ratio = 2.0;
+    bool crossed = false;
+    for (std::size_t i = 0; i < r_sgd.eval_curve.size(); ++i) {
+      if (r_sgd.eval_curve[i] >= r_kfac.final_accuracy) {
+        ratio = static_cast<double>((i + 1) * 2 * kIters) /
+                static_cast<double>(r_sgd.eval_curve.size()) /
+                static_cast<double>(kIters);
+        crossed = true;
+        break;
+      }
+    }
+    const auto r_cusz = trainer.train_kfac(
+        kIters, kfac_lr, [&](std::size_t) { return cusz.get(); }, kc);
+    const auto r_qsgd = trainer.train_kfac(
+        kIters, kfac_lr, [&](std::size_t) { return qsgd.get(); }, kc);
+    const auto r_cocktail = trainer.train_kfac(
+        kIters, kfac_lr, [&](std::size_t) { return cocktail.get(); }, kc);
+    const auto r_compso =
+        trainer.train_kfac(kIters, kfac_lr, compso_provider, kc);
+
+    std::printf("validation accuracy over training (20 eval points):\n");
+    print_curve("SGD+CocktailSGD", r_sgd.eval_curve);
+    print_curve("KFAC (No Comp.)", r_kfac.eval_curve);
+    print_curve("KFAC+cuSZ", r_cusz.eval_curve);
+    print_curve("KFAC+QSGD", r_qsgd.eval_curve);
+    print_curve("KFAC+CocktailSGD", r_cocktail.eval_curve);
+    print_curve("KFAC+COMPSO", r_compso.eval_curve);
+    std::printf("  SGD needs %s%.1fx the KFAC iterations to reach KFAC's "
+                "final accuracy\n",
+                crossed ? "" : ">", ratio);
+    std::printf("  KFAC+COMPSO avg CR during training: %.1fx\n",
+                r_compso.avg_compression_ratio);
+
+    table.push_back({w.name, 100 * r_sgd.final_accuracy,
+                     100 * r_kfac.final_accuracy, 100 * r_cusz.final_accuracy,
+                     100 * r_qsgd.final_accuracy,
+                     100 * r_cocktail.final_accuracy,
+                     100 * r_compso.final_accuracy, ratio});
+  }
+
+  bench::print_header("Figure 6b: final validation accuracy (%)");
+  std::printf("%-18s | %8s %8s %8s %8s %10s %8s | %9s\n", "workload",
+              "SGD+Ckt", "KFAC", "cuSZ", "QSGD", "Cocktail", "COMPSO",
+              "SGD iters");
+  bench::print_rule();
+  for (const auto& r : table) {
+    std::printf("%-18s | %8.1f %8.1f %8.1f %8.1f %10.1f %8.1f | %8.1fx\n",
+                r.workload.c_str(), r.sgd_cocktail, r.kfac, r.cusz, r.qsgd,
+                r.cocktail, r.compso, r.sgd_iteration_ratio);
+  }
+  std::printf(
+      "\nShape checks: SGD needs >1.5x the iterations KFAC needs (paper:\n"
+      "1.2-1.5x); KFAC+COMPSO and KFAC+QSGD track KFAC (No Comp.) within\n"
+      "noise; KFAC+CocktailSGD trails (random sampling without error\n"
+      "feedback in the KFAC path).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark): real single-core CPU throughput of
+// the codec implementations and the COMPSO compressor stages.
+//
+// These complement the modeled GPU numbers in table2/fig08: they measure
+// what this repository's implementations actually do on the host, and
+// their *relative* ordering mirrors the algorithmic costs the GPU model
+// charges (Bitcomp/ANS cheap; Deflate/Zstd dictionary matching expensive).
+
+#include <benchmark/benchmark.h>
+
+#include "src/codec/codec.hpp"
+#include "src/compress/compressor.hpp"
+#include "src/quant/filter.hpp"
+#include "src/quant/quantizer.hpp"
+#include "src/tensor/synthetic.hpp"
+
+namespace {
+
+using namespace compso;
+
+std::vector<std::uint8_t> code_stream(std::size_t n) {
+  tensor::Rng rng(5);
+  const auto grad =
+      tensor::synthetic_gradient(n, tensor::GradientProfile::kfac(), rng);
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::clamp(static_cast<int>(grad[i] / 1e-3F) + 128, 0, 255));
+  }
+  return out;
+}
+
+void BM_CodecEncode(benchmark::State& state, codec::CodecKind kind) {
+  const auto codec = codec::make_codec(kind);
+  const auto data = code_stream(1 << 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+void BM_CodecDecode(benchmark::State& state, codec::CodecKind kind) {
+  const auto codec = codec::make_codec(kind);
+  const auto data = code_stream(1 << 18);
+  const auto enc = codec->encode(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->decode(enc));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+void BM_CompsoCompress(benchmark::State& state) {
+  tensor::Rng rng(6);
+  const auto grad = tensor::synthetic_gradient(
+      1 << 18, tensor::GradientProfile::kfac(), rng);
+  const auto compso = compress::make_compso({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compso->compress(grad, rng));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(grad.size() * sizeof(float)));
+}
+
+void BM_CompsoRoundtrip(benchmark::State& state) {
+  tensor::Rng rng(7);
+  const auto grad = tensor::synthetic_gradient(
+      1 << 18, tensor::GradientProfile::kfac(), rng);
+  const auto compso = compress::make_compso({});
+  const auto payload = compso->compress(grad, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compso->decompress(payload));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(grad.size() * sizeof(float)));
+}
+
+void BM_FilterStage(benchmark::State& state) {
+  tensor::Rng rng(8);
+  const auto grad = tensor::synthetic_gradient(
+      1 << 18, tensor::GradientProfile::kfac(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::apply_filter(grad, 4e-3));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(grad.size() * sizeof(float)));
+}
+
+void BM_QuantizeStage(benchmark::State& state) {
+  tensor::Rng rng(9);
+  const auto grad = tensor::synthetic_gradient(
+      1 << 18, tensor::GradientProfile::kfac(), rng);
+  const quant::ErrorBoundedQuantizer q(4e-3,
+                                       quant::RoundingMode::kStochastic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.quantize(grad, rng));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(grad.size() * sizeof(float)));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_CodecEncode, ANS, codec::CodecKind::kAns);
+BENCHMARK_CAPTURE(BM_CodecEncode, Bitcomp, codec::CodecKind::kBitcomp);
+BENCHMARK_CAPTURE(BM_CodecEncode, Cascaded, codec::CodecKind::kCascaded);
+BENCHMARK_CAPTURE(BM_CodecEncode, Deflate, codec::CodecKind::kDeflate);
+BENCHMARK_CAPTURE(BM_CodecEncode, LZ4, codec::CodecKind::kLz4);
+BENCHMARK_CAPTURE(BM_CodecEncode, Snappy, codec::CodecKind::kSnappy);
+BENCHMARK_CAPTURE(BM_CodecEncode, Zstd, codec::CodecKind::kZstd);
+BENCHMARK_CAPTURE(BM_CodecDecode, ANS, codec::CodecKind::kAns);
+BENCHMARK_CAPTURE(BM_CodecDecode, Bitcomp, codec::CodecKind::kBitcomp);
+BENCHMARK_CAPTURE(BM_CodecDecode, Deflate, codec::CodecKind::kDeflate);
+BENCHMARK(BM_CompsoCompress);
+BENCHMARK(BM_CompsoRoundtrip);
+BENCHMARK(BM_FilterStage);
+BENCHMARK(BM_QuantizeStage);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Codec explorer — run all eight lossless encoders over data of different
+// shapes and see why the gradient distribution's non-uniformity makes
+// entropy coders the right choice for COMPSO's lossy-stage output.
+
+#include "src/codec/codec.hpp"
+#include "src/codec/huffman.hpp"
+#include "src/tensor/synthetic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace {
+
+using namespace compso;
+
+std::vector<std::uint8_t> gradient_codes(std::size_t n) {
+  tensor::Rng rng(3);
+  const auto grad =
+      tensor::synthetic_gradient(n, tensor::GradientProfile::kfac(), rng);
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::clamp(static_cast<int>(grad[i] / 1e-3F) + 128, 0, 255));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> uniform_noise(std::size_t n) {
+  tensor::Rng rng(4);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  return out;
+}
+
+std::vector<std::uint8_t> long_runs(std::size_t n) {
+  tensor::Rng rng(5);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const auto v = static_cast<std::uint8_t>(rng.uniform_index(4));
+    out.insert(out.end(), 1 + rng.uniform_index(200), v);
+  }
+  out.resize(n);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  struct DataCase {
+    const char* name;
+    std::vector<std::uint8_t> data;
+  };
+  const std::size_t n = 1 << 18;
+  DataCase cases[] = {{"gradient codes", gradient_codes(n)},
+                      {"uniform noise", uniform_noise(n)},
+                      {"long runs", long_runs(n)}};
+
+  std::printf("%-9s", "encoder");
+  for (const auto& c : cases) std::printf(" | %-16s", c.name);
+  std::printf("\n");
+  for (const auto& c : cases) {
+    (void)c;
+  }
+  std::printf("entropy  ");
+  for (const auto& c : cases) {
+    std::printf(" | %5.2f bits/byte  ", codec::byte_entropy(c.data));
+  }
+  std::printf("\n---------------------------------------------------------------\n");
+  for (auto kind : codec::kAllCodecKinds) {
+    const auto codec = codec::make_codec(kind);
+    std::printf("%-9s", codec::to_string(kind));
+    for (const auto& c : cases) {
+      const auto enc = codec->encode(c.data);
+      std::printf(" | %6.2fx          ",
+                  static_cast<double>(c.data.size()) /
+                      static_cast<double>(enc.size()));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nTakeaways: entropy coders (ANS/Deflate/Gdeflate/Zstd) win on\n"
+      "gradient codes; nothing compresses uniform noise (stored-block\n"
+      "fallback holds the ratio at ~1x); Cascaded shines only on runs.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Distributed KFAC training with COMPSO on the simulated cluster.
+//
+// The full pipeline of the paper: data-parallel replicas, KAISA-style
+// distributed KFAC (factor allreduce, layer-partitioned eigendecomposition,
+// preconditioned-gradient allgather), with the iteration-wise adaptive
+// COMPSO compressor on the allgather. Compares against the uncompressed
+// baseline and reports accuracy, compression ratio, and the simulated
+// communication time saved.
+
+#include "src/comm/network_model.hpp"
+#include "src/core/adaptive_schedule.hpp"
+#include "src/core/trainer.hpp"
+
+#include <cstdio>
+
+int main() {
+  using namespace compso;
+
+  core::TrainerConfig cfg;
+  cfg.world = 8;            // 8 simulated GPUs (2 nodes x 4)
+  cfg.classes = 10;
+  cfg.features = 20;
+  cfg.hidden = 24;
+  cfg.depth = 2;
+  cfg.noise = 1.1F;
+  core::ClusterTrainer trainer(cfg);
+
+  const std::size_t iterations = 100;
+  const optim::StepLr lr(0.01, 0.1, {60});
+  optim::DistKfacConfig kfac_cfg;
+  kfac_cfg.damping = 0.1;
+
+  std::printf("== baseline: distributed KFAC, no compression ==\n");
+  const auto base = trainer.train_kfac(iterations, lr, nullptr, kfac_cfg);
+  std::printf("final accuracy %.1f%%, final loss %.4f\n\n",
+              100.0 * base.final_accuracy, base.final_loss);
+
+  std::printf("== distributed KFAC + COMPSO (adaptive schedule) ==\n");
+  // Algorithm 1: aggressive (filter + SR) until the LR drop, then
+  // conservative (SR-only, tighter bound).
+  const core::AdaptiveSchedule schedule(lr, iterations);
+  const auto aggressive = compress::make_compso(schedule.params_at(0));
+  const auto conservative = compress::make_compso(schedule.params_at(60));
+  const auto result = trainer.train_kfac(
+      iterations, lr,
+      [&](std::size_t t) {
+        return schedule.at(t).use_filter ? aggressive.get()
+                                         : conservative.get();
+      },
+      kfac_cfg);
+  std::printf("final accuracy %.1f%% (baseline %.1f%%)\n",
+              100.0 * result.final_accuracy, 100.0 * base.final_accuracy);
+  std::printf("average compression ratio on the allgather: %.1fx\n",
+              result.avg_compression_ratio);
+
+  // What that ratio means for communication on a real-scale model: the
+  // simulated allgather time for a ResNet-50-sized gradient at 64 GPUs.
+  comm::Communicator comm(comm::Topology::with_gpus(64),
+                          comm::NetworkModel::platform1());
+  const std::size_t grad_bytes = 102U << 20;  // ~ResNet-50 KFAC gradient
+  const double t_raw = comm.allgather_time(grad_bytes / 64);
+  const double t_comp = comm.allgather_time(static_cast<std::size_t>(
+      grad_bytes / 64 / result.avg_compression_ratio));
+  std::printf(
+      "at ResNet-50 scale on Platform 1 / 64 GPUs this turns a %.2f ms\n"
+      "allgather into %.2f ms (%.1fx communication speedup).\n",
+      1e3 * t_raw, 1e3 * t_comp, t_raw / t_comp);
+  return 0;
+}

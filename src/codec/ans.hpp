@@ -1,0 +1,18 @@
+#pragma once
+// rANS (range asymmetric numeral systems) over the byte alphabet — the
+// encoder the paper finds best overall (Table 2): high compression ratio
+// from entropy coding plus high throughput from block-parallel decoding
+// (Weissenberger & Schmidt's GPU ANS design, [54] in the paper).
+
+#include "src/codec/codec.hpp"
+
+namespace compso::codec {
+
+/// Standalone rANS entropy stage (also reused by the Zstd-like codec).
+/// Self-delimiting; falls back to a stored block on expansion.
+Bytes rans_encode(ByteView input);
+Bytes rans_decode(ByteView input);
+
+std::unique_ptr<Codec> make_ans_codec();
+
+}  // namespace compso::codec

@@ -1,0 +1,91 @@
+#include "src/codec/codec.hpp"
+
+#include <stdexcept>
+
+namespace compso::codec {
+
+const char* to_string(CodecKind kind) noexcept {
+  switch (kind) {
+    case CodecKind::kAns: return "ANS";
+    case CodecKind::kBitcomp: return "Bitcomp";
+    case CodecKind::kCascaded: return "Cascaded";
+    case CodecKind::kDeflate: return "Deflate";
+    case CodecKind::kGdeflate: return "Gdeflate";
+    case CodecKind::kLz4: return "LZ4";
+    case CodecKind::kSnappy: return "Snappy";
+    case CodecKind::kZstd: return "Zstd";
+  }
+  return "?";
+}
+
+// Factories are defined in each codec's translation unit.
+std::unique_ptr<Codec> make_ans_codec();
+std::unique_ptr<Codec> make_bitcomp_codec();
+std::unique_ptr<Codec> make_cascaded_codec();
+std::unique_ptr<Codec> make_deflate_codec();
+std::unique_ptr<Codec> make_gdeflate_codec();
+std::unique_ptr<Codec> make_lz4_codec();
+std::unique_ptr<Codec> make_snappy_codec();
+std::unique_ptr<Codec> make_zstd_codec();
+
+std::unique_ptr<Codec> make_codec(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kAns: return make_ans_codec();
+    case CodecKind::kBitcomp: return make_bitcomp_codec();
+    case CodecKind::kCascaded: return make_cascaded_codec();
+    case CodecKind::kDeflate: return make_deflate_codec();
+    case CodecKind::kGdeflate: return make_gdeflate_codec();
+    case CodecKind::kLz4: return make_lz4_codec();
+    case CodecKind::kSnappy: return make_snappy_codec();
+    case CodecKind::kZstd: return make_zstd_codec();
+  }
+  throw std::invalid_argument("make_codec: unknown kind");
+}
+
+std::unique_ptr<Codec> make_codec(std::string_view name) {
+  for (CodecKind k : kAllCodecKinds) {
+    if (name == to_string(k)) return make_codec(k);
+  }
+  throw std::invalid_argument("make_codec: unknown codec name: " +
+                              std::string(name));
+}
+
+namespace detail {
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t read_u32(ByteView in, std::size_t offset) {
+  if (offset + 4 > in.size()) throw std::invalid_argument("codec: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[offset + i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(ByteView in, std::size_t offset) {
+  if (offset + 8 > in.size()) throw std::invalid_argument("codec: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
+  return v;
+}
+
+void write_header(Bytes& out, std::uint32_t magic, std::uint64_t size) {
+  append_u32(out, magic);
+  append_u64(out, size);
+}
+
+std::uint64_t read_header(ByteView in, std::uint32_t expected_magic) {
+  const std::uint32_t magic = read_u32(in, 0);
+  if (magic != expected_magic) {
+    throw std::invalid_argument("codec: bad magic (wrong codec for stream)");
+  }
+  return read_u64(in, 4);
+}
+
+}  // namespace detail
+}  // namespace compso::codec

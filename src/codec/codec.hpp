@@ -1,0 +1,82 @@
+#pragma once
+// Lossless encoder interface and registry.
+//
+// The paper selects COMPSO's lossless stage from the eight nvCOMP codecs
+// (Table 2): ANS, Bitcomp, Cascaded, Deflate, Gdeflate, LZ4, Snappy, Zstd.
+// Each codec here is a real, roundtrip-correct implementation of the same
+// algorithm family (see DESIGN.md for the simplifications), plus a GPU cost
+// profile so the gpusim device model can estimate the GB/s columns.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compso::codec {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Operation counts used by gpusim to model GPU (de)compression
+/// throughput. `passes` = full sweeps over the input; `parallel_fraction`
+/// captures how well the algorithm maps onto thousands of GPU threads
+/// (dictionary matching with hash chains serializes; table-driven entropy
+/// coding with per-block interleaving parallelizes).
+struct CodecCostProfile {
+  double encode_passes = 1.0;
+  double decode_passes = 1.0;
+  double parallel_fraction = 1.0;    ///< in (0, 1]; Amdahl-style.
+  double flops_per_byte = 2.0;
+  double bandwidth_efficiency = 1.0; ///< coalescing quality.
+};
+
+/// A lossless byte codec. encode() output is self-delimiting (it embeds the
+/// original size), so decode() needs no side channel.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string_view name() const noexcept = 0;
+  virtual Bytes encode(ByteView input) const = 0;
+  virtual Bytes decode(ByteView input) const = 0;
+  virtual CodecCostProfile cost_profile() const noexcept = 0;
+};
+
+/// The nvCOMP-parallel codec set of Table 2.
+enum class CodecKind {
+  kAns,
+  kBitcomp,
+  kCascaded,
+  kDeflate,
+  kGdeflate,
+  kLz4,
+  kSnappy,
+  kZstd,
+};
+
+constexpr CodecKind kAllCodecKinds[] = {
+    CodecKind::kAns,     CodecKind::kBitcomp, CodecKind::kCascaded,
+    CodecKind::kDeflate, CodecKind::kGdeflate, CodecKind::kLz4,
+    CodecKind::kSnappy,  CodecKind::kZstd,
+};
+
+const char* to_string(CodecKind kind) noexcept;
+
+/// Creates a codec instance.
+std::unique_ptr<Codec> make_codec(CodecKind kind);
+/// Lookup by name ("ANS", "Bitcomp", ...); throws on unknown name.
+std::unique_ptr<Codec> make_codec(std::string_view name);
+
+/// Header helpers shared by all codecs: [u32 magic | u64 original_size].
+namespace detail {
+constexpr std::size_t kHeaderSize = 12;
+void write_header(Bytes& out, std::uint32_t magic, std::uint64_t size);
+std::uint64_t read_header(ByteView in, std::uint32_t expected_magic);
+void append_u32(Bytes& out, std::uint32_t v);
+void append_u64(Bytes& out, std::uint64_t v);
+std::uint32_t read_u32(ByteView in, std::size_t offset);
+std::uint64_t read_u64(ByteView in, std::size_t offset);
+}  // namespace detail
+
+}  // namespace compso::codec

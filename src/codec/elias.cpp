@@ -1,0 +1,61 @@
+#include "src/codec/elias.hpp"
+
+#include "src/quant/bitpack.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace compso::codec {
+
+Bytes elias_gamma_encode(std::span<const std::uint64_t> values) {
+  quant::BitWriter w;
+  for (std::uint64_t v : values) {
+    if (v == 0) throw std::invalid_argument("elias gamma: value must be >= 1");
+    const auto nbits = static_cast<unsigned>(std::bit_width(v));
+    // nbits-1 zeros, then the value MSB-first. We emit through an LSB-first
+    // writer, so write the zeros, the leading 1, then the low bits reversed
+    // is unnecessary as long as decode mirrors this exact order: decode
+    // counts zeros, then reads (nbits-1) low bits LSB-first.
+    if (nbits > 1) w.write(0, nbits - 1);
+    w.write(1, 1);
+    if (nbits > 1) w.write(v & ((1ULL << (nbits - 1)) - 1), nbits - 1);
+  }
+  return w.take();
+}
+
+std::vector<std::uint64_t> elias_gamma_decode(ByteView bytes,
+                                              std::size_t count) {
+  quant::BitReader r(bytes);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    unsigned zeros = 0;
+    while (r.read(1) == 0) {
+      if (++zeros > 64 || r.exhausted()) {
+        throw std::invalid_argument("elias gamma: corrupt stream");
+      }
+    }
+    std::uint64_t v = 1ULL << zeros;
+    if (zeros > 0) v |= r.read(zeros);
+    out.push_back(v);
+  }
+  return out;
+}
+
+Bytes elias_gamma_encode_signed(std::span<const std::int64_t> codes) {
+  std::vector<std::uint64_t> u;
+  u.reserve(codes.size());
+  for (std::int64_t c : codes) u.push_back(quant::zigzag_encode(c) + 1);
+  return elias_gamma_encode(u);
+}
+
+std::vector<std::int64_t> elias_gamma_decode_signed(ByteView bytes,
+                                                    std::size_t count) {
+  const auto u = elias_gamma_decode(bytes, count);
+  std::vector<std::int64_t> out;
+  out.reserve(count);
+  for (std::uint64_t v : u) out.push_back(quant::zigzag_decode(v - 1));
+  return out;
+}
+
+}  // namespace compso::codec

@@ -1,0 +1,23 @@
+#pragma once
+// Elias gamma coding — QSGD's lossless stage (§2.4): after SR quantization
+// QSGD encodes the (sparse, small-magnitude) integer codes with Elias
+// codes, which favor values concentrated near zero.
+
+#include "src/codec/codec.hpp"
+
+#include <cstdint>
+
+namespace compso::codec {
+
+/// Gamma-encodes unsigned values (each must be >= 1).
+Bytes elias_gamma_encode(std::span<const std::uint64_t> values);
+/// Decodes `count` gamma-coded values.
+std::vector<std::uint64_t> elias_gamma_decode(ByteView bytes,
+                                              std::size_t count);
+
+/// Convenience for signed quantization codes: zigzag(v) + 1 per value.
+Bytes elias_gamma_encode_signed(std::span<const std::int64_t> codes);
+std::vector<std::int64_t> elias_gamma_decode_signed(ByteView bytes,
+                                                    std::size_t count);
+
+}  // namespace compso::codec

@@ -1,0 +1,22 @@
+#pragma once
+// Canonical Huffman coding over the byte alphabet.
+//
+// Reused by three consumers: the Deflate/Gdeflate codecs (entropy stage),
+// and the SZ-style compressor (which couples prediction + RN quantization
+// with Huffman, §2.4).
+
+#include "src/codec/codec.hpp"
+
+namespace compso::codec {
+
+/// Entropy-codes `input`. Output embeds the code-length table and original
+/// size; falls back to a stored block when coding would expand the data.
+Bytes huffman_encode(ByteView input);
+Bytes huffman_decode(ByteView input);
+
+/// Shannon entropy of the byte stream in bits/byte (diagnostics: the
+/// gradient distribution's non-uniformity is why entropy coders win,
+/// paper §5.2).
+double byte_entropy(ByteView input) noexcept;
+
+}  // namespace compso::codec

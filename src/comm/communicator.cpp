@@ -1,0 +1,227 @@
+#include "src/comm/communicator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace compso::comm {
+
+double SimClocks::max_time() const noexcept {
+  double m = 0.0;
+  for (double t : t_) m = std::max(m, t);
+  return m;
+}
+
+void SimClocks::sync_advance(double dt) noexcept {
+  const double start = max_time();
+  for (auto& t : t_) t = start + dt;
+}
+
+LinkParams Communicator::ring_bottleneck() const noexcept {
+  // Node-major rank order: a ring has one inter-node hop per node boundary.
+  // Each node's NIC carries exactly one send + one receive per ring step
+  // (full duplex), so the per-step bottleneck is a single inter-node link
+  // when the world spans nodes, NVLink otherwise.
+  if (topo_.nodes > 1) return net_.inter_node();
+  if (topo_.world_size() > 1) return net_.intra_node();
+  return LinkParams{0.0, 1.0};  // single rank: no communication
+}
+
+double Communicator::allreduce_time(std::size_t bytes) const noexcept {
+  const std::size_t p = world_size();
+  if (p <= 1 || bytes == 0) return 0.0;
+  const LinkParams link = ring_bottleneck();
+  const double pd = static_cast<double>(p);
+  const double wire_bytes = 2.0 * (pd - 1.0) / pd * static_cast<double>(bytes);
+  return 2.0 * (pd - 1.0) * link.latency_s + wire_bytes / link.bandwidth_Bps;
+}
+
+double Communicator::allgather_time(std::size_t bytes_per_rank)
+    const noexcept {
+  const std::size_t p = world_size();
+  if (p <= 1 || bytes_per_rank == 0) return 0.0;
+  const LinkParams link = ring_bottleneck();
+  const double pd = static_cast<double>(p);
+  const double wire_bytes = (pd - 1.0) * static_cast<double>(bytes_per_rank);
+  return (pd - 1.0) * link.latency_s + wire_bytes / link.bandwidth_Bps;
+}
+
+double Communicator::allgatherv_time(
+    std::span<const std::size_t> bytes_per_rank) const noexcept {
+  const std::size_t p = world_size();
+  if (p <= 1 || bytes_per_rank.empty()) return 0.0;
+  const LinkParams link = ring_bottleneck();
+  std::size_t total = 0;
+  std::size_t min_own = bytes_per_rank[0];
+  for (std::size_t b : bytes_per_rank) {
+    total += b;
+    min_own = std::min(min_own, b);
+  }
+  // Each rank receives (total - own) bytes over its incoming link; the rank
+  // with the smallest own chunk receives the most.
+  const double wire_bytes = static_cast<double>(total - min_own);
+  return (static_cast<double>(p) - 1.0) * link.latency_s +
+         wire_bytes / link.bandwidth_Bps;
+}
+
+double Communicator::broadcast_time(std::size_t bytes) const noexcept {
+  const std::size_t p = world_size();
+  if (p <= 1 || bytes == 0) return 0.0;
+  // Hierarchical binomial: tree over nodes on the interconnect, then a tree
+  // over the node's GPUs on NVLink.
+  double t = 0.0;
+  if (topo_.nodes > 1) {
+    const auto rounds = static_cast<double>(std::bit_width(topo_.nodes - 1));
+    t += rounds * net_.inter_node().transfer_time(bytes);
+  }
+  if (topo_.gpus_per_node > 1) {
+    const auto rounds =
+        static_cast<double>(std::bit_width(topo_.gpus_per_node - 1));
+    t += rounds * net_.intra_node().transfer_time(bytes);
+  }
+  return t;
+}
+
+double Communicator::pipelined_broadcast_time(std::size_t bytes)
+    const noexcept {
+  const std::size_t p = world_size();
+  if (p <= 1 || bytes == 0) return 0.0;
+  const LinkParams link = ring_bottleneck();
+  const auto rounds = static_cast<double>(std::bit_width(p - 1));
+  return rounds * link.latency_s +
+         static_cast<double>(bytes) / link.bandwidth_Bps;
+}
+
+double Communicator::reduce_scatter_time(std::size_t bytes) const noexcept {
+  const std::size_t p = world_size();
+  if (p <= 1 || bytes == 0) return 0.0;
+  const LinkParams link = ring_bottleneck();
+  const double pd = static_cast<double>(p);
+  const double wire_bytes = (pd - 1.0) / pd * static_cast<double>(bytes);
+  return (pd - 1.0) * link.latency_s + wire_bytes / link.bandwidth_Bps;
+}
+
+void Communicator::allreduce_sum(std::vector<std::span<float>> bufs) {
+  if (bufs.size() != world_size()) {
+    throw std::invalid_argument("allreduce_sum: need one buffer per rank");
+  }
+  const std::size_t n = bufs.empty() ? 0 : bufs[0].size();
+  for (const auto& b : bufs) {
+    if (b.size() != n) {
+      throw std::invalid_argument("allreduce_sum: buffer size mismatch");
+    }
+  }
+  // Functional: sum into rank 0's view, then replicate.
+  for (std::size_t r = 1; r < bufs.size(); ++r) {
+    for (std::size_t i = 0; i < n; ++i) bufs[0][i] += bufs[r][i];
+  }
+  for (std::size_t r = 1; r < bufs.size(); ++r) {
+    std::copy(bufs[0].begin(), bufs[0].end(), bufs[r].begin());
+  }
+  const double dt = allreduce_time(n * sizeof(float));
+  clocks_.sync_advance(dt);
+  stats_.allreduce_s += dt;
+  stats_.allreduce_bytes += n * sizeof(float);
+}
+
+void Communicator::allgather(const std::vector<std::vector<float>>& send,
+                             std::vector<std::vector<float>>& recv) {
+  if (send.size() != world_size()) {
+    throw std::invalid_argument("allgather: need one buffer per rank");
+  }
+  std::vector<float> gathered;
+  std::size_t max_chunk = 0;
+  for (const auto& s : send) {
+    gathered.insert(gathered.end(), s.begin(), s.end());
+    max_chunk = std::max(max_chunk, s.size());
+  }
+  recv.assign(world_size(), gathered);
+  const double dt = allgather_time(max_chunk * sizeof(float));
+  clocks_.sync_advance(dt);
+  stats_.allgather_s += dt;
+  stats_.allgather_bytes +=
+      (gathered.size() - (send.empty() ? 0 : send[0].size())) * sizeof(float);
+}
+
+void Communicator::allgatherv(
+    const std::vector<std::vector<std::uint8_t>>& send,
+    std::vector<std::vector<std::uint8_t>>& recv) {
+  if (send.size() != world_size()) {
+    throw std::invalid_argument("allgatherv: need one buffer per rank");
+  }
+  std::vector<std::uint8_t> gathered;
+  std::vector<std::size_t> sizes;
+  sizes.reserve(send.size());
+  for (const auto& s : send) {
+    gathered.insert(gathered.end(), s.begin(), s.end());
+    sizes.push_back(s.size());
+  }
+  recv.assign(world_size(), gathered);
+  const double dt = allgatherv_time(sizes);
+  clocks_.sync_advance(dt);
+  stats_.allgather_s += dt;
+  stats_.allgather_bytes += gathered.size();
+}
+
+void Communicator::broadcast(std::vector<std::span<float>> bufs,
+                             std::size_t root) {
+  if (bufs.size() != world_size() || root >= world_size()) {
+    throw std::invalid_argument("broadcast: bad arguments");
+  }
+  const auto src = bufs[root];
+  for (std::size_t r = 0; r < bufs.size(); ++r) {
+    if (r == root) continue;
+    if (bufs[r].size() != src.size()) {
+      throw std::invalid_argument("broadcast: buffer size mismatch");
+    }
+    std::copy(src.begin(), src.end(), bufs[r].begin());
+  }
+  const double dt = broadcast_time(src.size() * sizeof(float));
+  clocks_.sync_advance(dt);
+  stats_.broadcast_s += dt;
+}
+
+void Communicator::reduce_scatter_sum(std::vector<std::vector<float>>& bufs) {
+  const std::size_t p = world_size();
+  if (bufs.size() != p) {
+    throw std::invalid_argument("reduce_scatter_sum: need one buffer per rank");
+  }
+  const std::size_t n = bufs.empty() ? 0 : bufs[0].size();
+  if (n % p != 0) {
+    throw std::invalid_argument(
+        "reduce_scatter_sum: length must divide by world size");
+  }
+  for (const auto& b : bufs) {
+    if (b.size() != n) {
+      throw std::invalid_argument("reduce_scatter_sum: size mismatch");
+    }
+  }
+  std::vector<float> sum(bufs[0]);
+  for (std::size_t r = 1; r < p; ++r) {
+    for (std::size_t i = 0; i < n; ++i) sum[i] += bufs[r][i];
+  }
+  const std::size_t chunk = n / p;
+  for (std::size_t r = 0; r < p; ++r) {
+    bufs[r].assign(sum.begin() + static_cast<std::ptrdiff_t>(r * chunk),
+                   sum.begin() + static_cast<std::ptrdiff_t>((r + 1) * chunk));
+  }
+  const double dt = reduce_scatter_time(n * sizeof(float));
+  clocks_.sync_advance(dt);
+  stats_.reduce_scatter_s += dt;
+}
+
+void Communicator::broadcast_bytes(
+    std::vector<std::vector<std::uint8_t>>& bufs, std::size_t root) {
+  if (bufs.size() != world_size() || root >= world_size()) {
+    throw std::invalid_argument("broadcast_bytes: bad arguments");
+  }
+  for (std::size_t r = 0; r < bufs.size(); ++r) {
+    if (r != root) bufs[r] = bufs[root];
+  }
+  const double dt = broadcast_time(bufs[root].size());
+  clocks_.sync_advance(dt);
+  stats_.broadcast_s += dt;
+}
+
+}  // namespace compso::comm

@@ -1,0 +1,114 @@
+#pragma once
+// Simulated communicator: functional collectives over all ranks' buffers
+// plus an analytic timing model for each collective.
+//
+// SPMD style: because the simulator is deterministic and single-process, a
+// collective is invoked once with every rank's buffer. Data really moves
+// (so downstream math sees exactly what a real cluster would see), and all
+// participating clocks advance by the modeled collective time.
+//
+// Timing models (ring algorithms, the NCCL default at these scales):
+//  - ring allreduce:   2*(p-1)/p * n bytes through each rank's slowest link
+//  - ring allgather(v): each rank receives (total - own) bytes
+//  - broadcast:        hierarchical binomial (inter-node tree, then NVLink)
+//  - reduce-scatter:   (p-1)/p * n bytes per rank
+// The bottleneck link is inter-node whenever the topology spans nodes.
+
+#include "src/comm/network_model.hpp"
+#include "src/comm/topology.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace compso::comm {
+
+/// Per-rank simulated clocks. Collectives synchronize: they start at the
+/// latest participant clock and all participants end together.
+class SimClocks {
+ public:
+  explicit SimClocks(std::size_t world) : t_(world, 0.0) {}
+
+  std::size_t world_size() const noexcept { return t_.size(); }
+  double at(std::size_t rank) const noexcept { return t_[rank]; }
+  void advance(std::size_t rank, double dt) noexcept { t_[rank] += dt; }
+  double max_time() const noexcept;
+  /// Advance every clock to max(clock) + dt (a synchronizing step).
+  void sync_advance(double dt) noexcept;
+  void reset() noexcept { for (auto& t : t_) t = 0.0; }
+
+ private:
+  std::vector<double> t_;
+};
+
+/// Per-collective accumulated simulated time, for the Fig. 1 breakdown.
+struct CommStats {
+  double allreduce_s = 0.0;
+  double allgather_s = 0.0;
+  double broadcast_s = 0.0;
+  double reduce_scatter_s = 0.0;
+  std::uint64_t allreduce_bytes = 0;
+  std::uint64_t allgather_bytes = 0;
+
+  double total_s() const noexcept {
+    return allreduce_s + allgather_s + broadcast_s + reduce_scatter_s;
+  }
+};
+
+class Communicator {
+ public:
+  Communicator(Topology topo, NetworkModel net)
+      : topo_(topo), net_(std::move(net)), clocks_(topo.world_size()) {}
+
+  const Topology& topology() const noexcept { return topo_; }
+  const NetworkModel& network() const noexcept { return net_; }
+  std::size_t world_size() const noexcept { return topo_.world_size(); }
+  SimClocks& clocks() noexcept { return clocks_; }
+  const SimClocks& clocks() const noexcept { return clocks_; }
+  CommStats& stats() noexcept { return stats_; }
+  const CommStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  // --- analytic timing queries (used by the perf-model lookup table) ---
+  double allreduce_time(std::size_t bytes) const noexcept;
+  double allgather_time(std::size_t bytes_per_rank) const noexcept;
+  double allgatherv_time(std::span<const std::size_t> bytes_per_rank)
+      const noexcept;
+  double broadcast_time(std::size_t bytes) const noexcept;
+  /// Large-message pipelined broadcast (NCCL-style ring/chunked tree):
+  /// latency grows with log2(p), bandwidth term is a single traversal.
+  double pipelined_broadcast_time(std::size_t bytes) const noexcept;
+  double reduce_scatter_time(std::size_t bytes) const noexcept;
+
+  // --- functional collectives (move data + advance clocks + stats) ---
+  /// In-place sum-allreduce: every rank's buffer becomes the element sum.
+  void allreduce_sum(std::vector<std::span<float>> bufs);
+  /// Equal-chunk allgather: each rank contributes `send[rank]`; on return
+  /// `recv[rank]` holds the concatenation in rank order.
+  void allgather(const std::vector<std::vector<float>>& send,
+                 std::vector<std::vector<float>>& recv);
+  /// Variable-size byte allgather (compressed payloads differ per rank).
+  void allgatherv(const std::vector<std::vector<std::uint8_t>>& send,
+                  std::vector<std::vector<std::uint8_t>>& recv);
+  /// Broadcast root's buffer to every rank (buffers must be same length).
+  void broadcast(std::vector<std::span<float>> bufs, std::size_t root);
+  /// Byte broadcast of root's payload; other entries are overwritten.
+  void broadcast_bytes(std::vector<std::vector<std::uint8_t>>& bufs,
+                       std::size_t root);
+  /// Sum-reduce-scatter: buffers must share a length divisible by the
+  /// world size; on return each rank's buffer is resized to its chunk of
+  /// the element-wise sum (rank r gets chunk r).
+  void reduce_scatter_sum(std::vector<std::vector<float>>& bufs);
+
+ private:
+  /// Bandwidth (bytes/s) and latency of the bottleneck link of a ring over
+  /// the full world.
+  LinkParams ring_bottleneck() const noexcept;
+
+  Topology topo_;
+  NetworkModel net_;
+  SimClocks clocks_;
+  CommStats stats_;
+};
+
+}  // namespace compso::comm

@@ -1,0 +1,34 @@
+#include "src/comm/network_model.hpp"
+
+namespace compso::comm {
+
+double NetworkModel::p2p_time(const Topology& topo, std::size_t src,
+                              std::size_t dst, std::size_t bytes,
+                              std::size_t sharers) const noexcept {
+  if (src == dst) return 0.0;
+  if (topo.same_node(src, dst)) return intra_.transfer_time(bytes);
+  LinkParams shared = inter_;
+  if (sharers > 1) {
+    shared.bandwidth_Bps /= static_cast<double>(sharers);
+  }
+  return shared.transfer_time(bytes);
+}
+
+NetworkModel NetworkModel::platform1() {
+  // NVLink3 (A100): ~300 GB/s effective per direction per pair; ~2 us sw
+  // latency. Slingshot 10: 100 Gbps = 12.5 GB/s line rate per NIC; large
+  // collectives achieve ~65% of line rate (protocol + congestion), so the
+  // preset stores the achievable figure.
+  return NetworkModel("Platform1/Slingshot10",
+                      LinkParams{2e-6, 300.0e9},
+                      LinkParams{4e-6, 0.65 * 12.5e9});
+}
+
+NetworkModel NetworkModel::platform2() {
+  // Slingshot 11: 200 Gbps = 25 GB/s line rate, ~65% achievable.
+  return NetworkModel("Platform2/Slingshot11",
+                      LinkParams{2e-6, 300.0e9},
+                      LinkParams{3e-6, 0.65 * 25.0e9});
+}
+
+}  // namespace compso::comm

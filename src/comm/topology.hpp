@@ -1,0 +1,35 @@
+#pragma once
+// Cluster topology: nodes x GPUs-per-node, rank <-> (node, local gpu) maps.
+
+#include <cstddef>
+
+namespace compso::comm {
+
+/// Flat description of the simulated cluster. Ranks are numbered
+/// node-major: rank = node * gpus_per_node + local.
+struct Topology {
+  std::size_t nodes = 1;
+  std::size_t gpus_per_node = 4;
+
+  std::size_t world_size() const noexcept { return nodes * gpus_per_node; }
+  std::size_t node_of(std::size_t rank) const noexcept {
+    return rank / gpus_per_node;
+  }
+  std::size_t local_of(std::size_t rank) const noexcept {
+    return rank % gpus_per_node;
+  }
+  bool same_node(std::size_t a, std::size_t b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  /// Topology with the given total GPU count, packing 4 GPUs per node
+  /// (the paper's node configuration) unless fewer GPUs are requested.
+  static Topology with_gpus(std::size_t gpus, std::size_t per_node = 4) {
+    Topology t;
+    t.gpus_per_node = gpus < per_node ? gpus : per_node;
+    t.nodes = (gpus + t.gpus_per_node - 1) / t.gpus_per_node;
+    return t;
+  }
+};
+
+}  // namespace compso::comm

@@ -1,0 +1,395 @@
+// Baseline compressors the paper evaluates against (§2.4, §5):
+//   QSGD        = fixed n-bit SR quantization + Elias gamma coding.
+//   SZ (cuSZ)   = 1-D Lorenzo prediction + RN error-bounded quantization +
+//                 Huffman coding of the prediction-error codes.
+//   CocktailSGD = seeded random sampling (no index transmission thanks to
+//                 the shared seed) + n-bit SR quantization.
+//   Top-k       = magnitude sparsification with explicit indices.
+//   Identity    = no compression.
+
+#include "src/codec/elias.hpp"
+#include "src/codec/huffman.hpp"
+#include "src/compress/compressor.hpp"
+#include "src/quant/quantizer.hpp"
+#include "src/tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace compso::compress {
+namespace {
+
+void append_f64(Bytes& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  codec::detail::append_u64(out, bits);
+}
+
+double read_f64(ByteView in, std::size_t offset) {
+  const std::uint64_t bits = codec::detail::read_u64(in, offset);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+void append_f32(Bytes& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  codec::detail::append_u32(out, bits);
+}
+
+float read_f32(ByteView in, std::size_t offset) {
+  const std::uint32_t bits = codec::detail::read_u32(in, offset);
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+// ---------------------------------------------------------------- QSGD --
+class QsgdCompressor final : public GradientCompressor {
+ public:
+  explicit QsgdCompressor(unsigned bits) : bits_(bits) {}
+
+  std::string_view name() const noexcept override { return "QSGD"; }
+
+  Bytes compress(std::span<const float> values,
+                 tensor::Rng& rng) const override {
+    const quant::FixedBitQuantizer q(bits_, quant::RoundingMode::kStochastic);
+    const quant::QuantizedBlock block = q.quantize(values, rng);
+    const Bytes coded = codec::elias_gamma_encode_signed(block.codes);
+    Bytes out;
+    codec::detail::append_u64(out, values.size());
+    append_f64(out, block.step);
+    out.insert(out.end(), coded.begin(), coded.end());
+    return out;
+  }
+
+  std::vector<float> decompress(ByteView payload) const override {
+    const std::uint64_t count = codec::detail::read_u64(payload, 0);
+    const double step = read_f64(payload, 8);
+    const auto codes =
+        codec::elias_gamma_decode_signed(payload.subspan(16), count);
+    std::vector<float> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = static_cast<float>(static_cast<double>(codes[i]) * step);
+    }
+    return out;
+  }
+
+  GpuProfile gpu_profile() const noexcept override {
+    // Fused normalize+SR+encode: fewer operations than COMPSO (no filter).
+    return {.stages = 2,
+            .flops_per_byte = 4.0,
+            .bandwidth_efficiency = 0.26,
+            .dispatch = gpusim::Dispatch::kFusedKernel,
+            .framework_ops_per_stage = 1,
+            .memory_passes = 3.0};  // extrema, quantize, Elias encode
+  }
+
+ private:
+  unsigned bits_;
+};
+
+// ------------------------------------------------------------------ SZ --
+class SzCompressor final : public GradientCompressor {
+ public:
+  explicit SzCompressor(double eb) : eb_(eb) {
+    if (eb_ <= 0.0) throw std::invalid_argument("SZ: error bound must be > 0");
+  }
+
+  std::string_view name() const noexcept override { return "SZ"; }
+
+  Bytes compress(std::span<const float> values,
+                 tensor::Rng& /*rng*/) const override {
+    const auto ex = tensor::extrema(values);
+    const double range = static_cast<double>(ex.max) - ex.min;
+    const double step = 2.0 * eb_ * (range > 0.0 ? range : 1.0);
+
+    // Lorenzo: predict each value as the previous *reconstructed* value,
+    // RN-quantize the prediction error into a byte-sized code; values whose
+    // error exceeds the code range become "unpredictable" (escape 0) and
+    // are stored raw.
+    Bytes codes(values.size());
+    Bytes raw;
+    double prev = 0.0;
+    std::size_t unpredictable = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double err = static_cast<double>(values[i]) - prev;
+      const auto q = static_cast<long>(std::llround(err / step));
+      if (q >= -126 && q <= 127) {
+        codes[i] = static_cast<std::uint8_t>(q + 128);
+        prev += static_cast<double>(q) * step;
+      } else {
+        codes[i] = 0;  // escape
+        append_f32(raw, values[i]);
+        prev = values[i];
+        ++unpredictable;
+      }
+    }
+    const Bytes coded = codec::huffman_encode(codes);
+    Bytes out;
+    codec::detail::append_u64(out, values.size());
+    append_f64(out, step);
+    codec::detail::append_u64(out, unpredictable);
+    codec::detail::append_u64(out, coded.size());
+    out.insert(out.end(), coded.begin(), coded.end());
+    out.insert(out.end(), raw.begin(), raw.end());
+    return out;
+  }
+
+  std::vector<float> decompress(ByteView payload) const override {
+    std::size_t pos = 0;
+    const std::uint64_t count = codec::detail::read_u64(payload, pos); pos += 8;
+    const double step = read_f64(payload, pos); pos += 8;
+    const std::uint64_t unpredictable = codec::detail::read_u64(payload, pos);
+    pos += 8;
+    const std::uint64_t coded_size = codec::detail::read_u64(payload, pos);
+    pos += 8;
+    const Bytes codes = codec::huffman_decode(payload.subspan(pos, coded_size));
+    pos += coded_size;
+    if (codes.size() != count) {
+      throw std::invalid_argument("SZ: code count mismatch");
+    }
+    ByteView raw = payload.subspan(pos);
+    if (raw.size() < unpredictable * 4) {
+      throw std::invalid_argument("SZ: truncated raw values");
+    }
+    std::vector<float> out(count);
+    double prev = 0.0;
+    std::size_t raw_pos = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (codes[i] == 0) {
+        prev = read_f32(raw, raw_pos);
+        raw_pos += 4;
+      } else {
+        prev += static_cast<double>(static_cast<int>(codes[i]) - 128) * step;
+      }
+      out[i] = static_cast<float>(prev);
+    }
+    return out;
+  }
+
+  GpuProfile gpu_profile() const noexcept override {
+    // cuSZ: fused prediction+quantization kernel, separate Huffman kernels;
+    // prediction introduces a dependency chain lowering efficiency.
+    return {.stages = 3,
+            .flops_per_byte = 8.0,
+            .bandwidth_efficiency = 0.10,
+            .dispatch = gpusim::Dispatch::kSeparateKernels,
+            .framework_ops_per_stage = 1};
+  }
+
+ private:
+  double eb_;
+};
+
+// --------------------------------------------------------- CocktailSGD --
+class CocktailCompressor final : public GradientCompressor {
+ public:
+  CocktailCompressor(double keep_fraction, unsigned bits)
+      : keep_(keep_fraction), bits_(bits) {
+    if (keep_ <= 0.0 || keep_ > 1.0) {
+      throw std::invalid_argument("CocktailSGD: keep fraction in (0, 1]");
+    }
+  }
+
+  std::string_view name() const noexcept override { return "CocktailSGD"; }
+
+  Bytes compress(std::span<const float> values,
+                 tensor::Rng& rng) const override {
+    // Shared-seed random sampling: the seed rides in the payload, so the
+    // receiver regenerates the same positions and no indices are sent.
+    const std::uint64_t seed = rng();
+    const auto selected = select_positions(values.size(), seed);
+    std::vector<float> sampled;
+    sampled.reserve(selected.size());
+    for (auto i : selected) sampled.push_back(values[i]);
+
+    const quant::FixedBitQuantizer q(bits_, quant::RoundingMode::kStochastic);
+    const quant::QuantizedBlock block = q.quantize(sampled, rng);
+    const Bytes packed = quant::pack_codes(block.codes, block.bit_width);
+
+    Bytes out;
+    codec::detail::append_u64(out, values.size());
+    codec::detail::append_u64(out, seed);
+    append_f64(out, block.step);
+    out.push_back(static_cast<std::uint8_t>(block.bit_width));
+    out.insert(out.end(), packed.begin(), packed.end());
+    return out;
+  }
+
+  std::vector<float> decompress(ByteView payload) const override {
+    std::size_t pos = 0;
+    const std::uint64_t count = codec::detail::read_u64(payload, pos); pos += 8;
+    const std::uint64_t seed = codec::detail::read_u64(payload, pos); pos += 8;
+    const double step = read_f64(payload, pos); pos += 8;
+    if (pos >= payload.size()) {
+      throw std::invalid_argument("CocktailSGD: truncated payload");
+    }
+    const unsigned bit_width = payload[pos++];
+    const auto selected = select_positions(count, seed);
+    const auto codes =
+        quant::unpack_codes(payload.subspan(pos), bit_width, selected.size());
+    std::vector<float> out(count, 0.0F);
+    for (std::size_t k = 0; k < selected.size(); ++k) {
+      out[selected[k]] =
+          static_cast<float>(static_cast<double>(codes[k]) * step);
+    }
+    return out;
+  }
+
+  GpuProfile gpu_profile() const noexcept override {
+    // The paper measures CocktailSGD through PyTorch: framework dispatch
+    // per op, and the sampling/top-k stage is expensive (§5.3).
+    return {.stages = 3,
+            .flops_per_byte = 10.0,
+            .bandwidth_efficiency = 0.45,
+            .dispatch = gpusim::Dispatch::kFrameworkOps,
+            .framework_ops_per_stage = 2};
+  }
+
+ private:
+  std::vector<std::size_t> select_positions(std::size_t n,
+                                            std::uint64_t seed) const {
+    // Deterministic selection of ~keep_ * n positions from the seed.
+    tensor::Rng sel(seed);
+    std::vector<std::size_t> out;
+    out.reserve(static_cast<std::size_t>(static_cast<double>(n) * keep_) + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sel.uniform() < static_cast<float>(keep_)) out.push_back(i);
+    }
+    return out;
+  }
+
+  double keep_;
+  unsigned bits_;
+};
+
+// --------------------------------------------------------------- Top-k --
+class TopKCompressor final : public GradientCompressor {
+ public:
+  explicit TopKCompressor(double keep_fraction) : keep_(keep_fraction) {
+    if (keep_ <= 0.0 || keep_ > 1.0) {
+      throw std::invalid_argument("TopK: keep fraction in (0, 1]");
+    }
+  }
+
+  std::string_view name() const noexcept override { return "TopK"; }
+
+  Bytes compress(std::span<const float> values,
+                 tensor::Rng& /*rng*/) const override {
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(values.size()) * keep_));
+    std::vector<std::size_t> idx(values.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     idx.end(), [&](std::size_t a, std::size_t b) {
+                       return std::fabs(values[a]) > std::fabs(values[b]);
+                     });
+    idx.resize(std::min(k, values.size()));
+    std::sort(idx.begin(), idx.end());
+
+    Bytes out;
+    codec::detail::append_u64(out, values.size());
+    codec::detail::append_u64(out, idx.size());
+    // Delta-coded indices (gamma) + raw FP32 values.
+    std::vector<std::uint64_t> deltas;
+    deltas.reserve(idx.size());
+    std::size_t prev = 0;
+    for (std::size_t i : idx) {
+      deltas.push_back(i - prev + 1);
+      prev = i;
+    }
+    const Bytes dcoded = codec::elias_gamma_encode(deltas);
+    codec::detail::append_u64(out, dcoded.size());
+    out.insert(out.end(), dcoded.begin(), dcoded.end());
+    for (std::size_t i : idx) append_f32(out, values[i]);
+    return out;
+  }
+
+  std::vector<float> decompress(ByteView payload) const override {
+    std::size_t pos = 0;
+    const std::uint64_t count = codec::detail::read_u64(payload, pos); pos += 8;
+    const std::uint64_t k = codec::detail::read_u64(payload, pos); pos += 8;
+    const std::uint64_t dsize = codec::detail::read_u64(payload, pos); pos += 8;
+    const auto deltas = codec::elias_gamma_decode(payload.subspan(pos, dsize), k);
+    pos += dsize;
+    std::vector<float> out(count, 0.0F);
+    std::size_t prev = 0;
+    for (std::uint64_t j = 0; j < k; ++j) {
+      const std::size_t i = prev + static_cast<std::size_t>(deltas[j]) - 1;
+      out[i] = read_f32(payload, pos);
+      pos += 4;
+      prev = i;
+    }
+    return out;
+  }
+
+  GpuProfile gpu_profile() const noexcept override {
+    return {.stages = 3,
+            .flops_per_byte = 16.0,  // selection is compute-heavy
+            .bandwidth_efficiency = 0.30,
+            .dispatch = gpusim::Dispatch::kSeparateKernels,
+            .framework_ops_per_stage = 1};
+  }
+
+ private:
+  double keep_;
+};
+
+// ------------------------------------------------------------ Identity --
+class IdentityCompressor final : public GradientCompressor {
+ public:
+  std::string_view name() const noexcept override { return "Identity"; }
+
+  Bytes compress(std::span<const float> values,
+                 tensor::Rng& /*rng*/) const override {
+    Bytes out;
+    codec::detail::append_u64(out, values.size());
+    out.resize(8 + values.size() * 4);
+    std::memcpy(out.data() + 8, values.data(), values.size() * 4);
+    return out;
+  }
+
+  std::vector<float> decompress(ByteView payload) const override {
+    const std::uint64_t count = codec::detail::read_u64(payload, 0);
+    if (payload.size() < 8 + count * 4) {
+      throw std::invalid_argument("Identity: truncated payload");
+    }
+    std::vector<float> out(count);
+    std::memcpy(out.data(), payload.data() + 8, count * 4);
+    return out;
+  }
+
+  GpuProfile gpu_profile() const noexcept override {
+    return {.stages = 1,
+            .flops_per_byte = 0.0,
+            .bandwidth_efficiency = 1.0,
+            .dispatch = gpusim::Dispatch::kFusedKernel,
+            .framework_ops_per_stage = 1};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GradientCompressor> make_qsgd(unsigned bits) {
+  return std::make_unique<QsgdCompressor>(bits);
+}
+std::unique_ptr<GradientCompressor> make_sz(double relative_error_bound) {
+  return std::make_unique<SzCompressor>(relative_error_bound);
+}
+std::unique_ptr<GradientCompressor> make_cocktail(double keep_fraction,
+                                                  unsigned bits) {
+  return std::make_unique<CocktailCompressor>(keep_fraction, bits);
+}
+std::unique_ptr<GradientCompressor> make_topk(double keep_fraction) {
+  return std::make_unique<TopKCompressor>(keep_fraction);
+}
+std::unique_ptr<GradientCompressor> make_identity() {
+  return std::make_unique<IdentityCompressor>();
+}
+
+}  // namespace compso::compress

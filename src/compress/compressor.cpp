@@ -1,0 +1,29 @@
+#include "src/compress/compressor.hpp"
+
+namespace compso::compress {
+
+double GradientCompressor::compression_ratio(std::span<const float> values,
+                                             tensor::Rng& rng) const {
+  if (values.empty()) return 1.0;
+  const Bytes payload = compress(values, rng);
+  if (payload.empty()) return 1.0;
+  return static_cast<double>(values.size() * sizeof(float)) /
+         static_cast<double>(payload.size());
+}
+
+double GradientCompressor::modeled_throughput(
+    const gpusim::DeviceModel& dev, std::size_t input_bytes,
+    std::size_t output_bytes) const noexcept {
+  const GpuProfile p = gpu_profile();
+  const gpusim::PipelineSpec spec{
+      .input_bytes = input_bytes,
+      .output_bytes = output_bytes,
+      .stages = p.stages,
+      .flops_per_byte = p.flops_per_byte,
+      .bandwidth_efficiency = p.bandwidth_efficiency,
+      .framework_ops_per_stage = p.framework_ops_per_stage,
+      .memory_passes = p.memory_passes};
+  return gpusim::pipeline_throughput(dev, spec, p.dispatch);
+}
+
+}  // namespace compso::compress

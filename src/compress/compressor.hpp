@@ -1,0 +1,95 @@
+#pragma once
+// Gradient compressor interface and the method zoo evaluated in the paper:
+// COMPSO (ours), QSGD, SZ (cuSZ's algorithm), CocktailSGD, Top-k, identity.
+//
+// A compressor turns an FP32 gradient buffer into a self-delimiting byte
+// payload and back. Compression may be lossy; `compress` takes the Rng that
+// drives stochastic rounding / random sampling so runs are reproducible.
+// Each compressor also describes its GPU execution shape so gpusim can
+// model (de)compression throughput (Fig. 8) under fused-CUDA or
+// PyTorch-style dispatch.
+
+#include "src/codec/codec.hpp"
+#include "src/gpusim/device_model.hpp"
+#include "src/tensor/rng.hpp"
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compso::compress {
+
+using codec::ByteView;
+using codec::Bytes;
+
+/// GPU execution shape of a compressor's lossy stage + encoder.
+struct GpuProfile {
+  std::size_t stages = 3;               ///< logical pipeline stages.
+  double flops_per_byte = 4.0;
+  double bandwidth_efficiency = 0.8;    ///< divergence / atomics / lookups.
+  gpusim::Dispatch dispatch = gpusim::Dispatch::kFusedKernel;
+  std::size_t framework_ops_per_stage = 4;
+  double memory_passes = 1.0;           ///< input sweeps even when fused.
+};
+
+class GradientCompressor {
+ public:
+  virtual ~GradientCompressor() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Compresses `values`; the payload embeds everything needed to decode.
+  virtual Bytes compress(std::span<const float> values,
+                         tensor::Rng& rng) const = 0;
+
+  /// Decompresses a payload produced by this compressor.
+  virtual std::vector<float> decompress(ByteView payload) const = 0;
+
+  /// GPU execution shape (see GpuProfile).
+  virtual GpuProfile gpu_profile() const noexcept = 0;
+
+  /// Expected compressed-size ratio achieved on `values` (measured).
+  double compression_ratio(std::span<const float> values,
+                           tensor::Rng& rng) const;
+
+  /// Modeled GPU compression throughput in bytes/s for an input of
+  /// `input_bytes` producing `output_bytes`.
+  double modeled_throughput(const gpusim::DeviceModel& dev,
+                            std::size_t input_bytes,
+                            std::size_t output_bytes) const noexcept;
+};
+
+/// --- concrete compressor configs ---
+
+/// COMPSO (§4.3, Alg. 1): filter + bitmap + error-bounded SR + encoder.
+struct CompsoParams {
+  double filter_bound = 4e-3;     ///< eb_f, relative to abs-max; 0 disables.
+  double quant_bound = 4e-3;      ///< eb_q, relative to abs-max.
+  codec::CodecKind encoder = codec::CodecKind::kAns;
+  bool use_filter = true;         ///< false = conservative SR-only mode.
+};
+
+std::unique_ptr<GradientCompressor> make_compso(const CompsoParams& params);
+
+/// QSGD: fixed n-bit SR quantization + Elias gamma coding.
+std::unique_ptr<GradientCompressor> make_qsgd(unsigned bits);
+
+/// SZ algorithm (cuSZ): 1-D Lorenzo prediction + RN error-bounded
+/// quantization + Huffman.
+std::unique_ptr<GradientCompressor> make_sz(double relative_error_bound);
+
+/// CocktailSGD: seeded random sampling to `keep_fraction` + n-bit SR
+/// quantization (shared-seed sampling means no index transmission,
+/// giving the paper's constant ~20x ratio at 20% / 8-bit).
+std::unique_ptr<GradientCompressor> make_cocktail(double keep_fraction,
+                                                  unsigned bits);
+
+/// Top-k magnitude sparsification with explicit indices (ablation baseline).
+std::unique_ptr<GradientCompressor> make_topk(double keep_fraction);
+
+/// Identity (no compression) — the paper's "KFAC (No Comp.)" baseline.
+std::unique_ptr<GradientCompressor> make_identity();
+
+}  // namespace compso::compress

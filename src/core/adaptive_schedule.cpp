@@ -1,0 +1,57 @@
+#include "src/core/adaptive_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace compso::core {
+
+AdaptiveSchedule::AdaptiveSchedule(const optim::LrScheduler& scheduler,
+                                   std::size_t total_iterations, Params params)
+    : scheduler_(scheduler), total_(total_iterations), p_(params) {
+  if (total_ == 0 || p_.stages == 0) {
+    throw std::invalid_argument("AdaptiveSchedule: need iterations and stages");
+  }
+  stage_length_ = (total_ + p_.stages - 1) / p_.stages;
+}
+
+CompressionStage AdaptiveSchedule::at(std::size_t t) const noexcept {
+  CompressionStage s;
+  if (scheduler_.is_step_schedule()) {
+    // Algorithm 1, StepLR branch.
+    if (t < scheduler_.first_drop()) {
+      s.filter_bound = p_.loose_filter_bound;
+      s.quant_bound = p_.loose_quant_bound;
+      s.use_filter = true;
+      s.stage_index = 0;
+    } else {
+      // Conservative: SR only, tighter bound.
+      s.filter_bound = 0.0;
+      s.quant_bound = p_.tight_quant_bound;
+      s.use_filter = false;
+      s.stage_index = 1;
+    }
+    return s;
+  }
+  // Algorithm 1, SmoothLR branch.
+  const std::size_t stage = std::min(t / stage_length_, p_.stages - 1);
+  s.stage_index = stage;
+  const double scale = std::pow(p_.decay, static_cast<double>(stage));
+  s.filter_bound = p_.loose_filter_bound * scale;
+  s.quant_bound = p_.loose_quant_bound * scale;
+  s.use_filter = stage == 0;
+  return s;
+}
+
+compress::CompsoParams AdaptiveSchedule::params_at(
+    std::size_t t, codec::CodecKind encoder) const noexcept {
+  const CompressionStage s = at(t);
+  compress::CompsoParams p;
+  p.filter_bound = s.filter_bound;
+  p.quant_bound = s.quant_bound;
+  p.use_filter = s.use_filter;
+  p.encoder = encoder;
+  return p;
+}
+
+}  // namespace compso::core

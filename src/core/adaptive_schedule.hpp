@@ -1,0 +1,63 @@
+#pragma once
+// Iteration-wise adaptive compression (paper §4.3, Algorithm 1).
+//
+// The error bounds follow the learning-rate schedule:
+//  - StepLR: aggressive (filter + SR, loose bounds) before the first LR
+//    drop, conservative (SR only, tight bounds) after it.
+//  - SmoothLR: training is split into z stages; stage 0 is aggressive,
+//    each subsequent stage decays both bounds by alpha.
+
+#include "src/compress/compressor.hpp"
+#include "src/optim/lr_scheduler.hpp"
+
+#include <cstddef>
+
+namespace compso::core {
+
+/// The compression strategy for one iteration.
+struct CompressionStage {
+  double filter_bound = 0.0;
+  double quant_bound = 0.0;
+  bool use_filter = true;
+  std::size_t stage_index = 0;
+
+  bool aggressive() const noexcept { return use_filter; }
+};
+
+/// Tunables of the adaptive schedule (Algorithm 1's eb_f / eb_q / z / alpha).
+struct AdaptiveScheduleParams {
+  double loose_filter_bound = 4e-3;   ///< aggressive eb_f.
+  double loose_quant_bound = 4e-3;    ///< aggressive eb_q.
+  double tight_quant_bound = 2e-3;    ///< conservative eb_q (StepLR mode).
+  std::size_t stages = 4;             ///< z (SmoothLR mode).
+  double decay = 0.5;                 ///< alpha (SmoothLR mode).
+};
+
+class AdaptiveSchedule {
+ public:
+  using Params = AdaptiveScheduleParams;
+
+  /// `scheduler` decides StepLR vs SmoothLR behaviour; `total_iterations`
+  /// sizes the SmoothLR stages.
+  AdaptiveSchedule(const optim::LrScheduler& scheduler,
+                   std::size_t total_iterations,
+                   Params params = AdaptiveScheduleParams{});
+
+  /// Strategy at iteration t.
+  CompressionStage at(std::size_t t) const noexcept;
+
+  /// Convenience: COMPSO compressor parameters for iteration t.
+  compress::CompsoParams params_at(
+      std::size_t t,
+      codec::CodecKind encoder = codec::CodecKind::kAns) const noexcept;
+
+  std::size_t stage_length() const noexcept { return stage_length_; }
+
+ private:
+  const optim::LrScheduler& scheduler_;
+  std::size_t total_;
+  Params p_;
+  std::size_t stage_length_;
+};
+
+}  // namespace compso::core

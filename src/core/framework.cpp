@@ -1,0 +1,88 @@
+#include "src/core/framework.hpp"
+
+#include "src/quant/filter.hpp"
+#include "src/quant/quantizer.hpp"
+#include "src/tensor/stats.hpp"
+
+#include <numeric>
+
+namespace compso::core {
+
+CompsoFramework::CompsoFramework(FrameworkConfig config,
+                                 const optim::LrScheduler& lr,
+                                 std::size_t total_iterations,
+                                 const comm::Communicator& comm,
+                                 gpusim::DeviceModel dev)
+    : cfg_(config),
+      schedule_(lr, total_iterations, config.schedule),
+      table_(comm),
+      dev_(dev),
+      aggregation_(config.fixed_aggregation) {}
+
+void CompsoFramework::tune(const std::vector<std::size_t>& layer_bytes,
+                           std::span<const float> sample_gradient,
+                           double comm_fraction, tensor::Rng& rng) {
+  // --- encoder selection on the lossy-stage output of a real sample.
+  const CompressionStage stage0 = schedule_.at(0);
+  const double abs_max = tensor::extrema(sample_gradient).abs_max;
+  const auto filt =
+      quant::apply_filter(sample_gradient, stage0.filter_bound, abs_max);
+  const quant::ErrorBoundedQuantizer q(stage0.quant_bound,
+                                       quant::RoundingMode::kStochastic);
+  const auto block = q.quantize(filt.survivors, rng, abs_max);
+  auto lossy_stream = quant::pack_codes(block.codes, block.bit_width);
+  lossy_stream.insert(lossy_stream.end(), filt.bitmap.begin(),
+                      filt.bitmap.end());
+  encoder_scores_ = perf::score_encoders(lossy_stream, dev_, table_);
+  if (!encoder_scores_.empty()) encoder_ = encoder_scores_.front().kind;
+
+  // --- warm-up profile: k compress/decompress rounds on the sample.
+  const auto compso = compress::make_compso(schedule_.params_at(0, encoder_));
+  perf::OnlineProfiler profiler;
+  for (std::size_t k = 0; k < cfg_.warmup_iterations; ++k) {
+    const auto payload = compso->compress(sample_gradient, rng);
+    const std::size_t in_bytes = sample_gradient.size() * sizeof(float);
+    const double comp_t =
+        static_cast<double>(in_bytes) /
+        compso->modeled_throughput(dev_, in_bytes, payload.size());
+    const double decomp_t =
+        static_cast<double>(payload.size()) /
+        compso->modeled_throughput(dev_, payload.size(), in_bytes);
+    const double comm_t = table_.allgather_time(in_bytes);
+    profiler.record(in_bytes, payload.size(), comp_t, decomp_t, comm_t,
+                    comm_fraction > 0.0 ? comm_t / comm_fraction : comm_t);
+  }
+  const perf::WarmupProfile profile = profiler.finish();
+
+  // --- aggregation factor (COMPSO-p) or the fixed default (COMPSO-f).
+  if (cfg_.use_perf_model) {
+    const auto decision = perf::choose_aggregation_factor(
+        layer_bytes, profile, *compso, dev_, table_);
+    aggregation_ = decision.factor;
+    est_e2e_ = decision.est_end_to_end;
+  } else {
+    aggregation_ = cfg_.fixed_aggregation;
+    const double s = perf::communication_speedup(
+        layer_bytes.empty() ? 0
+                            : std::accumulate(layer_bytes.begin(),
+                                              layer_bytes.end(),
+                                              std::size_t{0}),
+        0, table_, profile.comp_throughput, profile.decomp_throughput);
+    est_e2e_ = perf::end_to_end_speedup(profile.comm_fraction, s);
+  }
+}
+
+const compress::GradientCompressor* CompsoFramework::compressor_for(
+    std::size_t t) const {
+  const CompressionStage stage = schedule_.at(t);
+  auto it = stage_cache_.find(stage.stage_index);
+  if (it == stage_cache_.end()) {
+    it = stage_cache_
+             .emplace(stage.stage_index,
+                      compress::make_compso(schedule_.params_at(t, encoder_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+}  // namespace compso::core

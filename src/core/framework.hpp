@@ -1,0 +1,71 @@
+#pragma once
+// CompsoFramework: the user-facing entry point that ties the pieces of §4
+// together — the iteration-wise adaptive schedule, the offline-online
+// performance model (encoder selection + layer aggregation), and the
+// per-iteration compressor handed to the distributed optimizer.
+
+#include "src/core/adaptive_schedule.hpp"
+#include "src/core/trainer.hpp"
+#include "src/perf/perf_model.hpp"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace compso::core {
+
+struct FrameworkConfig {
+  AdaptiveSchedule::Params schedule;
+  /// true = COMPSO-p (perf-model aggregation), false = COMPSO-f (fixed).
+  bool use_perf_model = true;
+  std::size_t fixed_aggregation = 4;  ///< the paper's default factor.
+  std::size_t warmup_iterations = 5;  ///< k profiling iterations.
+};
+
+class CompsoFramework {
+ public:
+  CompsoFramework(FrameworkConfig config, const optim::LrScheduler& lr,
+                  std::size_t total_iterations,
+                  const comm::Communicator& comm,
+                  gpusim::DeviceModel dev = gpusim::DeviceModel::a100());
+
+  /// Offline-online tuning (§4.4): builds the comm lookup table, selects
+  /// the encoder on a sample of real gradient data, and picks the
+  /// layer-aggregation factor from the warm-up profile.
+  void tune(const std::vector<std::size_t>& layer_bytes,
+            std::span<const float> sample_gradient, double comm_fraction,
+            tensor::Rng& rng);
+
+  codec::CodecKind encoder() const noexcept { return encoder_; }
+  std::size_t aggregation() const noexcept { return aggregation_; }
+  const AdaptiveSchedule& schedule() const noexcept { return schedule_; }
+  const perf::CommLookupTable& lookup_table() const noexcept {
+    return table_;
+  }
+  const std::vector<perf::EncoderScore>& encoder_scores() const noexcept {
+    return encoder_scores_;
+  }
+  double estimated_end_to_end() const noexcept { return est_e2e_; }
+
+  /// Compressor for iteration t (cached per schedule stage).
+  const compress::GradientCompressor* compressor_for(std::size_t t) const;
+
+  /// Adapter for the trainers.
+  CompressorProvider provider() const {
+    return [this](std::size_t t) { return compressor_for(t); };
+  }
+
+ private:
+  FrameworkConfig cfg_;
+  AdaptiveSchedule schedule_;
+  perf::CommLookupTable table_;
+  gpusim::DeviceModel dev_;
+  codec::CodecKind encoder_ = codec::CodecKind::kAns;
+  std::size_t aggregation_;
+  double est_e2e_ = 1.0;
+  std::vector<perf::EncoderScore> encoder_scores_;
+  mutable std::map<std::size_t, std::unique_ptr<compress::GradientCompressor>>
+      stage_cache_;
+};
+
+}  // namespace compso::core

@@ -1,0 +1,214 @@
+#include "src/core/perf_sim.hpp"
+
+#include "src/tensor/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace compso::core {
+namespace {
+
+/// Factor dimensions beyond this use KAISA's implicit inversion (O(d^2)
+/// per refresh) instead of explicit eigendecomposition (O(d^3)).
+constexpr std::size_t kExplicitEigenLimit = 4096;
+
+double eigen_cost_flops(std::size_t dim) noexcept {
+  const double d = static_cast<double>(dim);
+  if (dim <= kExplicitEigenLimit) return 25.0 * d * d * d;
+  return 40.0 * d * d;  // implicit inversion path
+}
+
+}  // namespace
+
+PerfSimulator::PerfSimulator(PerfConfig config)
+    : cfg_(std::move(config)), comm_(cfg_.topo, cfg_.net) {
+  baseline_ = compute_baseline();
+}
+
+IterationBreakdown PerfSimulator::compute_baseline() const {
+  IterationBreakdown b;
+  const double flops_rate = cfg_.dev.fp32_flops * cfg_.fwd_bwd_efficiency;
+  const auto batch = static_cast<double>(cfg_.batch_per_gpu);
+  const std::size_t world = cfg_.topo.world_size();
+
+  // --- forward + backward: ~3 GEMM-equivalents (fwd, grad-in, grad-W),
+  // each 2 * out * in * work_multiplier flops per sample; embeddings are
+  // lookups (memory traffic only).
+  double fb_flops = 0.0;
+  double fb_bytes = 0.0;
+  std::size_t kernel_launches = 0;
+  for (const auto& l : cfg_.model.layers) {
+    if (l.embedding) {
+      fb_bytes += 2.0 * batch * static_cast<double>(l.out) * 4.0;
+    } else {
+      fb_flops += 6.0 * batch * static_cast<double>(l.work_multiplier) *
+                  static_cast<double>(l.out) * static_cast<double>(l.in);
+    }
+    kernel_launches += 3;
+  }
+  b.forward_backward_s =
+      fb_flops / flops_rate + fb_bytes / cfg_.dev.effective_bandwidth() +
+      static_cast<double>(kernel_launches) * cfg_.dev.kernel_launch_s;
+
+  // --- KFAC compute (per rank): covariances + factor maintenance every
+  // `factor_update_every` iterations; eigendecomposition every
+  // `eigen_refresh_every` factor updates on the owner rank; precondition
+  // every iteration on the owner rank. Embedding layers use element-wise
+  // preconditioning (a memory pass).
+  // Owner work is split across ranks; KAISA balances the assignment, so a
+  // rank's share is 1/world of the total eigendecomposition /
+  // preconditioning work.
+  double cov_flops = 0.0;
+  double eig_flops = 0.0;
+  double precond_flops = 0.0;
+  double elementwise_bytes = 0.0;
+  for (const auto& l : cfg_.model.layers) {
+    if (l.embedding) {
+      elementwise_bytes += static_cast<double>(l.kfac_bytes()) * 3.0;
+      continue;
+    }
+    const double in_aug = static_cast<double>(l.in) + 1.0;
+    const double out = static_cast<double>(l.out);
+    const double samples = batch * static_cast<double>(l.work_multiplier);
+    cov_flops += samples * (in_aug * in_aug + out * out);
+    eig_flops += eigen_cost_flops(l.in + 1) + eigen_cost_flops(l.out);
+    precond_flops += 4.0 * (out * out * in_aug + out * in_aug * in_aug);
+  }
+  const auto world_d = static_cast<double>(world);
+  eig_flops /= world_d;
+  precond_flops /= world_d;
+  elementwise_bytes /= world_d;
+  const auto factor_every = static_cast<double>(cfg_.factor_update_every);
+  const auto eigen_every =
+      static_cast<double>(cfg_.factor_update_every * cfg_.eigen_refresh_every);
+  b.kfac_compute_s = cov_flops / flops_rate / factor_every +
+                     eig_flops / flops_rate / eigen_every +
+                     precond_flops / flops_rate +
+                     elementwise_bytes / cfg_.dev.effective_bandwidth();
+
+  // --- factor allreduce (only when factors are refreshed; amortized).
+  // Factors are symmetric, so only the triangular half is communicated.
+  std::size_t factor_bytes = 0;
+  for (const auto& l : cfg_.model.layers) {
+    if (l.embedding) continue;
+    factor_bytes +=
+        ((l.in + 1) * (l.in + 2) / 2 + l.out * (l.out + 1) / 2) *
+        sizeof(float);
+  }
+  b.allreduce_s = comm_.allreduce_time(factor_bytes) / factor_every;
+
+  // --- preconditioned-gradient distribution: KAISA broadcasts each
+  // layer's result from its owner as soon as it is ready — one pipelined
+  // broadcast per layer at baseline (aggregation groups several). A
+  // configurable fraction hides behind the remaining compute (KAISA's
+  // comp-comm overlap), bounded by the compute available to hide in.
+  b.allgather_s = 0.0;
+  for (const auto& l : cfg_.model.layers) {
+    b.allgather_s += comm_.pipelined_broadcast_time(l.kfac_bytes());
+  }
+  if (cfg_.comm_overlap > 0.0) {
+    const double hideable =
+        std::min(b.allgather_s * std::clamp(cfg_.comm_overlap, 0.0, 1.0),
+                 b.kfac_compute_s + b.forward_backward_s);
+    b.allgather_s -= hideable;
+  }
+
+  // --- others: optimizer step, host-side work, data pipeline — a memory
+  // pass over the parameters plus a fraction of fwd/bwd.
+  const double param_bytes = static_cast<double>(cfg_.model.total_bytes());
+  b.others_s = 3.0 * param_bytes / cfg_.dev.effective_bandwidth() +
+               0.30 * b.forward_backward_s;
+  return b;
+}
+
+std::size_t PerfSimulator::max_rank_bytes() const noexcept {
+  const std::size_t world = cfg_.topo.world_size();
+  std::vector<std::size_t> rank_bytes(world, 0);
+  for (std::size_t s = 0; s < cfg_.model.layers.size(); ++s) {
+    rank_bytes[s % world] += cfg_.model.layers[s].kfac_bytes();
+  }
+  return *std::max_element(rank_bytes.begin(), rank_bytes.end());
+}
+
+std::vector<std::size_t> PerfSimulator::layer_bytes() const {
+  std::vector<std::size_t> out;
+  out.reserve(cfg_.model.layers.size());
+  for (const auto& l : cfg_.model.layers) out.push_back(l.kfac_bytes());
+  return out;
+}
+
+CompressedIteration PerfSimulator::with_compressor(
+    const compress::GradientCompressor& compressor,
+    std::size_t aggregation) const {
+  const std::size_t m = std::max<std::size_t>(aggregation, 1);
+  tensor::Rng rng(cfg_.seed);
+  const auto profile = tensor::GradientProfile::kfac();
+
+  // Group consecutive layers into aggregates of m (the runtime aggregates
+  // each owner's layer stream; consecutive grouping matches KAISA's
+  // completion order).
+  double allgather_s = 0.0;
+  double comp_s = 0.0;
+  double decomp_s = 0.0;
+  std::size_t total_orig = 0, total_comp = 0;
+  const auto& layers = cfg_.model.layers;
+  for (std::size_t i = 0; i < layers.size(); i += m) {
+    std::size_t chunk_elems = 0;
+    for (std::size_t j = i; j < std::min(i + m, layers.size()); ++j) {
+      chunk_elems += layers[j].kfac_elements();
+    }
+    if (chunk_elems == 0) continue;
+    const std::size_t chunk_bytes = chunk_elems * sizeof(float);
+    // Measure CR on a bounded sample of synthetic KFAC-gradient data.
+    const std::size_t sample_elems =
+        std::min<std::size_t>(chunk_elems, 1 << 16);
+    auto rng_chunk = rng.split(i + 1);
+    const auto sample =
+        tensor::synthetic_gradient(sample_elems, profile, rng_chunk);
+    const auto payload = compressor.compress(sample, rng_chunk);
+    const double cr = static_cast<double>(sample.size() * sizeof(float)) /
+                      static_cast<double>(std::max<std::size_t>(
+                          payload.size(), 1));
+    const auto comp_bytes = static_cast<std::size_t>(
+        std::max(static_cast<double>(chunk_bytes) / cr, 1.0));
+    total_orig += chunk_bytes;
+    total_comp += comp_bytes;
+    allgather_s += comm_.pipelined_broadcast_time(comp_bytes);
+    // Codec time from the GPU pipeline model at this chunk size (this is
+    // where launch-overhead amortization rewards aggregation). The owner
+    // compresses once; every receiver decompresses, so decompression sits
+    // on each rank's critical path for all chunks.
+    comp_s += static_cast<double>(chunk_bytes) /
+              compressor.modeled_throughput(cfg_.dev, chunk_bytes, comp_bytes);
+    decomp_s += static_cast<double>(comp_bytes) /
+                compressor.modeled_throughput(cfg_.dev, comp_bytes,
+                                              chunk_bytes);
+  }
+
+  CompressedIteration out;
+  out.breakdown = baseline_;
+  // The same comp-comm overlap that hides the baseline's broadcasts hides
+  // the (much smaller) compressed ones.
+  if (cfg_.comm_overlap > 0.0) {
+    const double hideable =
+        std::min(allgather_s * std::clamp(cfg_.comm_overlap, 0.0, 1.0),
+                 baseline_.kfac_compute_s + baseline_.forward_backward_s);
+    allgather_s -= hideable;
+  }
+  out.breakdown.allgather_s = allgather_s;
+  // Compression runs only for layers this rank owns (1/world of them).
+  out.breakdown.comp_s =
+      comp_s / static_cast<double>(cfg_.topo.world_size());
+  out.breakdown.decomp_s = decomp_s;
+  out.compression_ratio = total_comp > 0
+                              ? static_cast<double>(total_orig) /
+                                    static_cast<double>(total_comp)
+                              : 1.0;
+  out.comm_speedup = out.breakdown.allgather_s > 0.0
+                         ? baseline_.allgather_s / out.breakdown.allgather_s
+                         : 1.0;
+  out.end_to_end_speedup = baseline_.total_s() / out.breakdown.total_s();
+  return out;
+}
+
+}  // namespace compso::core

@@ -1,0 +1,75 @@
+#include "src/gpusim/device_model.hpp"
+
+#include <algorithm>
+
+namespace compso::gpusim {
+
+double kernel_time(const DeviceModel& dev, const KernelSpec& spec) noexcept {
+  const double bytes =
+      static_cast<double>(spec.bytes_read + spec.bytes_written);
+  const double eff =
+      dev.effective_bandwidth() * std::clamp(spec.bandwidth_efficiency, 1e-3, 1.0);
+  const double mem_t = bytes / eff;
+  const double compute_t = spec.flops / dev.fp32_flops;
+  return dev.kernel_launch_s + std::max(mem_t, compute_t);
+}
+
+double pipeline_time(const DeviceModel& dev, const PipelineSpec& p,
+                     Dispatch dispatch) noexcept {
+  const auto in = p.input_bytes;
+  const auto out = p.output_bytes;
+  switch (dispatch) {
+    case Dispatch::kFusedKernel: {
+      // Intermediates live in shared memory / registers, but the input is
+      // still swept `memory_passes` times (extrema / histogram / encode).
+      KernelSpec k{.bytes_read = static_cast<std::size_t>(
+                       static_cast<double>(in) *
+                       std::max(p.memory_passes, 1.0)),
+                   .bytes_written = out,
+                   .flops = p.flops_per_byte * static_cast<double>(in),
+                   .bandwidth_efficiency = p.bandwidth_efficiency};
+      return kernel_time(dev, k);
+    }
+    case Dispatch::kSeparateKernels: {
+      // Each stage reads and writes a full-size intermediate through HBM.
+      double t = 0.0;
+      for (std::size_t s = 0; s < p.stages; ++s) {
+        const std::size_t stage_out = (s + 1 == p.stages) ? out : in;
+        KernelSpec k{.bytes_read = in,
+                     .bytes_written = stage_out,
+                     .flops = p.flops_per_byte * static_cast<double>(in) /
+                              static_cast<double>(p.stages),
+                     .bandwidth_efficiency = p.bandwidth_efficiency};
+        t += kernel_time(dev, k);
+      }
+      return t;
+    }
+    case Dispatch::kFrameworkOps: {
+      // Every logical stage expands into several framework tensor ops, each
+      // paying dispatch overhead and an HBM round trip.
+      double t = 0.0;
+      const std::size_t ops = p.stages * std::max<std::size_t>(
+                                             p.framework_ops_per_stage, 1);
+      for (std::size_t o = 0; o < ops; ++o) {
+        const bool last = (o + 1 == ops);
+        KernelSpec k{.bytes_read = in,
+                     .bytes_written = last ? out : in,
+                     .flops = p.flops_per_byte * static_cast<double>(in) /
+                              static_cast<double>(ops),
+                     .bandwidth_efficiency = p.bandwidth_efficiency};
+        t += dev.framework_op_s + kernel_time(dev, k);
+      }
+      return t;
+    }
+  }
+  return 0.0;
+}
+
+double pipeline_throughput(const DeviceModel& dev, const PipelineSpec& p,
+                           Dispatch dispatch) noexcept {
+  const double t = pipeline_time(dev, p, dispatch);
+  if (t <= 0.0) return 0.0;
+  return static_cast<double>(p.input_bytes) / t;
+}
+
+}  // namespace compso::gpusim

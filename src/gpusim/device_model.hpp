@@ -1,0 +1,87 @@
+#pragma once
+// Analytic GPU device/timing model.
+//
+// The paper's §4.5 optimizations (kernel fusion, block reduction +
+// warp-level shuffle) and §5.3's Fig. 8 all hinge on two facts the model
+// captures explicitly: (1) compression kernels are memory-bound with O(1)
+// arithmetic intensity, so time ~ global-memory traffic / HBM bandwidth +
+// kernel-launch overhead; (2) framework-dispatched pipelines (PyTorch) pay
+// one launch plus a global-memory round trip per tensor op, while a fused
+// CUDA kernel pays one launch and keeps intermediates in shared memory /
+// registers.
+
+#include <cstddef>
+#include <string>
+
+namespace compso::gpusim {
+
+/// Static device parameters (A100-SXM4-40GB preset provided).
+struct DeviceModel {
+  std::string name = "A100-SXM4-40GB";
+  double hbm_bandwidth_Bps = 1.555e12;   ///< 1555 GB/s peak HBM2e.
+  double achievable_bw_fraction = 0.85;  ///< streaming kernels reach ~85%.
+  double fp32_flops = 19.5e12;           ///< 19.5 TFLOP/s FP32.
+  double kernel_launch_s = 4.0e-6;       ///< driver+runtime launch latency.
+  double framework_op_s = 12.0e-6;       ///< framework dispatch per op
+                                         ///< (PyTorch eager: python + dispatch
+                                         ///< + launch).
+  std::size_t sm_count = 108;
+  std::size_t threads_per_block = 256;
+  /// Device-wide instruction throughputs. Per §4.5, shared memory is an
+  /// order of magnitude slower than the warp-wide register file (shuffle);
+  /// atomics contending on one global address serialize at the L2.
+  double shuffle_warp_ops_per_s = 6.0e11;   ///< register-file shuffles.
+  double shared_warp_ops_per_s = 6.0e10;    ///< shared-memory accesses.
+  double contended_atomic_ops_per_s = 5.0e8;  ///< same-address atomics.
+
+  double effective_bandwidth() const noexcept {
+    return hbm_bandwidth_Bps * achievable_bw_fraction;
+  }
+
+  static DeviceModel a100() { return {}; }
+};
+
+/// Cost description of one logical kernel over `n` input bytes.
+struct KernelSpec {
+  std::size_t bytes_read = 0;     ///< global memory reads.
+  std::size_t bytes_written = 0;  ///< global memory writes.
+  double flops = 0.0;             ///< arithmetic work.
+  double bandwidth_efficiency = 1.0;  ///< <1 for divergent/random access.
+};
+
+/// Time of a single kernel under the roofline: max(memory, compute) +
+/// launch overhead.
+double kernel_time(const DeviceModel& dev, const KernelSpec& spec) noexcept;
+
+/// How a multi-stage pipeline is dispatched.
+enum class Dispatch {
+  kFusedKernel,     ///< one launch; intermediates stay on-chip.
+  kSeparateKernels, ///< one launch per stage; intermediates round-trip HBM.
+  kFrameworkOps,    ///< PyTorch-style: framework overhead per tensor op and
+                    ///< each op may itself expand to several kernels.
+};
+
+/// Pipeline of `stages`; `framework_ops_per_stage` models eager frameworks
+/// that expand one logical stage into several tensor ops.
+struct PipelineSpec {
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  std::size_t stages = 1;
+  double flops_per_byte = 0.5;
+  double bandwidth_efficiency = 1.0;
+  std::size_t framework_ops_per_stage = 4;
+  /// Global-memory reads of the input even when fused: compression
+  /// pipelines need separate sweeps that cannot share one pass (extrema /
+  /// histogram before encoding, entropy-table build, etc.).
+  double memory_passes = 1.0;
+};
+
+/// End-to-end pipeline time under a dispatch strategy.
+double pipeline_time(const DeviceModel& dev, const PipelineSpec& p,
+                     Dispatch dispatch) noexcept;
+
+/// Throughput in bytes/s of processing `input_bytes` through the pipeline.
+double pipeline_throughput(const DeviceModel& dev, const PipelineSpec& p,
+                           Dispatch dispatch) noexcept;
+
+}  // namespace compso::gpusim

@@ -1,0 +1,43 @@
+#include "src/gpusim/layer_mapping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace compso::gpusim {
+
+LayerBlockMap::LayerBlockMap(std::vector<std::size_t> layer_sizes,
+                             std::size_t elems_per_block)
+    : layer_sizes_(std::move(layer_sizes)), elems_per_block_(elems_per_block) {
+  if (elems_per_block_ == 0) {
+    throw std::invalid_argument("LayerBlockMap: elems_per_block must be > 0");
+  }
+  for (std::size_t l = 0; l < layer_sizes_.size(); ++l) {
+    const std::size_t n = layer_sizes_[l];
+    for (std::size_t off = 0; off < n; off += elems_per_block_) {
+      blocks_.push_back(BlockAssignment{
+          .layer = l, .offset = off, .count = std::min(elems_per_block_, n - off)});
+    }
+  }
+}
+
+double LayerBlockMap::padding_overhead() const noexcept {
+  if (blocks_.empty()) return 0.0;
+  std::size_t used = 0;
+  for (const auto& b : blocks_) used += b.count;
+  const std::size_t capacity = blocks_.size() * elems_per_block_;
+  return 1.0 - static_cast<double>(used) / static_cast<double>(capacity);
+}
+
+double LayerBlockMap::imbalance() const noexcept {
+  if (blocks_.empty()) return 1.0;
+  std::size_t total = 0, max_c = 0;
+  for (const auto& b : blocks_) {
+    total += b.count;
+    max_c = std::max(max_c, b.count);
+  }
+  const double meanc =
+      static_cast<double>(total) / static_cast<double>(blocks_.size());
+  return meanc > 0.0 ? static_cast<double>(max_c) / meanc : 1.0;
+}
+
+}  // namespace compso::gpusim

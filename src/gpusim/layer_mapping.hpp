@@ -1,0 +1,52 @@
+#pragma once
+// Static layer -> thread-block mapping (paper §4.5).
+//
+// Layer sizes vary wildly, but the *set* of layer sizes is stable across
+// iterations, so the mapping from layers to thread blocks (with per-layer
+// shared-memory padding so one block never mixes two layers' ranges) is
+// computed once at optimizer initialization and reused every iteration.
+
+#include "src/gpusim/device_model.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace compso::gpusim {
+
+/// One block's slice of one layer.
+struct BlockAssignment {
+  std::size_t layer = 0;   ///< layer index.
+  std::size_t offset = 0;  ///< element offset inside the layer.
+  std::size_t count = 0;   ///< elements processed by this block.
+};
+
+/// Precomputed mapping reused across iterations.
+class LayerBlockMap {
+ public:
+  /// Builds the mapping: each layer is split into ceil(size/elems_per_block)
+  /// blocks; a block is padded (never spans layers) so the range/extrema
+  /// computation stays per-layer.
+  LayerBlockMap(std::vector<std::size_t> layer_sizes,
+                std::size_t elems_per_block);
+
+  const std::vector<BlockAssignment>& blocks() const noexcept {
+    return blocks_;
+  }
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+  std::size_t layer_count() const noexcept { return layer_sizes_.size(); }
+  const std::vector<std::size_t>& layer_sizes() const noexcept {
+    return layer_sizes_;
+  }
+
+  /// Padding waste: fraction of block slots that are padding.
+  double padding_overhead() const noexcept;
+  /// Ratio max/mean of per-block element counts (1.0 = perfectly balanced).
+  double imbalance() const noexcept;
+
+ private:
+  std::vector<std::size_t> layer_sizes_;
+  std::size_t elems_per_block_;
+  std::vector<BlockAssignment> blocks_;
+};
+
+}  // namespace compso::gpusim

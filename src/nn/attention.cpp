@@ -1,0 +1,181 @@
+#include "src/nn/attention.hpp"
+
+#include "src/tensor/matrix_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace compso::nn {
+
+TokenLinear::TokenLinear(std::size_t seq, std::size_t in_dim,
+                         std::size_t out_dim, tensor::Rng& rng,
+                         std::string name)
+    : name_(std::move(name)),
+      seq_(seq),
+      in_(in_dim),
+      out_(out_dim),
+      weight_({out_dim, in_dim}),
+      bias_({out_dim}),
+      weight_grad_({out_dim, in_dim}),
+      bias_grad_({out_dim}) {
+  const float bound = std::sqrt(6.0F / static_cast<float>(in_dim));
+  rng.fill_uniform(weight_.span(), -bound, bound);
+}
+
+Tensor TokenLinear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.cols() != seq_ * in_) {
+    throw std::invalid_argument("TokenLinear::forward: bad input shape");
+  }
+  const std::size_t batch = x.rows();
+  // Reinterpret as (batch*seq, in) token rows (same memory order).
+  rows_ = x;
+  rows_.reshape({batch * seq_, in_});
+  rows_aug_ = Tensor({batch * seq_, in_ + 1});
+  for (std::size_t r = 0; r < batch * seq_; ++r) {
+    for (std::size_t c = 0; c < in_; ++c) {
+      rows_aug_.at(r, c) = rows_.at(r, c);
+    }
+    rows_aug_.at(r, in_) = 1.0F;
+  }
+  Tensor y;
+  tensor::gemm_nt(rows_, weight_, y);  // (batch*seq, out)
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t c = 0; c < out_; ++c) y.at(r, c) += bias_[c];
+  }
+  y.reshape({batch, seq_ * out_});
+  return y;
+}
+
+Tensor TokenLinear::backward(const Tensor& grad_out) {
+  if (grad_out.rank() != 2 || grad_out.cols() != seq_ * out_ ||
+      grad_out.rows() * seq_ != rows_.rows()) {
+    throw std::invalid_argument("TokenLinear::backward: bad gradient shape");
+  }
+  const std::size_t batch = grad_out.rows();
+  grad_rows_ = grad_out;
+  grad_rows_.reshape({batch * seq_, out_});
+  tensor::gemm_tn(grad_rows_, rows_, weight_grad_);
+  bias_grad_.fill(0.0F);
+  for (std::size_t r = 0; r < grad_rows_.rows(); ++r) {
+    for (std::size_t c = 0; c < out_; ++c) {
+      bias_grad_[c] += grad_rows_.at(r, c);
+    }
+  }
+  Tensor grad_in;
+  tensor::gemm(grad_rows_, weight_, grad_in);  // (batch*seq, in)
+  grad_in.reshape({batch, seq_ * in_});
+  return grad_in;
+}
+
+Tensor SelfAttention::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.cols() != seq_ * dim_) {
+    throw std::invalid_argument("SelfAttention::forward: bad input shape");
+  }
+  const std::size_t batch = x.rows();
+  input_ = x;
+  weights_ = Tensor({batch, seq_ * seq_});
+  Tensor y({batch, seq_ * dim_});
+  const float scale = 1.0F / std::sqrt(static_cast<float>(dim_));
+  for (std::size_t b = 0; b < batch; ++b) {
+    // Token matrix view: X (seq, dim).
+    Tensor xb({seq_, dim_},
+              std::vector<float>(x.data() + b * seq_ * dim_,
+                                 x.data() + (b + 1) * seq_ * dim_));
+    // S = X X^T * scale, A = row-softmax(S).
+    Tensor s;
+    tensor::gemm_nt(xb, xb, s);
+    for (std::size_t i = 0; i < seq_; ++i) {
+      float maxv = -1e30F;
+      for (std::size_t j = 0; j < seq_; ++j) {
+        s.at(i, j) *= scale;
+        maxv = std::max(maxv, s.at(i, j));
+      }
+      double denom = 0.0;
+      for (std::size_t j = 0; j < seq_; ++j) {
+        denom += std::exp(static_cast<double>(s.at(i, j) - maxv));
+      }
+      for (std::size_t j = 0; j < seq_; ++j) {
+        weights_.at(b, i * seq_ + j) = static_cast<float>(
+            std::exp(static_cast<double>(s.at(i, j) - maxv)) / denom);
+      }
+    }
+    // Y = A X.
+    Tensor a({seq_, seq_},
+             std::vector<float>(weights_.data() + b * seq_ * seq_,
+                                weights_.data() + (b + 1) * seq_ * seq_));
+    Tensor yb;
+    tensor::gemm(a, xb, yb);
+    std::copy(yb.span().begin(), yb.span().end(),
+              y.data() + b * seq_ * dim_);
+  }
+  return y;
+}
+
+Tensor SelfAttention::backward(const Tensor& grad_out) {
+  const std::size_t batch = input_.rows();
+  if (grad_out.rank() != 2 || grad_out.rows() != batch ||
+      grad_out.cols() != seq_ * dim_) {
+    throw std::invalid_argument("SelfAttention::backward: bad gradient shape");
+  }
+  Tensor grad_in({batch, seq_ * dim_});
+  const float scale = 1.0F / std::sqrt(static_cast<float>(dim_));
+  for (std::size_t b = 0; b < batch; ++b) {
+    Tensor xb({seq_, dim_},
+              std::vector<float>(input_.data() + b * seq_ * dim_,
+                                 input_.data() + (b + 1) * seq_ * dim_));
+    Tensor a({seq_, seq_},
+             std::vector<float>(weights_.data() + b * seq_ * seq_,
+                                weights_.data() + (b + 1) * seq_ * seq_));
+    Tensor g({seq_, dim_},
+             std::vector<float>(grad_out.data() + b * seq_ * dim_,
+                                grad_out.data() + (b + 1) * seq_ * dim_));
+    // Value path: dX += A^T G.
+    Tensor dx;
+    tensor::gemm_tn(a, g, dx);
+    // dA = G X^T.
+    Tensor da;
+    tensor::gemm_nt(g, xb, da);
+    // Softmax backward per row: dS_ij = a_ij (da_ij - sum_k a_ik da_ik).
+    Tensor ds({seq_, seq_});
+    for (std::size_t i = 0; i < seq_; ++i) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < seq_; ++k) {
+        dot += static_cast<double>(a.at(i, k)) * da.at(i, k);
+      }
+      for (std::size_t j = 0; j < seq_; ++j) {
+        ds.at(i, j) = static_cast<float>(
+            a.at(i, j) * (da.at(i, j) - dot) * scale);
+      }
+    }
+    // S = scale * X X^T (scale folded into ds above):
+    // dX += dS X + dS^T X.
+    Tensor t1, t2;
+    tensor::gemm(ds, xb, t1);
+    tensor::gemm_tn(ds, xb, t2);
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+      dx[i] += t1[i] + t2[i];
+    }
+    std::copy(dx.span().begin(), dx.span().end(),
+              grad_in.data() + b * seq_ * dim_);
+  }
+  return grad_in;
+}
+
+Model make_transformer_classifier(std::size_t seq, std::size_t features,
+                                  std::size_t dim, std::size_t classes,
+                                  std::size_t depth, tensor::Rng& rng) {
+  Model m;
+  // Token embedding: per-token features -> dim.
+  m.add(std::make_unique<TokenLinear>(seq, features, dim, rng, "embed"));
+  for (std::size_t d = 0; d < depth; ++d) {
+    m.add(std::make_unique<SelfAttention>(seq, dim,
+                                          "attn" + std::to_string(d)));
+    m.add(std::make_unique<TokenLinear>(seq, dim, dim, rng,
+                                        "ffn" + std::to_string(d)));
+    m.add(std::make_unique<Tanh>());
+  }
+  m.add(std::make_unique<Linear>(seq * dim, classes, rng, "head"));
+  return m;
+}
+
+}  // namespace compso::nn

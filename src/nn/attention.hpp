@@ -1,0 +1,70 @@
+#pragma once
+// Transformer building blocks:
+//  - TokenLinear: a Linear applied per token (weight sharing across the
+//    sequence) — exactly how transformer projections look to KFAC, with
+//    factors accumulated over batch*seq rows.
+//  - SelfAttention: parameter-free scaled-dot-product mixing
+//    y_i = sum_j softmax_j(x_i . x_j / sqrt(d)) x_j, with the full
+//    backward through the softmax and both Q/K paths. Learnable
+//    projections come from surrounding TokenLinear layers, keeping all
+//    trainable parameters where KFAC can precondition them.
+
+#include "src/nn/model.hpp"
+
+namespace compso::nn {
+
+/// Linear over tokens: input (batch, seq*in_d) -> (batch, seq*out_d),
+/// one shared (out_d, in_d) weight. Equivalent to a 1x1 convolution over
+/// the sequence.
+class TokenLinear final : public Layer {
+ public:
+  TokenLinear(std::size_t seq, std::size_t in_dim, std::size_t out_dim,
+              tensor::Rng& rng, std::string name = "token_linear");
+
+  std::string_view name() const noexcept override { return name_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  bool has_params() const noexcept override { return true; }
+  Tensor* weight() noexcept override { return &weight_; }
+  Tensor* bias() noexcept override { return &bias_; }
+  Tensor* weight_grad() noexcept override { return &weight_grad_; }
+  Tensor* bias_grad() noexcept override { return &bias_grad_; }
+  const Tensor* kfac_input() const noexcept override { return &rows_aug_; }
+  const Tensor* kfac_grad_output() const noexcept override {
+    return &grad_rows_;
+  }
+
+ private:
+  std::string name_;
+  std::size_t seq_, in_, out_;
+  Tensor weight_, bias_, weight_grad_, bias_grad_;
+  Tensor rows_;      ///< (batch*seq, in) last forward tokens.
+  Tensor rows_aug_;  ///< with the homogeneous column (KFAC).
+  Tensor grad_rows_; ///< (batch*seq, out) last backward grads.
+};
+
+/// Scaled-dot-product self-attention over (batch, seq*dim) inputs.
+class SelfAttention final : public Layer {
+ public:
+  SelfAttention(std::size_t seq, std::size_t dim,
+                std::string name = "attention")
+      : name_(std::move(name)), seq_(seq), dim_(dim) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::string name_;
+  std::size_t seq_, dim_;
+  Tensor input_;    ///< (batch, seq*dim)
+  Tensor weights_;  ///< (batch, seq*seq) attention rows, softmaxed.
+};
+
+/// Transformer-style classifier: embed -> [attention + token FFN] x depth
+/// -> head over the flattened sequence.
+Model make_transformer_classifier(std::size_t seq, std::size_t features,
+                                  std::size_t dim, std::size_t classes,
+                                  std::size_t depth, tensor::Rng& rng);
+
+}  // namespace compso::nn

@@ -1,0 +1,175 @@
+#include "src/nn/conv.hpp"
+
+#include "src/tensor/matrix_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace compso::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t height, std::size_t width,
+               tensor::Rng& rng, std::string name)
+    : name_(std::move(name)),
+      in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel),
+      height_(height),
+      width_(width),
+      weight_({out_channels, in_channels * kernel * kernel}),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels * kernel * kernel}),
+      bias_grad_({out_channels}) {
+  if (kernel % 2 == 0) {
+    throw std::invalid_argument("Conv2d: kernel must be odd ('same' padding)");
+  }
+  const float bound =
+      std::sqrt(6.0F / static_cast<float>(in_channels * kernel * kernel));
+  rng.fill_uniform(weight_.span(), -bound, bound);
+}
+
+Tensor Conv2d::im2col(const Tensor& x) const {
+  const std::size_t batch = x.rows();
+  const std::size_t positions = height_ * width_;
+  const std::size_t patch = in_ch_ * k_ * k_;
+  const auto pad = static_cast<long>(k_ / 2);
+  Tensor cols({batch * positions, patch});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* img = x.data() + b * in_ch_ * positions;
+    for (std::size_t oy = 0; oy < height_; ++oy) {
+      for (std::size_t ox = 0; ox < width_; ++ox) {
+        float* row = cols.data() + (b * positions + oy * width_ + ox) * patch;
+        std::size_t p = 0;
+        for (std::size_t c = 0; c < in_ch_; ++c) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const long iy = static_cast<long>(oy + ky) - pad;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const long ix = static_cast<long>(ox + kx) - pad;
+              row[p++] =
+                  (iy >= 0 && iy < static_cast<long>(height_) && ix >= 0 &&
+                   ix < static_cast<long>(width_))
+                      ? img[c * positions +
+                            static_cast<std::size_t>(iy) * width_ +
+                            static_cast<std::size_t>(ix)]
+                      : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor Conv2d::col2im(const Tensor& cols, std::size_t batch) const {
+  const std::size_t positions = height_ * width_;
+  const std::size_t patch = in_ch_ * k_ * k_;
+  const auto pad = static_cast<long>(k_ / 2);
+  Tensor x({batch, in_ch_ * positions});
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* img = x.data() + b * in_ch_ * positions;
+    for (std::size_t oy = 0; oy < height_; ++oy) {
+      for (std::size_t ox = 0; ox < width_; ++ox) {
+        const float* row =
+            cols.data() + (b * positions + oy * width_ + ox) * patch;
+        std::size_t p = 0;
+        for (std::size_t c = 0; c < in_ch_; ++c) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const long iy = static_cast<long>(oy + ky) - pad;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const long ix = static_cast<long>(ox + kx) - pad;
+              if (iy >= 0 && iy < static_cast<long>(height_) && ix >= 0 &&
+                  ix < static_cast<long>(width_)) {
+                img[c * positions + static_cast<std::size_t>(iy) * width_ +
+                    static_cast<std::size_t>(ix)] += row[p];
+              }
+              ++p;
+            }
+          }
+        }
+      }
+    }
+  }
+  return x;
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.cols() != in_features()) {
+    throw std::invalid_argument("Conv2d::forward: bad input shape");
+  }
+  const std::size_t batch = x.rows();
+  const std::size_t positions = height_ * width_;
+  cols_ = im2col(x);
+  // KFAC A-factor input: [patches | 1].
+  cols_aug_ = Tensor({cols_.rows(), cols_.cols() + 1});
+  for (std::size_t r = 0; r < cols_.rows(); ++r) {
+    for (std::size_t c = 0; c < cols_.cols(); ++c) {
+      cols_aug_.at(r, c) = cols_.at(r, c);
+    }
+    cols_aug_.at(r, cols_.cols()) = 1.0F;
+  }
+  // y_cols = cols * W^T: (batch*positions, out_ch).
+  Tensor y_cols;
+  tensor::gemm_nt(cols_, weight_, y_cols);
+  for (std::size_t r = 0; r < y_cols.rows(); ++r) {
+    for (std::size_t c = 0; c < out_ch_; ++c) y_cols.at(r, c) += bias_[c];
+  }
+  // Repack to (batch, out_ch * positions), channel-major like the input.
+  Tensor y({batch, out_ch_ * positions});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+      for (std::size_t c = 0; c < out_ch_; ++c) {
+        y.at(b, c * positions + pos) = y_cols.at(b * positions + pos, c);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const std::size_t positions = height_ * width_;
+  const std::size_t batch = grad_out.rows();
+  if (grad_out.cols() != out_ch_ * positions ||
+      cols_.rows() != batch * positions) {
+    throw std::invalid_argument("Conv2d::backward: bad gradient shape");
+  }
+  // Unpack to (batch*positions, out_ch).
+  grad_cols_ = Tensor({batch * positions, out_ch_});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t pos = 0; pos < positions; ++pos) {
+      for (std::size_t c = 0; c < out_ch_; ++c) {
+        grad_cols_.at(b * positions + pos, c) =
+            grad_out.at(b, c * positions + pos);
+      }
+    }
+  }
+  // dW = grad_cols^T * cols; db = column sums of grad_cols.
+  tensor::gemm_tn(grad_cols_, cols_, weight_grad_);
+  bias_grad_.fill(0.0F);
+  for (std::size_t r = 0; r < grad_cols_.rows(); ++r) {
+    for (std::size_t c = 0; c < out_ch_; ++c) {
+      bias_grad_[c] += grad_cols_.at(r, c);
+    }
+  }
+  // d(cols) = grad_cols * W, then scatter-add back to the input layout.
+  Tensor grad_patches;
+  tensor::gemm(grad_cols_, weight_, grad_patches);
+  return col2im(grad_patches, batch);
+}
+
+Model make_cnn_classifier(std::size_t channels, std::size_t side,
+                          std::size_t conv_channels, std::size_t classes,
+                          tensor::Rng& rng) {
+  Model m;
+  m.add(std::make_unique<Conv2d>(channels, conv_channels, 3, side, side, rng,
+                                 "conv0"));
+  m.add(std::make_unique<Relu>());
+  m.add(std::make_unique<Conv2d>(conv_channels, conv_channels, 3, side, side,
+                                 rng, "conv1"));
+  m.add(std::make_unique<Relu>());
+  m.add(std::make_unique<Linear>(conv_channels * side * side, classes, rng,
+                                 "head"));
+  return m;
+}
+
+}  // namespace compso::nn

@@ -1,0 +1,63 @@
+#pragma once
+// 2-D convolution via im2col + GEMM — the formulation KFAC uses for conv
+// layers (the Kronecker factors come from the im2col patch matrix and the
+// per-position output gradients, so the KFAC hooks are exactly the Linear
+// ones with batch*positions rows).
+
+#include "src/nn/layer.hpp"
+#include "src/nn/model.hpp"
+
+namespace compso::nn {
+
+/// Conv2d over NCHW input flattened to (batch, in_ch*H*W) rows.
+/// 'same' padding, stride 1. Weight is (out_ch, in_ch*k*k).
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t height, std::size_t width,
+         tensor::Rng& rng, std::string name = "conv");
+
+  std::string_view name() const noexcept override { return name_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  bool has_params() const noexcept override { return true; }
+  Tensor* weight() noexcept override { return &weight_; }
+  Tensor* bias() noexcept override { return &bias_; }
+  Tensor* weight_grad() noexcept override { return &weight_grad_; }
+  Tensor* bias_grad() noexcept override { return &bias_grad_; }
+  const Tensor* kfac_input() const noexcept override { return &cols_aug_; }
+  const Tensor* kfac_grad_output() const noexcept override {
+    return &grad_cols_;
+  }
+
+  std::size_t out_features() const noexcept {
+    return out_ch_ * height_ * width_;
+  }
+  std::size_t in_features() const noexcept {
+    return in_ch_ * height_ * width_;
+  }
+
+ private:
+  /// (batch, in_ch*H*W) -> (batch*H*W, in_ch*k*k) patch matrix.
+  Tensor im2col(const Tensor& x) const;
+  /// Inverse scatter-add of im2col for the input gradient.
+  Tensor col2im(const Tensor& cols, std::size_t batch) const;
+
+  std::string name_;
+  std::size_t in_ch_, out_ch_, k_, height_, width_;
+  Tensor weight_;       // (out_ch, in_ch*k*k)
+  Tensor bias_;         // (out_ch)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cols_;         // (batch*H*W, in_ch*k*k) last forward patches
+  Tensor cols_aug_;     // with homogeneous column (KFAC A factor input)
+  Tensor grad_cols_;    // (batch*H*W, out_ch) last backward grads
+};
+
+/// Small trainable CNN classifier: conv -> relu -> conv -> relu -> fc.
+/// Input is (batch, channels*side*side).
+Model make_cnn_classifier(std::size_t channels, std::size_t side,
+                          std::size_t conv_channels, std::size_t classes,
+                          tensor::Rng& rng);
+
+}  // namespace compso::nn

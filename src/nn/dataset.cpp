@@ -1,0 +1,104 @@
+#include "src/nn/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace compso::nn {
+
+ClusterDataset::ClusterDataset(std::size_t features, std::size_t classes,
+                               float noise, std::uint64_t seed)
+    : features_(features),
+      classes_(classes),
+      noise_(noise),
+      means_({classes, features}) {
+  tensor::Rng rng(seed);
+  rng.fill_normal(means_.span(), 0.0F, 1.0F);
+}
+
+Batch ClusterDataset::sample(std::size_t batch, tensor::Rng& rng) const {
+  Batch b;
+  b.x = tensor::Tensor({batch, features_});
+  b.labels.resize(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const auto y = static_cast<int>(rng.uniform_index(classes_));
+    b.labels[r] = y;
+    for (std::size_t c = 0; c < features_; ++c) {
+      b.x.at(r, c) =
+          means_.at(static_cast<std::size_t>(y), c) + rng.normal(0.0F, noise_);
+    }
+  }
+  return b;
+}
+
+SpanDataset::SpanDataset(std::size_t positions, std::size_t features,
+                         float noise, std::uint64_t seed)
+    : positions_(positions),
+      features_(features),
+      noise_(noise),
+      start_pattern_({positions, features}),
+      end_pattern_({positions, features}) {
+  tensor::Rng rng(seed ^ 0x5350414EULL);
+  rng.fill_normal(start_pattern_.span(), 0.0F, 1.0F);
+  rng.fill_normal(end_pattern_.span(), 0.0F, 1.0F);
+}
+
+SpanDataset::SpanBatch SpanDataset::sample(std::size_t batch,
+                                           tensor::Rng& rng) const {
+  SpanBatch b;
+  b.x = tensor::Tensor({batch, features_});
+  b.start.resize(batch);
+  b.end.resize(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const auto s = static_cast<int>(rng.uniform_index(positions_));
+    const auto max_len = positions_ - static_cast<std::size_t>(s);
+    const auto len = 1 + static_cast<int>(
+                             rng.uniform_index(std::min<std::size_t>(max_len, 5)));
+    const int e = std::min<int>(s + len - 1, static_cast<int>(positions_) - 1);
+    b.start[r] = s;
+    b.end[r] = e;
+    // x = start_pattern[s] + end_pattern[e] + noise.
+    for (std::size_t c = 0; c < features_; ++c) {
+      b.x.at(r, c) = start_pattern_.at(static_cast<std::size_t>(s), c) +
+                     end_pattern_.at(static_cast<std::size_t>(e), c) +
+                     rng.normal(0.0F, noise_);
+    }
+  }
+  return b;
+}
+
+SpanMetrics span_metrics(const std::vector<int>& pred_start,
+                         const std::vector<int>& pred_end,
+                         const std::vector<int>& gold_start,
+                         const std::vector<int>& gold_end) {
+  if (pred_start.size() != gold_start.size() ||
+      pred_end.size() != gold_end.size() ||
+      pred_start.size() != pred_end.size()) {
+    throw std::invalid_argument("span_metrics: size mismatch");
+  }
+  SpanMetrics m;
+  const std::size_t n = pred_start.size();
+  if (n == 0) return m;
+  double f1_sum = 0.0;
+  std::size_t exact = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int ps = std::min(pred_start[i], pred_end[i]);
+    const int pe = std::max(pred_start[i], pred_end[i]);
+    const int gs = gold_start[i];
+    const int ge = gold_end[i];
+    if (ps == gs && pe == ge) ++exact;
+    const int inter =
+        std::max(0, std::min(pe, ge) - std::max(ps, gs) + 1);
+    const int pred_len = pe - ps + 1;
+    const int gold_len = ge - gs + 1;
+    if (inter > 0) {
+      const double prec = static_cast<double>(inter) / pred_len;
+      const double rec = static_cast<double>(inter) / gold_len;
+      f1_sum += 2.0 * prec * rec / (prec + rec);
+    }
+  }
+  m.f1 = 100.0 * f1_sum / static_cast<double>(n);
+  m.exact_match = 100.0 * static_cast<double>(exact) / static_cast<double>(n);
+  return m;
+}
+
+}  // namespace compso::nn

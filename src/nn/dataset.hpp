@@ -1,0 +1,81 @@
+#pragma once
+// Synthetic datasets for the convergence experiments (Fig. 6, Table 1).
+//
+// These stand in for ImageNet/COCO/Pile/SQuAD (see DESIGN.md): what the
+// convergence experiments measure — KFAC's iteration advantage over SGD
+// and the accuracy impact of compression error — are optimizer/compressor
+// properties that manifest on any non-trivial learning problem.
+
+#include "src/tensor/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+#include <vector>
+
+namespace compso::nn {
+
+/// A classification batch.
+struct Batch {
+  tensor::Tensor x;         ///< (batch, features)
+  std::vector<int> labels;  ///< length batch
+};
+
+/// Gaussian-mixture classification: `classes` clusters in `features` dims
+/// with per-class means on a noisy simplex; within-class noise controls
+/// difficulty.
+class ClusterDataset {
+ public:
+  ClusterDataset(std::size_t features, std::size_t classes, float noise,
+                 std::uint64_t seed);
+
+  Batch sample(std::size_t batch, tensor::Rng& rng) const;
+  std::size_t features() const noexcept { return features_; }
+  std::size_t classes() const noexcept { return classes_; }
+
+ private:
+  std::size_t features_;
+  std::size_t classes_;
+  float noise_;
+  tensor::Tensor means_;  ///< (classes, features)
+};
+
+/// Span-extraction proxy for the SQuAD fine-tuning benchmark (Table 1):
+/// the input encodes a "context" of `positions` slots; exactly one
+/// contiguous span [start, end] is marked by a planted linear pattern.
+/// The model predicts start and end positions (two classification heads
+/// share the trunk; here they are folded into a single 2*positions-way
+/// output). F1 / exact match are computed like SQuAD's token-overlap
+/// metrics.
+class SpanDataset {
+ public:
+  SpanDataset(std::size_t positions, std::size_t features, float noise,
+              std::uint64_t seed);
+
+  struct SpanBatch {
+    tensor::Tensor x;         ///< (batch, features)
+    std::vector<int> start;   ///< gold start per sample
+    std::vector<int> end;     ///< gold end per sample
+  };
+
+  SpanBatch sample(std::size_t batch, tensor::Rng& rng) const;
+  std::size_t positions() const noexcept { return positions_; }
+  std::size_t features() const noexcept { return features_; }
+
+ private:
+  std::size_t positions_;
+  std::size_t features_;
+  float noise_;
+  tensor::Tensor start_pattern_;  ///< (positions, features)
+  tensor::Tensor end_pattern_;    ///< (positions, features)
+};
+
+/// SQuAD-style metrics from predicted/gold spans.
+struct SpanMetrics {
+  double f1 = 0.0;
+  double exact_match = 0.0;
+};
+SpanMetrics span_metrics(const std::vector<int>& pred_start,
+                         const std::vector<int>& pred_end,
+                         const std::vector<int>& gold_start,
+                         const std::vector<int>& gold_end);
+
+}  // namespace compso::nn

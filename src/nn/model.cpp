@@ -1,0 +1,108 @@
+#include "src/nn/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace compso::nn {
+
+Tensor Model::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h);
+  return h;
+}
+
+void Model::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+  }
+}
+
+std::vector<std::size_t> Model::trainable_layers() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i]->has_params()) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Model::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    if (!l->has_params()) continue;
+    auto* lp = const_cast<Layer*>(l.get());
+    if (auto* w = lp->weight()) n += w->size();
+    if (auto* b = lp->bias()) n += b->size();
+  }
+  return n;
+}
+
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<int>& labels, Tensor& grad) {
+  if (logits.rank() != 2 || logits.rows() != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: shape mismatch");
+  }
+  const std::size_t batch = logits.rows();
+  const std::size_t classes = logits.cols();
+  grad = Tensor({batch, classes});
+  double total = 0.0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    // Stable softmax.
+    float maxv = logits.at(r, 0);
+    for (std::size_t c = 1; c < classes; ++c) {
+      maxv = std::max(maxv, logits.at(r, c));
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(logits.at(r, c) - maxv));
+    }
+    const int y = labels[r];
+    if (y < 0 || static_cast<std::size_t>(y) >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const double logp =
+        static_cast<double>(logits.at(r, static_cast<std::size_t>(y)) - maxv) -
+        std::log(denom);
+    total -= logp;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(logits.at(r, c) - maxv)) / denom;
+      grad.at(r, c) = static_cast<float>(
+          (p - (static_cast<std::size_t>(y) == c ? 1.0 : 0.0)) /
+          static_cast<double>(batch));
+    }
+  }
+  return total / static_cast<double>(batch);
+}
+
+double mse_loss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  if (pred.size() != target.size()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  grad = pred;
+  double total = 0.0;
+  const double n = static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    total += d * d;
+    grad[i] = static_cast<float>(2.0 * d / n);
+  }
+  return total / n;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.rank() != 2 || logits.rows() != labels.size() || labels.empty()) {
+    throw std::invalid_argument("accuracy: shape mismatch");
+  }
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (logits.at(r, c) > logits.at(r, best)) best = c;
+    }
+    correct += static_cast<int>(best) == labels[r] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace compso::nn

@@ -1,0 +1,73 @@
+#pragma once
+// Model zoo, two halves:
+//
+// 1. Layer-shape tables mirroring the four evaluation models (ResNet-50,
+//    Mask R-CNN, BERT-large, GPT-neo-125M). Communication / compression
+//    experiments need per-layer KFAC-gradient sizes, not semantics, so a
+//    faithful table of (out, in) shapes reproduces the workload. Conv
+//    layers appear in their KFAC form: (out_ch, in_ch * k * k).
+//
+// 2. Small *trainable* proxy models (builders over nn::Model) for the
+//    convergence experiments.
+
+#include "src/nn/model.hpp"
+
+#include <string>
+#include <vector>
+
+namespace compso::nn {
+
+/// Shape of one trainable layer as KFAC sees it.
+struct LayerShape {
+  std::string name;
+  std::size_t out = 0;
+  std::size_t in = 0;
+  /// Work per sample relative to one (out x in) GEMM: spatial positions for
+  /// conv layers (H*W of the output feature map), sequence length for
+  /// transformer blocks, 1 for plain FC heads.
+  std::size_t work_multiplier = 1;
+  /// Embedding-style layers are lookups: no GEMM work, and KFAC treats
+  /// them element-wise (no Kronecker factors / eigendecomposition).
+  bool embedding = false;
+
+  /// Elements of the layer's KFAC (preconditioned) gradient: weight plus
+  /// the homogeneous bias column.
+  std::size_t kfac_elements() const noexcept { return out * (in + 1); }
+  std::size_t kfac_bytes() const noexcept {
+    return kfac_elements() * sizeof(float);
+  }
+};
+
+/// Workload descriptor: a named model as a list of layer shapes.
+struct ModelShape {
+  std::string name;
+  std::vector<LayerShape> layers;
+
+  std::size_t total_elements() const noexcept;
+  std::size_t total_bytes() const noexcept {
+    return total_elements() * sizeof(float);
+  }
+};
+
+/// The four evaluation workloads (§5 "DNN models").
+ModelShape resnet50_shape();
+ModelShape mask_rcnn_shape();
+ModelShape bert_large_shape();
+ModelShape gpt_neo_125m_shape();
+/// All four, in the paper's order.
+std::vector<ModelShape> paper_model_shapes();
+
+/// --- trainable proxies (convergence experiments) ---
+
+/// MLP classifier: features -> hidden x (depth) -> classes, ReLU trunk.
+Model make_mlp_classifier(std::size_t features, std::size_t hidden,
+                          std::size_t classes, std::size_t depth,
+                          tensor::Rng& rng);
+
+/// Span-extraction model: trunk + a 2*positions output head (first
+/// `positions` logits = start head, rest = end head).
+Model make_span_model(std::size_t features, std::size_t hidden,
+                      std::size_t positions, std::size_t depth,
+                      tensor::Rng& rng);
+
+}  // namespace compso::nn

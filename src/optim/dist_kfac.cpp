@@ -1,0 +1,237 @@
+#include "src/optim/dist_kfac.hpp"
+
+#include "src/tensor/matrix_ops.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace compso::optim {
+
+DistKfac::DistKfac(DistKfacConfig config, comm::Communicator& comm,
+                   std::vector<nn::Model*> replicas)
+    : cfg_(config), comm_(comm), replicas_(std::move(replicas)) {
+  if (replicas_.size() != comm_.world_size()) {
+    throw std::invalid_argument("DistKfac: one replica per rank required");
+  }
+  layer_indices_ = replicas_[0]->trainable_layers();
+  for (std::size_t li : layer_indices_) {
+    auto& l = replicas_[0]->layer(li);
+    const std::size_t out = l.weight()->rows();
+    const std::size_t in_aug = l.weight()->cols() + 1;
+    states_.push_back(std::make_unique<KfacLayerState>(in_aug, out));
+    momentum_.emplace_back(
+        Tensor({out, in_aug}));
+  }
+}
+
+void DistKfac::exchange_covariances(std::vector<Tensor>& local,
+                                    tensor::Rng& rng) {
+  const std::size_t world = comm_.world_size();
+  if (factor_compressor_ == nullptr) {
+    std::vector<std::span<float>> views;
+    views.reserve(world);
+    for (auto& t : local) views.push_back(t.span());
+    comm_.allreduce_sum(views);
+    local[0] *= 1.0F / static_cast<float>(world);
+    return;
+  }
+  // Compressed path (§7): each rank compresses its local covariance, the
+  // payloads are all-gathered, every rank decompresses and averages.
+  const std::size_t n = local[0].size();
+  std::vector<std::vector<std::uint8_t>> send(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    send[r] = factor_compressor_->compress(local[r].span(), rng);
+    factor_orig_bytes_ += n * sizeof(float);
+    factor_comp_bytes_ += send[r].size();
+  }
+  std::vector<std::vector<std::uint8_t>> recv;
+  comm_.allgatherv(send, recv);
+  Tensor avg(local[0]);
+  avg.fill(0.0F);
+  for (std::size_t r = 0; r < world; ++r) {
+    const auto rec = factor_compressor_->decompress(send[r]);
+    if (rec.size() != n) {
+      throw std::logic_error("DistKfac: factor decompress size mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      avg[i] += rec[i] / static_cast<float>(world);
+    }
+  }
+  local[0] = std::move(avg);
+}
+
+void DistKfac::step(std::size_t iteration, double lr,
+                    const compress::GradientCompressor* compressor,
+                    tensor::Rng& rng) {
+  const std::size_t world = comm_.world_size();
+  factor_orig_bytes_ = 0;
+  factor_comp_bytes_ = 0;
+
+  // --- 1+2: covariance computation and factor allreduce (steps 1-2).
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    const std::size_t li = layer_indices_[s];
+    // Per-rank local covariances.
+    std::vector<Tensor> local_a(world), local_g(world);
+    for (std::size_t r = 0; r < world; ++r) {
+      auto& layer = replicas_[r]->layer(li);
+      const Tensor* a = layer.kfac_input();
+      const Tensor* g = layer.kfac_grad_output();
+      if (a == nullptr || g == nullptr || a->empty() || g->empty()) {
+        throw std::logic_error("DistKfac: run forward/backward first");
+      }
+      const auto batch = static_cast<float>(a->rows());
+      tensor::syrk_tn(*a, 1.0F / batch, 0.0F, local_a[r]);
+      tensor::syrk_tn(*g, batch, 0.0F, local_g[r]);
+    }
+    // Exchange and average the factors every rank must agree on.
+    exchange_covariances(local_a, rng);
+    exchange_covariances(local_g, rng);
+    // Blend into the shared running-average state. (All ranks hold the
+    // same state after the allreduce; the simulator stores it once.)
+    states_[s]->blend_factors(local_a[0], local_g[0], cfg_.stat_decay);
+  }
+
+  // --- 2b: gradient allreduce (data-parallel average of SGD gradients).
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    const std::size_t li = layer_indices_[s];
+    std::vector<Tensor> grads(world);
+    for (std::size_t r = 0; r < world; ++r) {
+      grads[r] = combined_gradient(replicas_[r]->layer(li));
+    }
+    std::vector<std::span<float>> views;
+    views.reserve(world);
+    for (auto& t : grads) views.push_back(t.span());
+    comm_.allreduce_sum(views);
+    grads[0] *= 1.0F / static_cast<float>(world);
+    // Stash the averaged gradient back into replica 0's layer grads via
+    // the momentum path below; keep it in a temp list.
+    momentum_workspace_.push_back(std::move(grads[0]));
+  }
+
+  // --- 3: eigendecomposition refresh on owner ranks (partitioned work).
+  const bool refresh =
+      iteration % cfg_.eigen_refresh_every == 0 || !states_[0]->has_eigen();
+  if (refresh) {
+    for (auto& st : states_) st->refresh_eigen();
+  }
+
+  // --- 4: owners precondition their layers; 5: allgather(v) to all ranks.
+  // Each owner aggregates up to m of its layers per compression call
+  // (§4.4's layer aggregation): the concatenated buffer is compressed
+  // once, serialized as [u64 n][u64 sid x n][u64 psize][payload].
+  std::vector<Tensor> preconditioned(layer_indices_.size());
+  orig_bytes_ = 0;
+  comp_bytes_ = 0;
+  std::vector<std::vector<std::size_t>> owned(world);
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    preconditioned[s] =
+        states_[s]->precondition(momentum_workspace_[s], cfg_.damping);
+    orig_bytes_ += preconditioned[s].size() * sizeof(float);
+    owned[owner_of(s)].push_back(s);
+  }
+  const std::size_t m = std::max<std::size_t>(cfg_.aggregation, 1);
+  auto append_u64 = [](std::vector<std::uint8_t>& buf, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      buf.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+  };
+  std::vector<std::vector<std::uint8_t>> send(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < owned[r].size(); i += m) {
+      const std::size_t group_end = std::min(i + m, owned[r].size());
+      std::vector<float> concat;
+      for (std::size_t j = i; j < group_end; ++j) {
+        const auto& k = preconditioned[owned[r][j]];
+        concat.insert(concat.end(), k.span().begin(), k.span().end());
+      }
+      const auto payload =
+          compressor != nullptr
+              ? compressor->compress(concat, rng)
+              : [&] {
+                  compress::Bytes raw(concat.size() * sizeof(float));
+                  std::memcpy(raw.data(), concat.data(), raw.size());
+                  return raw;
+                }();
+      auto& buf = send[r];
+      append_u64(buf, group_end - i);
+      for (std::size_t j = i; j < group_end; ++j) {
+        append_u64(buf, owned[r][j]);
+      }
+      append_u64(buf, payload.size());
+      buf.insert(buf.end(), payload.begin(), payload.end());
+      comp_bytes_ += payload.size();
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> recv;
+  comm_.allgatherv(send, recv);
+
+  // --- decode on every rank (identical bytes -> identical updates).
+  // Decode once from recv[0] and apply to all replicas.
+  {
+    const auto& buf = recv[0];
+    std::size_t pos = 0;
+    auto read_u64 = [&](std::size_t at) {
+      std::uint64_t v = 0;
+      for (int b = 0; b < 8; ++b) {
+        v |= static_cast<std::uint64_t>(buf[at + static_cast<std::size_t>(b)])
+             << (8 * b);
+      }
+      return v;
+    };
+    while (pos + 8 <= buf.size()) {
+      const std::uint64_t n = read_u64(pos);
+      pos += 8;
+      if (pos + 8 * n + 8 > buf.size()) {
+        throw std::logic_error("DistKfac: corrupt allgather payload");
+      }
+      std::vector<std::size_t> sids(n);
+      std::size_t group_elems = 0;
+      for (std::uint64_t j = 0; j < n; ++j) {
+        sids[j] = read_u64(pos);
+        pos += 8;
+        if (sids[j] >= preconditioned.size()) {
+          throw std::logic_error("DistKfac: bad layer id in payload");
+        }
+        group_elems += preconditioned[sids[j]].size();
+      }
+      const std::uint64_t psize = read_u64(pos);
+      pos += 8;
+      if (pos + psize > buf.size()) {
+        throw std::logic_error("DistKfac: corrupt allgather payload");
+      }
+      const std::span<const std::uint8_t> payload(buf.data() + pos, psize);
+      pos += psize;
+      std::vector<float> values;
+      if (compressor != nullptr) {
+        values = compressor->decompress(payload);
+      } else {
+        values.resize(psize / sizeof(float));
+        std::memcpy(values.data(), payload.data(), psize);
+      }
+      if (values.size() != group_elems) {
+        throw std::logic_error("DistKfac: decompressed size mismatch");
+      }
+      std::size_t off = 0;
+      for (std::size_t sid : sids) {
+        Tensor& k = preconditioned[sid];
+        std::copy(values.begin() + static_cast<std::ptrdiff_t>(off),
+                  values.begin() + static_cast<std::ptrdiff_t>(off + k.size()),
+                  k.data());
+        off += k.size();
+      }
+    }
+  }
+
+  // --- momentum + weight update, identically on every replica.
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    momentum_[s].axpby(static_cast<float>(cfg_.momentum), 1.0F,
+                       preconditioned[s]);
+    for (std::size_t r = 0; r < world; ++r) {
+      apply_combined_update(replicas_[r]->layer(layer_indices_[s]),
+                            momentum_[s], lr);
+    }
+  }
+  momentum_workspace_.clear();
+}
+
+}  // namespace compso::optim

@@ -1,0 +1,104 @@
+#pragma once
+// Distributed KFAC in the KAISA style (paper §2.2):
+//
+//  per iteration, for every trainable layer:
+//   1. each rank computes local covariance contributions from its batch;
+//   2. factors are all-reduced (averaged) across ranks;
+//   3. eigendecompositions are partitioned layer-wise: layer l is owned by
+//      rank (l mod world) and refreshed there every `eigen_refresh_every`
+//      iterations;
+//   4. the owner computes the preconditioned gradient for its layers;
+//   5. preconditioned gradients are all-gathered to every rank — this is
+//      the communication COMPSO compresses (variable-size allgatherv when
+//      a compressor is attached).
+//
+// The simulator runs SPMD over model replicas: data really moves through
+// the Communicator (so compression error reaches the weights exactly as on
+// a real cluster) and every collective advances the simulated clocks.
+
+#include "src/comm/communicator.hpp"
+#include "src/compress/compressor.hpp"
+#include "src/nn/model.hpp"
+#include "src/optim/kfac.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace compso::optim {
+
+struct DistKfacConfig {
+  double momentum = 0.9;
+  double damping = 3e-2;          ///< gamma in Eq. 2.
+  double stat_decay = 0.9;        ///< running-average factor decay.
+  std::size_t eigen_refresh_every = 10;
+  /// Layer-aggregation factor m (§4.4): each owner concatenates up to m of
+  /// its layers' preconditioned gradients per compression call, amortizing
+  /// codec overhead and improving small-layer ratios.
+  std::size_t aggregation = 1;
+};
+
+/// Paper §7 future-work item 2: compressing the intermediate factor
+/// matrices A and G before their collective. Because a compressed
+/// allreduce is not linear, the factor exchange becomes
+/// compress -> allgatherv -> decompress -> average (the CocktailSGD-style
+/// pattern), trading extra payload count for the compression ratio.
+
+class DistKfac {
+ public:
+  /// `replicas` are the per-rank model copies (must be structurally
+  /// identical; typically created from the same seed).
+  DistKfac(DistKfacConfig config, comm::Communicator& comm,
+           std::vector<nn::Model*> replicas);
+
+  /// One optimizer step after every rank ran forward/backward on its local
+  /// batch. `compressor` == nullptr means no compression (the paper's
+  /// "KFAC (No Comp.)" baseline).
+  void step(std::size_t iteration, double lr,
+            const compress::GradientCompressor* compressor,
+            tensor::Rng& rng);
+
+  /// Communication volume of the last step's preconditioned-gradient
+  /// allgather (for compression-ratio reporting).
+  std::uint64_t last_original_bytes() const noexcept { return orig_bytes_; }
+  std::uint64_t last_compressed_bytes() const noexcept { return comp_bytes_; }
+
+  /// Enables factor (A/G) compression for the covariance exchange (§7
+  /// future work). Pass nullptr to disable (default: plain allreduce).
+  void set_factor_compressor(
+      const compress::GradientCompressor* compressor) noexcept {
+    factor_compressor_ = compressor;
+  }
+  std::uint64_t last_factor_original_bytes() const noexcept {
+    return factor_orig_bytes_;
+  }
+  std::uint64_t last_factor_compressed_bytes() const noexcept {
+    return factor_comp_bytes_;
+  }
+
+  std::size_t layer_count() const noexcept { return layer_indices_.size(); }
+  /// Owner rank of trainable layer slot `i` (round-robin, KAISA style).
+  std::size_t owner_of(std::size_t i) const noexcept {
+    return i % comm_.world_size();
+  }
+
+ private:
+  DistKfacConfig cfg_;
+  comm::Communicator& comm_;
+  std::vector<nn::Model*> replicas_;
+  std::vector<std::size_t> layer_indices_;  ///< trainable layer positions.
+  std::vector<std::unique_ptr<KfacLayerState>> states_;
+  std::vector<Tensor> momentum_;  ///< per layer, combined-grad shaped.
+  std::vector<Tensor> momentum_workspace_;  ///< averaged grads, per step.
+  std::uint64_t orig_bytes_ = 0;
+  std::uint64_t comp_bytes_ = 0;
+  const compress::GradientCompressor* factor_compressor_ = nullptr;
+  std::uint64_t factor_orig_bytes_ = 0;
+  std::uint64_t factor_comp_bytes_ = 0;
+
+  /// Exchanges per-rank covariance contributions: plain allreduce, or the
+  /// compressed allgatherv path when a factor compressor is set. On
+  /// return, `local[0]` holds the rank average.
+  void exchange_covariances(std::vector<Tensor>& local, tensor::Rng& rng);
+};
+
+}  // namespace compso::optim

@@ -1,0 +1,116 @@
+#include "src/optim/dist_sgd.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace compso::optim {
+namespace {
+
+/// Flattens a layer's [W | b] gradient into one vector.
+std::vector<float> flat_gradient(nn::Layer& layer) {
+  auto* wg = layer.weight_grad();
+  auto* bg = layer.bias_grad();
+  std::vector<float> out(wg->size() + bg->size());
+  std::copy(wg->span().begin(), wg->span().end(), out.begin());
+  std::copy(bg->span().begin(), bg->span().end(),
+            out.begin() + static_cast<std::ptrdiff_t>(wg->size()));
+  return out;
+}
+
+void apply_flat_update(nn::Layer& layer, std::span<const float> update,
+                       double lr) {
+  auto* w = layer.weight();
+  auto* b = layer.bias();
+  for (std::size_t i = 0; i < w->size(); ++i) {
+    (*w)[i] -= static_cast<float>(lr) * update[i];
+  }
+  for (std::size_t i = 0; i < b->size(); ++i) {
+    (*b)[i] -= static_cast<float>(lr) * update[w->size() + i];
+  }
+}
+
+}  // namespace
+
+DistSgd::DistSgd(DistSgdConfig config, comm::Communicator& comm,
+                 std::vector<nn::Model*> replicas)
+    : cfg_(config), comm_(comm), replicas_(std::move(replicas)) {
+  if (replicas_.size() != comm_.world_size()) {
+    throw std::invalid_argument("DistSgd: one replica per rank required");
+  }
+  layer_indices_ = replicas_[0]->trainable_layers();
+  velocity_.resize(layer_indices_.size());
+  residual_.assign(comm_.world_size(),
+                   std::vector<std::vector<float>>(layer_indices_.size()));
+}
+
+void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
+                   tensor::Rng& rng) {
+  const std::size_t world = comm_.world_size();
+  orig_bytes_ = 0;
+  comp_bytes_ = 0;
+
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    const std::size_t li = layer_indices_[s];
+    std::vector<std::vector<float>> grads(world);
+    for (std::size_t r = 0; r < world; ++r) {
+      grads[r] = flat_gradient(replicas_[r]->layer(li));
+    }
+    const std::size_t n = grads[0].size();
+    orig_bytes_ += world * n * sizeof(float);
+
+    std::vector<float> averaged(n, 0.0F);
+    if (compressor == nullptr) {
+      // Plain ring allreduce of the raw gradients.
+      std::vector<std::span<float>> views;
+      views.reserve(world);
+      for (auto& g : grads) views.push_back(g);
+      comm_.allreduce_sum(views);
+      for (std::size_t i = 0; i < n; ++i) {
+        averaged[i] = grads[0][i] / static_cast<float>(world);
+      }
+      comp_bytes_ += world * n * sizeof(float);
+    } else {
+      // Compress (with optional error feedback), allgatherv, decompress,
+      // average.
+      std::vector<std::vector<std::uint8_t>> send(world);
+      for (std::size_t r = 0; r < world; ++r) {
+        auto& res = residual_[r][s];
+        std::vector<float> to_send = grads[r];
+        if (cfg_.error_feedback) {
+          if (res.size() != n) res.assign(n, 0.0F);
+          for (std::size_t i = 0; i < n; ++i) to_send[i] += res[i];
+        }
+        send[r] = compressor->compress(to_send, rng);
+        if (cfg_.error_feedback) {
+          const auto rec = compressor->decompress(send[r]);
+          for (std::size_t i = 0; i < n; ++i) res[i] = to_send[i] - rec[i];
+        }
+        comp_bytes_ += send[r].size();
+      }
+      std::vector<std::vector<std::uint8_t>> recv;
+      comm_.allgatherv(send, recv);
+      // Every rank decodes the same concatenation; decode once.
+      for (std::size_t r = 0; r < world; ++r) {
+        const auto rec = compressor->decompress(send[r]);
+        if (rec.size() != n) {
+          throw std::logic_error("DistSgd: decompressed size mismatch");
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          averaged[i] += rec[i] / static_cast<float>(world);
+        }
+      }
+    }
+
+    // Momentum + identical update on every replica.
+    auto& vel = velocity_[s];
+    if (vel.size() != n) vel.assign(n, 0.0F);
+    for (std::size_t i = 0; i < n; ++i) {
+      vel[i] = static_cast<float>(cfg_.momentum) * vel[i] + averaged[i];
+    }
+    for (std::size_t r = 0; r < world; ++r) {
+      apply_flat_update(replicas_[r]->layer(li), vel, lr);
+    }
+  }
+}
+
+}  // namespace compso::optim

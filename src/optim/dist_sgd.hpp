@@ -1,0 +1,46 @@
+#pragma once
+// Distributed first-order baseline: data-parallel SGD with momentum, with
+// an optional gradient compressor in the CocktailSGD style — each rank
+// compresses its local gradient, payloads are all-gathered, every rank
+// decompresses and averages. Optional per-rank error feedback compensates
+// the compression error locally (the classic EF-SGD mechanism §6 mentions;
+// COMPSO itself does not use EF, but CocktailSGD does).
+
+#include "src/comm/communicator.hpp"
+#include "src/compress/compressor.hpp"
+#include "src/nn/model.hpp"
+
+#include <vector>
+
+namespace compso::optim {
+
+struct DistSgdConfig {
+  double momentum = 0.9;
+  bool error_feedback = true;  ///< only used when a compressor is attached.
+};
+
+class DistSgd {
+ public:
+  DistSgd(DistSgdConfig config, comm::Communicator& comm,
+          std::vector<nn::Model*> replicas);
+
+  /// One step after every rank ran forward/backward on its local batch.
+  void step(double lr, const compress::GradientCompressor* compressor,
+            tensor::Rng& rng);
+
+  std::uint64_t last_original_bytes() const noexcept { return orig_bytes_; }
+  std::uint64_t last_compressed_bytes() const noexcept { return comp_bytes_; }
+
+ private:
+  DistSgdConfig cfg_;
+  comm::Communicator& comm_;
+  std::vector<nn::Model*> replicas_;
+  std::vector<std::size_t> layer_indices_;
+  // velocity[layer] over flattened [W|b]; residual[rank][layer] for EF.
+  std::vector<std::vector<float>> velocity_;
+  std::vector<std::vector<std::vector<float>>> residual_;
+  std::uint64_t orig_bytes_ = 0;
+  std::uint64_t comp_bytes_ = 0;
+};
+
+}  // namespace compso::optim

@@ -1,0 +1,75 @@
+#include "src/optim/first_order.hpp"
+
+#include <cmath>
+
+namespace compso::optim {
+namespace {
+
+/// Collects (param, grad) pairs for every trainable tensor in the model.
+std::vector<std::pair<float*, const float*>> param_grads(
+    nn::Model& model, std::vector<std::size_t>& sizes) {
+  std::vector<std::pair<float*, const float*>> out;
+  sizes.clear();
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    auto& l = model.layer(i);
+    if (!l.has_params()) continue;
+    out.emplace_back(l.weight()->data(), l.weight_grad()->data());
+    sizes.push_back(l.weight()->size());
+    out.emplace_back(l.bias()->data(), l.bias_grad()->data());
+    sizes.push_back(l.bias()->size());
+  }
+  return out;
+}
+
+}  // namespace
+
+void Sgd::step(nn::Model& model, double lr) {
+  std::vector<std::size_t> sizes;
+  const auto pg = param_grads(model, sizes);
+  if (velocity_.size() != pg.size()) {
+    velocity_.assign(pg.size(), {});
+    for (std::size_t p = 0; p < pg.size(); ++p) {
+      velocity_[p].assign(sizes[p], 0.0F);
+    }
+  }
+  for (std::size_t p = 0; p < pg.size(); ++p) {
+    auto [param, grad] = pg[p];
+    auto& vel = velocity_[p];
+    for (std::size_t i = 0; i < sizes[p]; ++i) {
+      const float g =
+          grad[i] + static_cast<float>(weight_decay_) * param[i];
+      vel[i] = static_cast<float>(momentum_) * vel[i] + g;
+      param[i] -= static_cast<float>(lr) * vel[i];
+    }
+  }
+}
+
+void Adam::step(nn::Model& model, double lr) {
+  std::vector<std::size_t> sizes;
+  const auto pg = param_grads(model, sizes);
+  if (m_.size() != pg.size()) {
+    m_.assign(pg.size(), {});
+    v_.assign(pg.size(), {});
+    for (std::size_t p = 0; p < pg.size(); ++p) {
+      m_[p].assign(sizes[p], 0.0F);
+      v_[p].assign(sizes[p], 0.0F);
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t p = 0; p < pg.size(); ++p) {
+    auto [param, grad] = pg[p];
+    for (std::size_t i = 0; i < sizes[p]; ++i) {
+      const double g = grad[i];
+      m_[p][i] = static_cast<float>(beta1_ * m_[p][i] + (1.0 - beta1_) * g);
+      v_[p][i] =
+          static_cast<float>(beta2_ * v_[p][i] + (1.0 - beta2_) * g * g);
+      const double mhat = m_[p][i] / bc1;
+      const double vhat = v_[p][i] / bc2;
+      param[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace compso::optim

@@ -1,0 +1,42 @@
+#pragma once
+// First-order optimizers (the paper's baselines): SGD with momentum and
+// Adam. They operate on a Model's trainable layers in place.
+
+#include "src/nn/model.hpp"
+
+#include <vector>
+
+namespace compso::optim {
+
+/// SGD with (optional) Nesterov-free momentum and weight decay.
+class Sgd {
+ public:
+  explicit Sgd(double momentum = 0.9, double weight_decay = 0.0)
+      : momentum_(momentum), weight_decay_(weight_decay) {}
+
+  /// Applies one step with learning rate `lr` using the gradients stored
+  /// in the model's layers.
+  void step(nn::Model& model, double lr);
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  // Velocity buffers keyed by (layer index, param slot).
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (used as the "ADAM" reference in §1; also a sanity baseline).
+class Adam {
+ public:
+  Adam(double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8)
+      : beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void step(nn::Model& model, double lr);
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace compso::optim

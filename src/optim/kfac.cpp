@@ -1,0 +1,110 @@
+#include "src/optim/kfac.hpp"
+
+#include "src/tensor/matrix_ops.hpp"
+
+#include <stdexcept>
+
+namespace compso::optim {
+
+KfacLayerState::KfacLayerState(std::size_t in_aug, std::size_t out)
+    : a_({in_aug, in_aug}), g_({out, out}) {}
+
+void KfacLayerState::update_factors(const Tensor& input_aug,
+                                    const Tensor& grad_out,
+                                    double stat_decay) {
+  if (input_aug.cols() != a_.rows() || grad_out.cols() != g_.rows()) {
+    throw std::invalid_argument("KfacLayerState: factor shape mismatch");
+  }
+  const auto batch = static_cast<double>(input_aug.rows());
+  const double blend = updates_ == 0 ? 0.0 : stat_decay;
+  // A <- decay * A + (1-decay) * a^T a / B
+  tensor::syrk_tn(input_aug, static_cast<float>((1.0 - blend) / batch),
+                  static_cast<float>(blend), a_);
+  // G <- decay * G + (1-decay) * B * g^T g (mean-loss grads carry 1/B each).
+  tensor::syrk_tn(grad_out, static_cast<float>((1.0 - blend) * batch),
+                  static_cast<float>(blend), g_);
+  ++updates_;
+}
+
+void KfacLayerState::blend_factors(const Tensor& cov_a, const Tensor& cov_g,
+                                   double stat_decay) {
+  if (cov_a.size() != a_.size() || cov_g.size() != g_.size()) {
+    throw std::invalid_argument("blend_factors: shape mismatch");
+  }
+  const double blend = updates_ == 0 ? 0.0 : stat_decay;
+  a_.axpby(static_cast<float>(blend), static_cast<float>(1.0 - blend), cov_a);
+  g_.axpby(static_cast<float>(blend), static_cast<float>(1.0 - blend), cov_g);
+  ++updates_;
+}
+
+void KfacLayerState::refresh_eigen() {
+  if (updates_ == 0) {
+    throw std::logic_error("KfacLayerState: no factor statistics yet");
+  }
+  eig_a_ = tensor::eigh(a_);
+  eig_g_ = tensor::eigh(g_);
+  has_eigen_ = true;
+}
+
+Tensor KfacLayerState::precondition(const Tensor& combined_grad,
+                                    double gamma) const {
+  if (!has_eigen_) {
+    throw std::logic_error("KfacLayerState: eigendecomposition not ready");
+  }
+  const std::size_t out = g_.rows();
+  const std::size_t in_aug = a_.rows();
+  if (combined_grad.rows() != out || combined_grad.cols() != in_aug) {
+    throw std::invalid_argument("precondition: gradient shape mismatch");
+  }
+  // V1 = Q_G^T Grad Q_A
+  Tensor tmp, v;
+  tensor::gemm_tn(eig_g_.eigenvectors, combined_grad, tmp);  // (out, in_aug)
+  tensor::gemm(tmp, eig_a_.eigenvectors, v);                 // (out, in_aug)
+  // V2 = V1 / (v_G v_A^T + gamma)
+  for (std::size_t i = 0; i < out; ++i) {
+    const double vg = eig_g_.eigenvalues[i];
+    for (std::size_t j = 0; j < in_aug; ++j) {
+      const double denom =
+          vg * static_cast<double>(eig_a_.eigenvalues[j]) + gamma;
+      v.at(i, j) = static_cast<float>(v.at(i, j) / denom);
+    }
+  }
+  // K = Q_G V2 Q_A^T
+  Tensor k;
+  tensor::gemm(eig_g_.eigenvectors, v, tmp);
+  tensor::gemm_nt(tmp, eig_a_.eigenvectors, k);
+  return k;
+}
+
+Tensor combined_gradient(nn::Layer& layer) {
+  auto* wg = layer.weight_grad();
+  auto* bg = layer.bias_grad();
+  if (wg == nullptr || bg == nullptr) {
+    throw std::invalid_argument("combined_gradient: layer has no params");
+  }
+  const std::size_t out = wg->rows(), in = wg->cols();
+  Tensor c({out, in + 1});
+  for (std::size_t r = 0; r < out; ++r) {
+    for (std::size_t j = 0; j < in; ++j) c.at(r, j) = wg->at(r, j);
+    c.at(r, in) = (*bg)[r];
+  }
+  return c;
+}
+
+void apply_combined_update(nn::Layer& layer, const Tensor& combined,
+                           double lr) {
+  auto* w = layer.weight();
+  auto* b = layer.bias();
+  const std::size_t out = w->rows(), in = w->cols();
+  if (combined.rows() != out || combined.cols() != in + 1) {
+    throw std::invalid_argument("apply_combined_update: shape mismatch");
+  }
+  for (std::size_t r = 0; r < out; ++r) {
+    for (std::size_t j = 0; j < in; ++j) {
+      w->at(r, j) -= static_cast<float>(lr) * combined.at(r, j);
+    }
+    (*b)[r] -= static_cast<float>(lr) * combined.at(r, in);
+  }
+}
+
+}  // namespace compso::optim

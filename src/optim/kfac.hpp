@@ -1,0 +1,67 @@
+#pragma once
+// KFAC layer math (paper §2.1, Eq. 1-2).
+//
+// For each Linear layer, the Fisher block is approximated as
+//   F_l = A_{l-1} (x) G_l,   A = E[a a^T],  G = E[g g^T]
+// with `a` the (bias-augmented) input activations and `g` the
+// pre-activation gradients. The preconditioned gradient is computed from
+// the eigendecompositions of A and G:
+//   K = Q_G [ (Q_G^T Grad Q_A) / (v_G v_A^T + gamma) ] Q_A^T        (Eq. 2)
+
+#include "src/nn/layer.hpp"
+#include "src/tensor/eigen.hpp"
+
+namespace compso::optim {
+
+using tensor::Tensor;
+
+/// Per-layer KFAC state: running-average Kronecker factors and their
+/// (periodically refreshed) eigendecompositions.
+class KfacLayerState {
+ public:
+  KfacLayerState(std::size_t in_aug, std::size_t out);
+
+  /// Accumulates the factors from the layer's captured activations /
+  /// gradients with decay `stat_decay` (running average, §4.3 reason 2).
+  void update_factors(const Tensor& input_aug, const Tensor& grad_out,
+                      double stat_decay);
+
+  /// Blends externally computed (e.g. allreduce-averaged) covariance
+  /// estimates into the running averages. Used by the distributed path,
+  /// where the per-batch covariances are averaged across ranks first.
+  void blend_factors(const Tensor& cov_a, const Tensor& cov_g,
+                     double stat_decay);
+
+  /// Refreshes the eigendecompositions (the expensive step that the
+  /// distributed variant partitions across GPUs).
+  void refresh_eigen();
+
+  /// Computes the preconditioned gradient for combined [W | b] gradient
+  /// (out, in+1) with Tikhonov damping `gamma`. refresh_eigen() must have
+  /// run at least once.
+  Tensor precondition(const Tensor& combined_grad, double gamma) const;
+
+  Tensor& factor_a() noexcept { return a_; }
+  Tensor& factor_g() noexcept { return g_; }
+  const Tensor& factor_a() const noexcept { return a_; }
+  const Tensor& factor_g() const noexcept { return g_; }
+  bool has_eigen() const noexcept { return has_eigen_; }
+  std::size_t updates() const noexcept { return updates_; }
+
+ private:
+  Tensor a_;  ///< (in+1, in+1)
+  Tensor g_;  ///< (out, out)
+  tensor::EigenDecomposition eig_a_;
+  tensor::EigenDecomposition eig_g_;
+  bool has_eigen_ = false;
+  std::size_t updates_ = 0;
+};
+
+/// Builds the combined (out, in+1) gradient [dW | db] from a Linear layer.
+Tensor combined_gradient(nn::Layer& layer);
+/// Splits a combined (preconditioned) gradient back into dW / db and
+/// applies `param -= lr * K` (with optional momentum handled by caller).
+void apply_combined_update(nn::Layer& layer, const Tensor& combined,
+                           double lr);
+
+}  // namespace compso::optim

@@ -1,0 +1,178 @@
+#include "src/perf/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace compso::perf {
+
+CommLookupTable::CommLookupTable(const comm::Communicator& comm,
+                                 std::size_t min_bytes, std::size_t max_bytes,
+                                 std::size_t points) {
+  if (points < 2 || min_bytes == 0 || max_bytes <= min_bytes) {
+    throw std::invalid_argument("CommLookupTable: bad sampling range");
+  }
+  const double lo = std::log2(static_cast<double>(min_bytes));
+  const double hi = std::log2(static_cast<double>(max_bytes));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto bytes =
+        static_cast<std::size_t>(std::exp2(lo + frac * (hi - lo)));
+    const double t = comm.allgather_time(bytes);
+    sizes_.push_back(bytes);
+    tput_.push_back(t > 0.0 ? static_cast<double>(bytes) / t : 1e18);
+  }
+}
+
+double CommLookupTable::throughput(std::size_t bytes) const noexcept {
+  if (bytes == 0 || sizes_.empty()) return tput_.empty() ? 1e18 : tput_.front();
+  if (bytes <= sizes_.front()) return tput_.front();
+  if (bytes >= sizes_.back()) return tput_.back();
+  // log-size linear interpolation.
+  const auto it = std::lower_bound(sizes_.begin(), sizes_.end(), bytes);
+  const std::size_t hi = static_cast<std::size_t>(it - sizes_.begin());
+  const std::size_t lo = hi - 1;
+  const double x0 = std::log2(static_cast<double>(sizes_[lo]));
+  const double x1 = std::log2(static_cast<double>(sizes_[hi]));
+  const double x = std::log2(static_cast<double>(bytes));
+  const double w = (x - x0) / (x1 - x0);
+  return tput_[lo] * (1.0 - w) + tput_[hi] * w;
+}
+
+void OnlineProfiler::record(std::size_t original_bytes,
+                            std::size_t compressed_bytes, double comp_seconds,
+                            double decomp_seconds, double comm_seconds,
+                            double total_seconds) {
+  ++n_;
+  orig_bytes_ += static_cast<double>(original_bytes);
+  comp_bytes_ += static_cast<double>(compressed_bytes);
+  comp_s_ += comp_seconds;
+  decomp_s_ += decomp_seconds;
+  comm_s_ += comm_seconds;
+  total_s_ += total_seconds;
+}
+
+WarmupProfile OnlineProfiler::finish() const {
+  WarmupProfile p;
+  p.iterations = n_;
+  if (n_ == 0) return p;
+  p.compression_ratio = comp_bytes_ > 0.0 ? orig_bytes_ / comp_bytes_ : 1.0;
+  p.comp_throughput = comp_s_ > 0.0 ? orig_bytes_ / comp_s_ : 1e18;
+  p.decomp_throughput = decomp_s_ > 0.0 ? comp_bytes_ / decomp_s_ : 1e18;
+  p.comm_fraction = total_s_ > 0.0 ? comm_s_ / total_s_ : 0.0;
+  return p;
+}
+
+double communication_speedup(std::size_t orig_bytes, std::size_t comp_bytes,
+                             const CommLookupTable& table,
+                             double comp_throughput,
+                             double decomp_throughput) noexcept {
+  if (orig_bytes == 0) return 1.0;
+  const double t_orig = table.allgather_time(orig_bytes);
+  const double t_comp_comm = table.allgather_time(comp_bytes);
+  const double t_compress =
+      comp_throughput > 0.0
+          ? static_cast<double>(orig_bytes) / comp_throughput
+          : 0.0;
+  const double t_decompress =
+      decomp_throughput > 0.0
+          ? static_cast<double>(comp_bytes) / decomp_throughput
+          : 0.0;
+  const double denom = t_comp_comm + t_compress + t_decompress;
+  return denom > 0.0 ? t_orig / denom : 1.0;
+}
+
+double end_to_end_speedup(double comm_fraction, double comm_speedup) noexcept {
+  const double r = std::clamp(comm_fraction, 0.0, 1.0);
+  const double s = std::max(comm_speedup, 1e-9);
+  return 1.0 / ((1.0 - r) + r / s);
+}
+
+AggregationDecision choose_aggregation_factor(
+    const std::vector<std::size_t>& layer_bytes, const WarmupProfile& profile,
+    const compress::GradientCompressor& compressor,
+    const gpusim::DeviceModel& dev, const CommLookupTable& table,
+    const std::vector<std::size_t>& candidates) {
+  AggregationDecision best;
+  best.est_end_to_end = 0.0;
+  for (std::size_t m : candidates) {
+    if (m == 0) continue;
+    // Group consecutive layers into chunks of m; estimate per-chunk time.
+    double t_orig = 0.0, t_new = 0.0;
+    for (std::size_t i = 0; i < layer_bytes.size(); i += m) {
+      std::size_t chunk = 0;
+      for (std::size_t j = i; j < std::min(i + m, layer_bytes.size()); ++j) {
+        chunk += layer_bytes[j];
+      }
+      if (chunk == 0) continue;
+      const auto comp_chunk = static_cast<std::size_t>(
+          static_cast<double>(chunk) /
+          std::max(profile.compression_ratio, 1.0));
+      t_orig += table.allgather_time(chunk);
+      // Compressor throughput for this chunk size from the device model:
+      // launch overhead amortizes with chunk size (§4.4's reason to
+      // aggregate small layers).
+      const double comp_tput =
+          compressor.modeled_throughput(dev, chunk, comp_chunk);
+      const double decomp_tput =
+          compressor.modeled_throughput(dev, comp_chunk, chunk);
+      t_new += table.allgather_time(comp_chunk) +
+               static_cast<double>(chunk) / comp_tput +
+               static_cast<double>(comp_chunk) / decomp_tput;
+    }
+    const double s = t_new > 0.0 ? t_orig / t_new : 1.0;
+    const double e2e = end_to_end_speedup(profile.comm_fraction, s);
+    best.candidate_end_to_end.push_back(e2e);
+    if (e2e > best.est_end_to_end) {
+      best.est_end_to_end = e2e;
+      best.est_comm_speedup = s;
+      best.factor = m;
+    }
+  }
+  return best;
+}
+
+std::vector<EncoderScore> score_encoders(
+    codec::ByteView sample, const gpusim::DeviceModel& dev,
+    const CommLookupTable& table,
+    std::span<const codec::CodecKind> candidates) {
+  std::vector<EncoderScore> out;
+  for (codec::CodecKind kind : candidates) {
+    const auto codec = codec::make_codec(kind);
+    const codec::Bytes enc = codec->encode(sample);
+    EncoderScore s;
+    s.kind = kind;
+    s.compression_ratio = enc.empty()
+                              ? 1.0
+                              : static_cast<double>(sample.size()) /
+                                    static_cast<double>(enc.size());
+    // Model the codec's GPU throughput from its cost profile.
+    const auto prof = codec->cost_profile();
+    const double eff_bw =
+        dev.effective_bandwidth() * prof.bandwidth_efficiency;
+    auto stage_time = [&](double passes, std::size_t bytes) {
+      const double serial = 1.0 - prof.parallel_fraction;
+      const double par_t = passes * static_cast<double>(bytes) / eff_bw;
+      // Amdahl: the serial fraction runs at single-SM-ish speed.
+      const double ser_t = serial * passes * static_cast<double>(bytes) /
+                           (eff_bw / static_cast<double>(dev.sm_count));
+      return dev.kernel_launch_s + par_t + ser_t;
+    };
+    const double t_enc = stage_time(prof.encode_passes, sample.size());
+    const double t_dec = stage_time(prof.decode_passes, enc.size());
+    s.comp_throughput =
+        t_enc > 0.0 ? static_cast<double>(sample.size()) / t_enc : 1e18;
+    s.decomp_throughput =
+        t_dec > 0.0 ? static_cast<double>(enc.size()) / t_dec : 1e18;
+    s.est_total_time = table.allgather_time(enc.size()) + t_enc + t_dec;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EncoderScore& a, const EncoderScore& b) {
+              return a.est_total_time < b.est_total_time;
+            });
+  return out;
+}
+
+}  // namespace compso::perf

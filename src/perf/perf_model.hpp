@@ -1,0 +1,123 @@
+#pragma once
+// COMPSO's performance model (paper §4.4).
+//
+// Offline: benchmark the system's collective throughput into a lookup
+// table mapping message size -> effective throughput (per GPU count).
+// Online: profile the first k warm-up iterations for compressed sizes and
+// compressor throughput, then
+//   - estimate the communication speedup s (Eq. 5),
+//   - turn it into an end-to-end estimate ((1-r) + r/s)^-1,
+//   - choose the layer-aggregation factor m maximizing that estimate,
+//   - choose the lossless encoder minimizing comm+codec time.
+
+#include "src/comm/communicator.hpp"
+#include "src/compress/compressor.hpp"
+#include "src/gpusim/device_model.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace compso::perf {
+
+/// Offline lookup table: effective allgather throughput (bytes/s per rank
+/// message) vs. message size, for one (platform, GPU count) pair. Built
+/// from the network model the same way the paper builds it from synthetic
+/// benchmarks.
+class CommLookupTable {
+ public:
+  /// Samples sizes geometrically in [min_bytes, max_bytes].
+  CommLookupTable(const comm::Communicator& comm,
+                  std::size_t min_bytes = 1 << 10,
+                  std::size_t max_bytes = std::size_t{1} << 28,
+                  std::size_t points = 24);
+
+  /// Interpolated effective throughput (bytes/s) for a per-rank message of
+  /// `bytes` in an allgather.
+  double throughput(std::size_t bytes) const noexcept;
+  /// Time to allgather a per-rank message of `bytes`.
+  double allgather_time(std::size_t bytes) const noexcept {
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(bytes) / throughput(bytes);
+  }
+
+  const std::vector<std::size_t>& sizes() const noexcept { return sizes_; }
+  const std::vector<double>& throughputs() const noexcept { return tput_; }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<double> tput_;
+};
+
+/// Averages from the first k warm-up iterations (§4.4's online half).
+struct WarmupProfile {
+  double compression_ratio = 1.0;   ///< L_o / L_c.
+  double comp_throughput = 0.0;     ///< T_o: bytes of input per second.
+  double decomp_throughput = 0.0;   ///< T_c: bytes of compressed per second.
+  double comm_fraction = 0.0;       ///< r: comm / total iteration time.
+  std::size_t iterations = 0;       ///< k.
+};
+
+/// Accumulates per-iteration observations into a WarmupProfile.
+class OnlineProfiler {
+ public:
+  void record(std::size_t original_bytes, std::size_t compressed_bytes,
+              double comp_seconds, double decomp_seconds,
+              double comm_seconds, double total_seconds);
+  WarmupProfile finish() const;
+  std::size_t iterations() const noexcept { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double orig_bytes_ = 0.0, comp_bytes_ = 0.0;
+  double comp_s_ = 0.0, decomp_s_ = 0.0;
+  double comm_s_ = 0.0, total_s_ = 0.0;
+};
+
+/// Eq. 5: communication speedup of compressing a group of layers with
+/// total original size `orig_bytes` to `comp_bytes`, given the lookup
+/// table and the measured compressor throughputs.
+double communication_speedup(std::size_t orig_bytes, std::size_t comp_bytes,
+                             const CommLookupTable& table,
+                             double comp_throughput,
+                             double decomp_throughput) noexcept;
+
+/// End-to-end gain ((1 - r) + r / s)^-1 for comm fraction r and
+/// communication speedup s.
+double end_to_end_speedup(double comm_fraction, double comm_speedup) noexcept;
+
+/// Result of the aggregation-factor search.
+struct AggregationDecision {
+  std::size_t factor = 1;
+  double est_comm_speedup = 1.0;
+  double est_end_to_end = 1.0;
+  /// Estimates per candidate (parallel to `candidates` passed in).
+  std::vector<double> candidate_end_to_end;
+};
+
+/// Chooses m (layers aggregated per compression call) maximizing the
+/// estimated end-to-end speedup. Aggregation helps twice: bigger messages
+/// ride the steeper part of the throughput curve, and kernel-launch
+/// overhead amortizes (small layers underutilize the GPU, §4.4).
+AggregationDecision choose_aggregation_factor(
+    const std::vector<std::size_t>& layer_bytes, const WarmupProfile& profile,
+    const compress::GradientCompressor& compressor,
+    const gpusim::DeviceModel& dev, const CommLookupTable& table,
+    const std::vector<std::size_t>& candidates = {1, 2, 4, 8, 16, 32});
+
+/// Per-encoder measurements for encoder selection (and Table 2 rows).
+struct EncoderScore {
+  codec::CodecKind kind;
+  double compression_ratio = 0.0;    ///< on the lossy-stage output bytes.
+  double comp_throughput = 0.0;      ///< modeled GPU GB-scale bytes/s.
+  double decomp_throughput = 0.0;
+  double est_total_time = 0.0;       ///< comm + codec time for the sample.
+};
+
+/// Scores every candidate encoder on a sample of lossy-stage output and
+/// returns them best-first (smallest est_total_time).
+std::vector<EncoderScore> score_encoders(
+    codec::ByteView sample, const gpusim::DeviceModel& dev,
+    const CommLookupTable& table,
+    std::span<const codec::CodecKind> candidates = codec::kAllCodecKinds);
+
+}  // namespace compso::perf

@@ -1,0 +1,78 @@
+#include "src/quant/bitpack.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace compso::quant {
+
+void BitWriter::write(std::uint64_t value, unsigned bits) {
+  if (bits == 0 || bits > 64) {
+    throw std::invalid_argument("BitWriter::write: bits must be in [1, 64]");
+  }
+  if (bits < 64) value &= (1ULL << bits) - 1;
+  bit_count_ += bits;
+  while (bits > 0) {
+    const unsigned take = std::min(bits, 64 - acc_bits_);
+    acc_ |= (take == 64 ? value : (value & ((1ULL << take) - 1))) << acc_bits_;
+    acc_bits_ += take;
+    value >>= (take == 64 ? 0 : take);
+    bits -= take;
+    while (acc_bits_ >= 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      acc_bits_ -= 8;
+    }
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  std::vector<std::uint8_t> out = bytes_;
+  if (acc_bits_ > 0) out.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+  return out;
+}
+
+std::uint64_t BitReader::read(unsigned bits) noexcept {
+  std::uint64_t out = 0;
+  unsigned got = 0;
+  while (got < bits && byte_pos_ < bytes_.size()) {
+    const unsigned avail = 8 - bit_pos_;
+    const unsigned take = std::min(avail, bits - got);
+    const std::uint64_t chunk =
+        (static_cast<std::uint64_t>(bytes_[byte_pos_]) >> bit_pos_) &
+        ((1ULL << take) - 1);
+    out |= chunk << got;
+    got += take;
+    bit_pos_ += take;
+    if (bit_pos_ == 8) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+  return out;
+}
+
+bool BitReader::exhausted() const noexcept { return byte_pos_ >= bytes_.size(); }
+
+unsigned required_bits(std::span<const std::int64_t> codes) noexcept {
+  std::uint64_t max_zz = 0;
+  for (std::int64_t c : codes) max_zz = std::max(max_zz, zigzag_encode(c));
+  const unsigned bits = static_cast<unsigned>(std::bit_width(max_zz));
+  return bits == 0 ? 1 : bits;
+}
+
+std::vector<std::uint8_t> pack_codes(std::span<const std::int64_t> codes,
+                                     unsigned bits) {
+  BitWriter w;
+  for (std::int64_t c : codes) w.write(zigzag_encode(c), bits);
+  return w.take();
+}
+
+std::vector<std::int64_t> unpack_codes(std::span<const std::uint8_t> bytes,
+                                       unsigned bits, std::size_t count) {
+  BitReader r(bytes);
+  std::vector<std::int64_t> out(count);
+  for (auto& c : out) c = zigzag_decode(r.read(bits));
+  return out;
+}
+
+}  // namespace compso::quant

@@ -1,0 +1,67 @@
+#pragma once
+// Variable-width bit packing: the mechanism that turns COMPSO's
+// error-bound-derived code width (e.g. 7 bits for eb = 1e-2, §4.3) into a
+// byte stream, instead of rounding the width up to 8/4-bit like fixed-rate
+// quantizers.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace compso::quant {
+
+/// Append-only bit stream writer (LSB-first within each byte).
+class BitWriter {
+ public:
+  /// Writes the low `bits` bits of `value` (bits in [1, 64]).
+  void write(std::uint64_t value, unsigned bits);
+  /// Flushes and returns the byte buffer (writer remains usable: the
+  /// returned copy reflects all writes so far).
+  std::vector<std::uint8_t> take();
+  std::size_t bit_count() const noexcept { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  unsigned acc_bits_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential bit stream reader (matching BitWriter's layout).
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads `bits` bits; returns them in the low bits of the result.
+  /// Reading past the end yields zero bits.
+  std::uint64_t read(unsigned bits) noexcept;
+  bool exhausted() const noexcept;
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t byte_pos_ = 0;
+  unsigned bit_pos_ = 0;
+};
+
+/// ZigZag mapping so small-magnitude signed codes become small unsigned
+/// values (dense low range -> entropy coders and bit packing both win).
+constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Smallest width that can hold every (zigzag-encoded) code.
+unsigned required_bits(std::span<const std::int64_t> codes) noexcept;
+
+/// Packs signed codes at the given width (zigzag + fixed-width).
+std::vector<std::uint8_t> pack_codes(std::span<const std::int64_t> codes,
+                                     unsigned bits);
+/// Inverse of pack_codes; `count` codes are read.
+std::vector<std::int64_t> unpack_codes(std::span<const std::uint8_t> bytes,
+                                       unsigned bits, std::size_t count);
+
+}  // namespace compso::quant

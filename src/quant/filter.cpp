@@ -1,0 +1,60 @@
+#include "src/quant/filter.hpp"
+
+#include "src/tensor/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace compso::quant {
+
+FilterResult apply_filter(std::span<const float> values,
+                          double relative_bound, double abs_max) {
+  if (relative_bound < 0.0) {
+    throw std::invalid_argument("apply_filter: bound must be >= 0");
+  }
+  if (abs_max <= 0.0) abs_max = tensor::extrema(values).abs_max;
+  FilterResult out;
+  out.total = values.size();
+  out.threshold = relative_bound * abs_max;
+  out.bitmap.assign((values.size() + 7) / 8, 0);
+  out.survivors.reserve(values.size() / 2);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::fabs(static_cast<double>(values[i])) < out.threshold) {
+      out.bitmap[i / 8] |= static_cast<std::uint8_t>(1U << (i % 8));
+      ++out.filtered;
+    } else {
+      out.survivors.push_back(values[i]);
+    }
+  }
+  return out;
+}
+
+void reconstruct_filtered(const FilterResult& f, std::span<float> out) {
+  if (out.size() != f.total) {
+    throw std::invalid_argument("reconstruct_filtered: size mismatch");
+  }
+  scatter_survivors(f.bitmap, f.survivors, out);
+}
+
+void scatter_survivors(std::span<const std::uint8_t> bitmap,
+                       std::span<const float> survivors,
+                       std::span<float> out) {
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (bitmap_get(bitmap, i)) {
+      out[i] = 0.0F;
+    } else {
+      if (s >= survivors.size()) {
+        throw std::invalid_argument(
+            "scatter_survivors: survivor count below bitmap zeros");
+      }
+      out[i] = survivors[s++];
+    }
+  }
+  if (s != survivors.size()) {
+    throw std::invalid_argument(
+        "scatter_survivors: survivor count above bitmap zeros");
+  }
+}
+
+}  // namespace compso::quant

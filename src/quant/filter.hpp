@@ -1,0 +1,53 @@
+#pragma once
+// COMPSO's lossy filter (§4.3, Alg. 1 "Filter Branch"): values whose
+// magnitude is below the filter bound map to zero and are recorded in a
+// bitmap; survivors are compacted for the SR branch.
+//
+// The bound is *relative to the buffer's value range* (like the SZ error
+// bound the paper compares against): threshold = eb_f * abs_max.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace compso::quant {
+
+/// Output of the filter stage.
+struct FilterResult {
+  /// Bit i set => value i was filtered (zeroed). LSB-first packing.
+  std::vector<std::uint8_t> bitmap;
+  /// The surviving values, in original order.
+  std::vector<float> survivors;
+  std::size_t total = 0;     ///< original element count.
+  std::size_t filtered = 0;  ///< number of zeroed values.
+  double threshold = 0.0;    ///< absolute threshold actually applied.
+
+  double filtered_fraction() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(filtered) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Applies the filter with a relative bound; pass `abs_max <= 0` to have it
+/// computed from `values`.
+FilterResult apply_filter(std::span<const float> values,
+                          double relative_bound, double abs_max = -1.0);
+
+/// Scatters `survivors` back into a full-size buffer using the bitmap
+/// (filtered positions become 0). `out.size()` must equal `total`.
+void reconstruct_filtered(const FilterResult& f, std::span<float> out);
+
+/// Scatter variant used after dequantization: survivors come from an
+/// external buffer (the dequantized SR branch), the bitmap from the filter.
+void scatter_survivors(std::span<const std::uint8_t> bitmap,
+                       std::span<const float> survivors,
+                       std::span<float> out);
+
+/// Bitmap helpers.
+inline bool bitmap_get(std::span<const std::uint8_t> bm,
+                       std::size_t i) noexcept {
+  return (bm[i / 8] >> (i % 8)) & 1U;
+}
+
+}  // namespace compso::quant

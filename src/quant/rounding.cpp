@@ -1,0 +1,37 @@
+#include "src/quant/rounding.hpp"
+
+#include <cmath>
+
+namespace compso::quant {
+
+const char* to_string(RoundingMode mode) noexcept {
+  switch (mode) {
+    case RoundingMode::kNearest: return "RN";
+    case RoundingMode::kStochastic: return "SR";
+    case RoundingMode::kHalfProbability: return "P0.5";
+  }
+  return "?";
+}
+
+std::int64_t round_value(double x, RoundingMode mode,
+                         tensor::Rng& rng) noexcept {
+  switch (mode) {
+    case RoundingMode::kNearest:
+      return static_cast<std::int64_t>(std::llround(x));
+    case RoundingMode::kStochastic: {
+      const double lo = std::floor(x);
+      const double frac = x - lo;  // p in Eq. 4
+      const bool up = static_cast<double>(rng.uniform()) < frac;
+      return static_cast<std::int64_t>(lo) + (up ? 1 : 0);
+    }
+    case RoundingMode::kHalfProbability: {
+      const double lo = std::floor(x);
+      if (x == lo) return static_cast<std::int64_t>(lo);
+      const bool up = rng.uniform() < 0.5F;
+      return static_cast<std::int64_t>(lo) + (up ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace compso::quant

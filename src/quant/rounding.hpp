@@ -1,0 +1,29 @@
+#pragma once
+// Rounding schemes studied in §4.2: rounding-to-nearest (RN), stochastic
+// rounding (SR, Eq. 4), and P0.5 ("mode-2 SR": up/down with probability
+// one-half regardless of the fractional part).
+//
+// Their error distributions differ in exactly the way the paper reports:
+// RN and P0.5 give uniform error; SR gives triangular error (and is
+// unbiased). Tests assert those shapes via stats::kurtosis.
+
+#include "src/tensor/rng.hpp"
+
+#include <cstdint>
+
+namespace compso::quant {
+
+enum class RoundingMode {
+  kNearest,          ///< deterministic, uniform error in [-step/2, step/2].
+  kStochastic,       ///< Eq. 4: unbiased, triangular error in (-step, step).
+  kHalfProbability,  ///< P0.5: up/down with p = 1/2, uniform error.
+};
+
+const char* to_string(RoundingMode mode) noexcept;
+
+/// Rounds `x` (a value already divided by the quantization step) to an
+/// integer code under the given mode.
+std::int64_t round_value(double x, RoundingMode mode,
+                         tensor::Rng& rng) noexcept;
+
+}  // namespace compso::quant

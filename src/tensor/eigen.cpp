@@ -1,0 +1,110 @@
+#include "src/tensor/eigen.hpp"
+
+#include "src/tensor/matrix_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace compso::tensor {
+
+EigenDecomposition eigh(const Tensor& m, int max_sweeps, double tol) {
+  if (m.rank() != 2 || m.rows() != m.cols()) {
+    throw std::invalid_argument("eigh: expected square matrix");
+  }
+  const std::size_t n = m.rows();
+  // Work in double for numerical robustness; factor matrices are small.
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) a[i] = m.data()[i];
+  // Symmetrize defensively (running-average factors can drift slightly).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (a[i * n + j] + a[j * n + i]);
+      a[i * n + j] = a[j * n + i] = avg;
+    }
+  }
+  std::vector<double> q(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) q[i * n + i] = 1.0;
+
+  double fro = 0.0;
+  for (double v : a) fro += v * v;
+  fro = std::sqrt(fro);
+  const double stop = tol * std::max(fro, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    }
+    if (std::sqrt(2.0 * off) <= stop) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t r = p + 1; r < n; ++r) {
+        const double apq = a[p * n + r];
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[r * n + r];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p and r of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + r];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + r] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[r * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[r * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate rotations into Q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double qkp = q[k * n + p];
+          const double qkq = q[k * n + r];
+          q[k * n + p] = c * qkp - s * qkq;
+          q[k * n + r] = s * qkp + c * qkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x * n + x] < a[y * n + y];
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Tensor({n, n});
+  for (std::size_t col = 0; col < n; ++col) {
+    const std::size_t src = order[col];
+    out.eigenvalues[col] = static_cast<float>(a[src * n + src]);
+    for (std::size_t rowi = 0; rowi < n; ++rowi) {
+      out.eigenvectors.at(rowi, col) = static_cast<float>(q[rowi * n + src]);
+    }
+  }
+  return out;
+}
+
+Tensor eigen_reconstruct(const EigenDecomposition& e) {
+  const std::size_t n = e.eigenvalues.size();
+  Tensor scaled({n, n});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      scaled.at(i, j) = e.eigenvectors.at(i, j) * e.eigenvalues[j];
+    }
+  }
+  Tensor out;
+  gemm_nt(scaled, e.eigenvectors, out);
+  return out;
+}
+
+}  // namespace compso::tensor

@@ -1,0 +1,26 @@
+#pragma once
+// Symmetric eigendecomposition (cyclic Jacobi) — the kernel KFAC uses to
+// invert its Kronecker factors (paper Eq. 2).
+
+#include "src/tensor/tensor.hpp"
+
+namespace compso::tensor {
+
+/// Result of eigendecomposing a symmetric matrix M = Q diag(v) Q^T.
+struct EigenDecomposition {
+  Tensor eigenvectors;         ///< (n x n), column i is the i-th eigenvector.
+  std::vector<float> eigenvalues;  ///< length n, ascending order.
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Converges quadratically; `max_sweeps` bounds work for the small factor
+/// matrices (d <= a few hundred) used by KFAC. Off-diagonal mass below
+/// `tol * frobenius_norm` terminates early.
+EigenDecomposition eigh(const Tensor& m, int max_sweeps = 32,
+                        double tol = 1e-10);
+
+/// Reconstructs Q diag(v) Q^T from a decomposition (testing / validation).
+Tensor eigen_reconstruct(const EigenDecomposition& e);
+
+}  // namespace compso::tensor

@@ -1,0 +1,150 @@
+#include "src/tensor/matrix_ops.hpp"
+
+#include <stdexcept>
+
+namespace compso::tensor {
+namespace {
+
+void check2(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(name) + ": expected rank-2 tensor");
+  }
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  check2(a, "gemm A");
+  check2(b, "gemm B");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != k) throw std::invalid_argument("gemm: inner dim mismatch");
+  if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
+    c = Tensor({m, n});
+  } else {
+    c.fill(0.0F);
+  }
+  // ikj loop order: streams B rows, accumulates into C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c.data() + i * n;
+    const float* arow = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0F) continue;
+      const float* brow = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  check2(a, "gemm_tn A");
+  check2(b, "gemm_tn B");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (b.rows() != k) throw std::invalid_argument("gemm_tn: inner dim mismatch");
+  if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
+    c = Tensor({m, n});
+  } else {
+    c.fill(0.0F);
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  check2(a, "gemm_nt A");
+  check2(b, "gemm_nt B");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (b.cols() != k) throw std::invalid_argument("gemm_nt: inner dim mismatch");
+  if (c.rank() != 2 || c.rows() != m || c.cols() != n) {
+    c = Tensor({m, n});
+  } else {
+    c.fill(0.0F);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0F;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  gemm(a, b, c);
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check2(a, "transpose");
+  Tensor t({a.cols(), a.rows()});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+void syrk_tn(const Tensor& a, float alpha, float beta, Tensor& c) {
+  check2(a, "syrk_tn A");
+  const std::size_t n = a.rows(), d = a.cols();
+  if (c.rank() != 2 || c.rows() != d || c.cols() != d) {
+    c = Tensor({d, d});
+    beta = 0.0F;
+  }
+  for (auto& v : c.span()) v *= beta;
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* row = a.data() + s * d;
+    for (std::size_t i = 0; i < d; ++i) {
+      const float av = alpha * row[i];
+      if (av == 0.0F) continue;
+      float* crow = c.data() + i * d;
+      for (std::size_t j = i; j < d; ++j) crow[j] += av * row[j];
+    }
+  }
+  // Mirror the upper triangle into the lower one.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) c.at(j, i) = c.at(i, j);
+  }
+}
+
+void gemv(const Tensor& a, std::span<const float> x, std::span<float> y) {
+  check2(a, "gemv A");
+  const std::size_t m = a.rows(), n = a.cols();
+  if (x.size() != n || y.size() != m) {
+    throw std::invalid_argument("gemv: shape mismatch");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    float acc = 0.0F;
+    for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void add_diagonal(Tensor& a, float value) {
+  check2(a, "add_diagonal");
+  const std::size_t n = std::min(a.rows(), a.cols());
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) += value;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+}  // namespace compso::tensor

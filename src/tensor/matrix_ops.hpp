@@ -1,0 +1,40 @@
+#pragma once
+// Dense matrix kernels used by the NN substrate and the KFAC optimizer.
+//
+// These are cache-blocked scalar kernels (the compiler vectorizes the inner
+// loops); they are not meant to compete with BLAS, only to be correct and
+// fast enough for the proxy models.
+
+#include "src/tensor/tensor.hpp"
+
+namespace compso::tensor {
+
+/// C = A * B.  A is (m x k), B is (k x n), C is (m x n).
+void gemm(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A^T * B.  A is (k x m), B is (k x n), C is (m x n).
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A * B^T.  A is (m x k), B is (n x k), C is (m x n).
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Returns A * B (allocating).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Returns A^T (allocating).
+Tensor transpose(const Tensor& a);
+
+/// C = alpha * A^T A + beta * C, for A of shape (n x d): the covariance
+/// accumulation at the heart of KFAC factor computation (Eq. 1).
+void syrk_tn(const Tensor& a, float alpha, float beta, Tensor& c);
+
+/// y = A x for A (m x n), x (n), y (m).
+void gemv(const Tensor& a, std::span<const float> x, std::span<float> y);
+
+/// Adds `value` to the diagonal of square matrix A (Tikhonov damping).
+void add_diagonal(Tensor& a, float value);
+
+/// Frobenius inner product <A, B>.
+double dot(const Tensor& a, const Tensor& b);
+
+}  // namespace compso::tensor

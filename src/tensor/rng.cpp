@@ -1,0 +1,97 @@
+#include "src/tensor/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace compso::tensor {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+std::uint64_t Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+float Rng::uniform() noexcept {
+  // 24 high bits -> float in [0, 1) with full float32 mantissa coverage.
+  return static_cast<float>((*this)() >> 40) * 0x1.0p-24F;
+}
+
+float Rng::uniform(float lo, float hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's multiply-shift rejection-free-enough mapping; bias is
+  // negligible for the index ranges used here (<< 2^32).
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+}
+
+float Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = uniform();
+  while (u1 <= 1e-12F) u1 = uniform();
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.0F * std::log(u1));
+  const float theta = 2.0F * std::numbers::pi_v<float> * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::normal(float mean, float stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+float Rng::laplace(float b) noexcept {
+  const float u = uniform() - 0.5F;
+  const float sign = u < 0.0F ? -1.0F : 1.0F;
+  return -b * sign * std::log(1.0F - 2.0F * std::fabs(u));
+}
+
+void Rng::fill_normal(std::span<float> out, float mean,
+                      float stddev) noexcept {
+  for (auto& v : out) v = normal(mean, stddev);
+}
+
+void Rng::fill_uniform(std::span<float> out, float lo, float hi) noexcept {
+  for (auto& v : out) v = uniform(lo, hi);
+}
+
+Rng Rng::split(std::uint64_t stream) const noexcept {
+  // Mix the current state with the stream id to derive a child seed.
+  std::uint64_t seed = state_[0] ^ rotl(state_[3], 13) ^
+                       (stream * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL);
+  return Rng(seed);
+}
+
+}  // namespace compso::tensor

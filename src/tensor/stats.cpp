@@ -1,0 +1,124 @@
+#include "src/tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace compso::tensor {
+
+Extrema extrema(std::span<const float> v) noexcept {
+  Extrema e;
+  if (v.empty()) return e;
+  e.min = e.max = v[0];
+  for (float x : v) {
+    e.min = std::min(e.min, x);
+    e.max = std::max(e.max, x);
+  }
+  e.abs_max = std::max(std::fabs(e.min), std::fabs(e.max));
+  return e;
+}
+
+double l2_norm(std::span<const float> v) noexcept {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+double mean(std::span<const float> v) noexcept {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (float x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(std::span<const float> v) noexcept {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (float x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double max_abs_error(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_abs_error: size mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return m;
+}
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("rmse: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double psnr(std::span<const float> a, std::span<const float> b) {
+  const double e = rmse(a, b);
+  const Extrema ex = extrema(a);
+  const double range = static_cast<double>(ex.max) - ex.min;
+  if (e <= 0.0) return 999.0;  // lossless
+  if (range <= 0.0) return 0.0;
+  return 20.0 * std::log10(range / e);
+}
+
+std::size_t Histogram::total() const noexcept {
+  std::size_t n = 0;
+  for (auto c : counts) n += c;
+  return n;
+}
+
+double Histogram::density(std::size_t i) const noexcept {
+  const std::size_t n = total();
+  if (n == 0 || counts.empty() || hi <= lo) return 0.0;
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  return static_cast<double>(counts[i]) / (static_cast<double>(n) * width);
+}
+
+double Histogram::bucket_center(std::size_t i) const noexcept {
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  return lo + width * (static_cast<double>(i) + 0.5);
+}
+
+Histogram histogram(std::span<const float> v, double lo, double hi,
+                    std::size_t bins) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("histogram: bad range or bins");
+  }
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (float x : v) {
+    auto idx = static_cast<long>((static_cast<double>(x) - lo) * scale);
+    idx = std::clamp(idx, 0L, static_cast<long>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+double kurtosis(std::span<const float> v) noexcept {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double m2 = 0.0, m4 = 0.0;
+  for (float x : v) {
+    const double d = x - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(v.size());
+  m4 /= static_cast<double>(v.size());
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2);
+}
+
+}  // namespace compso::tensor

@@ -1,0 +1,52 @@
+#pragma once
+// Statistics helpers: error metrics (L2, PSNR) and histograms used by the
+// rounding-method analysis (paper §4.2, Fig. 5) and by tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace compso::tensor {
+
+/// min / max / absolute-max of a buffer. The abs-max drives Eq. 3's
+/// normalization.
+struct Extrema {
+  float min = 0.0F;
+  float max = 0.0F;
+  float abs_max = 0.0F;
+};
+
+Extrema extrema(std::span<const float> v) noexcept;
+
+double l2_norm(std::span<const float> v) noexcept;
+double mean(std::span<const float> v) noexcept;
+double variance(std::span<const float> v) noexcept;
+/// Max |a[i] - b[i]|.
+double max_abs_error(std::span<const float> a, std::span<const float> b);
+/// Root-mean-square error between two equal-length buffers.
+double rmse(std::span<const float> a, std::span<const float> b);
+/// Peak signal-to-noise ratio in dB, using a's value range as peak.
+double psnr(std::span<const float> a, std::span<const float> b);
+
+/// Fixed-range histogram with `bins` equal-width buckets over [lo, hi];
+/// out-of-range samples are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const noexcept;
+  /// Normalized density for bucket i (integrates to ~1 over [lo, hi]).
+  double density(std::size_t i) const noexcept;
+  double bucket_center(std::size_t i) const noexcept;
+};
+
+Histogram histogram(std::span<const float> v, double lo, double hi,
+                    std::size_t bins);
+
+/// Skewness-free shape diagnostics used to classify error distributions:
+/// a uniform distribution on [-e, e] has kurtosis 1.8; a symmetric
+/// triangular distribution has kurtosis 2.4.
+double kurtosis(std::span<const float> v) noexcept;
+
+}  // namespace compso::tensor

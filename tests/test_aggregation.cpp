@@ -1,0 +1,147 @@
+// Tests for the functional layer-aggregation path in distributed KFAC
+// (§4.4): aggregated groups must roundtrip exactly, keep replicas in sync,
+// and improve the compressed ratio on small layers.
+
+#include "src/comm/communicator.hpp"
+#include "src/nn/dataset.hpp"
+#include "src/nn/model_zoo.hpp"
+#include "src/optim/dist_kfac.hpp"
+#include "src/tensor/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cm = compso::comm;
+namespace cp = compso::compress;
+namespace ct = compso::tensor;
+namespace nn = compso::nn;
+namespace opt = compso::optim;
+
+namespace {
+
+struct Fixture {
+  std::vector<nn::Model> replicas;
+  std::vector<nn::Model*> ptrs;
+  nn::ClusterDataset dataset{10, 4, 0.5F, 31};
+
+  Fixture(std::size_t world, std::size_t depth) {
+    for (std::size_t r = 0; r < world; ++r) {
+      ct::Rng rng(777);
+      replicas.push_back(nn::make_mlp_classifier(10, 12, 4, depth, rng));
+    }
+    for (auto& m : replicas) ptrs.push_back(&m);
+  }
+
+  void fwd_bwd(ct::Rng& data_rng) {
+    for (auto& m : replicas) {
+      const auto batch = dataset.sample(8, data_rng);
+      const auto logits = m.forward(batch.x);
+      ct::Tensor grad;
+      nn::softmax_cross_entropy(logits, batch.labels, grad);
+      m.backward(grad);
+    }
+  }
+
+  double divergence() {
+    double worst = 0.0;
+    for (std::size_t li : replicas[0].trainable_layers()) {
+      const auto& w0 = *replicas[0].layer(li).weight();
+      for (std::size_t r = 1; r < replicas.size(); ++r) {
+        worst = std::max(worst,
+                         ct::max_abs_error(
+                             w0.span(), replicas[r].layer(li).weight()->span()));
+      }
+    }
+    return worst;
+  }
+};
+
+class AggregationFactor : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AggregationFactor, LosslessPathIsExactAcrossFactors) {
+  // Without a compressor, any aggregation factor must produce exactly the
+  // same weights as m=1 (pure re-layout of the same bytes).
+  const std::size_t m = GetParam();
+  auto run = [&](std::size_t agg) {
+    Fixture f(2, 4);  // 5 trainable layers over 2 ranks
+    cm::Communicator comm(cm::Topology::with_gpus(2),
+                          cm::NetworkModel::platform1());
+    opt::DistKfacConfig cfg;
+    cfg.damping = 0.1;
+    cfg.aggregation = agg;
+    opt::DistKfac kfac(cfg, comm, f.ptrs);
+    ct::Rng data_rng(1), sr_rng(2);
+    for (std::size_t t = 0; t < 5; ++t) {
+      f.fwd_bwd(data_rng);
+      kfac.step(t, 0.01, nullptr, sr_rng);
+    }
+    std::vector<float> weights;
+    for (std::size_t li : f.replicas[0].trainable_layers()) {
+      const auto s = f.replicas[0].layer(li).weight()->span();
+      weights.insert(weights.end(), s.begin(), s.end());
+    }
+    return weights;
+  };
+  EXPECT_EQ(run(m), run(1)) << "m=" << m;
+}
+
+TEST_P(AggregationFactor, ReplicasStaySynchronizedWithCompression) {
+  const std::size_t m = GetParam();
+  Fixture f(4, 4);
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  opt::DistKfacConfig cfg;
+  cfg.damping = 0.1;
+  cfg.aggregation = m;
+  opt::DistKfac kfac(cfg, comm, f.ptrs);
+  const auto compso = cp::make_compso({});
+  ct::Rng data_rng(1), sr_rng(2);
+  for (std::size_t t = 0; t < 5; ++t) {
+    f.fwd_bwd(data_rng);
+    kfac.step(t, 0.01, compso.get(), sr_rng);
+    EXPECT_EQ(f.divergence(), 0.0) << "m=" << m << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, AggregationFactor,
+                         ::testing::Values(1, 2, 3, 4, 8, 100));
+
+TEST(Aggregation, ImprovesRatioOnSmallLayers) {
+  // Many small layers: per-payload headers (codec tables, metadata)
+  // dominate at m=1 and amortize at larger m.
+  auto measured_cr = [&](std::size_t m) {
+    Fixture f(2, 6);  // 7 small trainable layers
+    cm::Communicator comm(cm::Topology::with_gpus(2),
+                          cm::NetworkModel::platform1());
+    opt::DistKfacConfig cfg;
+    cfg.damping = 0.1;
+    cfg.aggregation = m;
+    opt::DistKfac kfac(cfg, comm, f.ptrs);
+    const auto compso = cp::make_compso({});
+    ct::Rng data_rng(1), sr_rng(2);
+    f.fwd_bwd(data_rng);
+    kfac.step(0, 0.01, compso.get(), sr_rng);
+    return static_cast<double>(kfac.last_original_bytes()) /
+           static_cast<double>(kfac.last_compressed_bytes());
+  };
+  EXPECT_GT(measured_cr(8), measured_cr(1));
+}
+
+TEST(Aggregation, ConvergenceUnaffected) {
+  Fixture f(4, 2);
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  opt::DistKfacConfig cfg;
+  cfg.damping = 0.1;
+  cfg.aggregation = 4;
+  opt::DistKfac kfac(cfg, comm, f.ptrs);
+  const auto compso = cp::make_compso({});
+  ct::Rng data_rng(1), sr_rng(2), eval_rng(3);
+  for (std::size_t t = 0; t < 60; ++t) {
+    f.fwd_bwd(data_rng);
+    kfac.step(t, 0.01, compso.get(), sr_rng);
+  }
+  const auto batch = f.dataset.sample(256, eval_rng);
+  EXPECT_GT(nn::accuracy(f.replicas[0].forward(batch.x), batch.labels), 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Tests for the transformer blocks: TokenLinear weight sharing,
+// SelfAttention forward/backward (finite differences through the softmax),
+// and end-to-end transformer training with distributed KFAC + COMPSO.
+
+#include "src/comm/communicator.hpp"
+#include "src/nn/attention.hpp"
+#include "src/nn/dataset.hpp"
+#include "src/optim/dist_kfac.hpp"
+#include "src/optim/first_order.hpp"
+#include "src/tensor/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nn = compso::nn;
+namespace ct = compso::tensor;
+
+namespace {
+
+TEST(TokenLinear, SharesWeightsAcrossTokens) {
+  ct::Rng rng(1);
+  nn::TokenLinear tl(3, 2, 2, rng);
+  // Same token content at every position -> same output per position.
+  ct::Tensor x({1, 6}, {0.5F, -1.0F, 0.5F, -1.0F, 0.5F, -1.0F});
+  const auto y = tl.forward(x);
+  EXPECT_FLOAT_EQ(y[0], y[2]);
+  EXPECT_FLOAT_EQ(y[0], y[4]);
+  EXPECT_FLOAT_EQ(y[1], y[3]);
+}
+
+TEST(TokenLinear, GradientMatchesFiniteDifference) {
+  ct::Rng rng(2);
+  nn::TokenLinear tl(4, 3, 2, rng);
+  ct::Tensor x({2, 12});
+  rng.fill_normal(x.span());
+  tl.forward(x);
+  ct::Tensor ones({2, 8});
+  ones.fill(1.0F);
+  tl.backward(ones);
+  const ct::Tensor analytic = *tl.weight_grad();
+  const float eps = 1e-3F;
+  for (std::size_t idx = 0; idx < 6; ++idx) {
+    const float orig = tl.weight()->data()[idx];
+    tl.weight()->data()[idx] = orig + eps;
+    const auto yp = tl.forward(x);
+    tl.weight()->data()[idx] = orig - eps;
+    const auto ym = tl.forward(x);
+    tl.weight()->data()[idx] = orig;
+    double sp = 0.0, sm = 0.0;
+    for (std::size_t i = 0; i < yp.size(); ++i) {
+      sp += yp[i];
+      sm += ym[i];
+    }
+    EXPECT_NEAR(analytic[idx], (sp - sm) / (2.0 * eps), 0.05) << idx;
+  }
+}
+
+TEST(TokenLinear, KfacHooksAccumulateOverTokens) {
+  ct::Rng rng(3);
+  nn::TokenLinear tl(5, 3, 2, rng);
+  ct::Tensor x({2, 15});
+  rng.fill_normal(x.span());
+  tl.forward(x);
+  ASSERT_NE(tl.kfac_input(), nullptr);
+  EXPECT_EQ(tl.kfac_input()->rows(), 10U);  // batch * seq
+  EXPECT_EQ(tl.kfac_input()->cols(), 4U);   // in + 1
+}
+
+TEST(SelfAttention, UniformTokensGiveUniformMixing) {
+  // Identical tokens -> uniform attention -> output equals input tokens.
+  nn::SelfAttention attn(4, 3);
+  ct::Tensor x({1, 12});
+  for (std::size_t t = 0; t < 4; ++t) {
+    x[t * 3 + 0] = 1.0F;
+    x[t * 3 + 1] = -0.5F;
+    x[t * 3 + 2] = 0.25F;
+  }
+  const auto y = attn.forward(x);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(y[i], x[i], 1e-6);
+}
+
+TEST(SelfAttention, AttendsToSimilarTokens) {
+  // Token 0 similar to token 1, dissimilar to 2: its output should move
+  // toward token 1's value.
+  nn::SelfAttention attn(3, 2);
+  ct::Tensor x({1, 6}, {2.0F, 0.0F, 2.1F, 0.0F, 0.0F, 2.0F});
+  const auto y = attn.forward(x);
+  // Output token 0 keeps a dominant first component.
+  EXPECT_GT(y[0], y[1]);
+}
+
+TEST(SelfAttention, InputGradientMatchesFiniteDifference) {
+  ct::Rng rng(4);
+  nn::SelfAttention attn(3, 2);
+  ct::Tensor x({1, 6});
+  rng.fill_normal(x.span(), 0.0F, 0.5F);
+  attn.forward(x);
+  ct::Tensor g({1, 6});
+  rng.fill_normal(g.span());
+  const auto gin = attn.backward(g);
+
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < 6; ++i) {
+    ct::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const auto yp = attn.forward(xp);
+    const auto ym = attn.forward(xm);
+    double fp = 0.0, fm = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) {
+      fp += static_cast<double>(yp[j]) * g[j];
+      fm += static_cast<double>(ym[j]) * g[j];
+    }
+    EXPECT_NEAR(gin[i], (fp - fm) / (2.0 * eps), 5e-3) << i;
+  }
+}
+
+TEST(SelfAttention, BatchIndependence) {
+  // Two samples processed in one batch match the same samples processed
+  // separately (no cross-batch attention).
+  ct::Rng rng(5);
+  nn::SelfAttention attn(3, 2);
+  ct::Tensor both({2, 6});
+  rng.fill_normal(both.span());
+  const auto y_both = attn.forward(both);
+  ct::Tensor first({1, 6},
+                   std::vector<float>(both.data(), both.data() + 6));
+  nn::SelfAttention attn2(3, 2);
+  const auto y_first = attn2.forward(first);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(y_both[i], y_first[i]);
+  }
+}
+
+TEST(Transformer, LearnsTokenOrderTask) {
+  // Classify by which token position carries the planted marker — a task
+  // that requires cross-token communication (attention), not just
+  // per-token features.
+  ct::Rng rng(6);
+  const std::size_t seq = 4, feat = 6;
+  auto model = nn::make_transformer_classifier(seq, feat, 8, seq, 1, rng);
+  compso::optim::Sgd sgd(0.9);
+  auto sample = [&](std::size_t batch, ct::Rng& r) {
+    nn::Batch b;
+    b.x = ct::Tensor({batch, seq * feat});
+    b.labels.resize(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto cls = static_cast<int>(r.uniform_index(seq));
+      b.labels[i] = cls;
+      for (auto& v : b.x.span().subspan(i * seq * feat, seq * feat)) {
+        v = r.normal(0.0F, 0.3F);
+      }
+      // Marker pattern on token `cls`.
+      for (std::size_t f = 0; f < feat; f += 2) {
+        b.x.at(i, static_cast<std::size_t>(cls) * feat + f) += 2.0F;
+      }
+    }
+    return b;
+  };
+  ct::Rng data_rng(7);
+  for (int t = 0; t < 200; ++t) {
+    const auto b = sample(16, data_rng);
+    const auto logits = model.forward(b.x);
+    ct::Tensor grad;
+    nn::softmax_cross_entropy(logits, b.labels, grad);
+    model.backward(grad);
+    sgd.step(model, 0.02);
+  }
+  ct::Rng eval_rng(8);
+  const auto b = sample(256, eval_rng);
+  EXPECT_GT(nn::accuracy(model.forward(b.x), b.labels), 0.9);
+}
+
+TEST(Transformer, DistributedKfacWithCompsoConverges) {
+  const std::size_t world = 2, seq = 3, feat = 4;
+  std::vector<nn::Model> replicas;
+  for (std::size_t r = 0; r < world; ++r) {
+    ct::Rng rng(44);
+    replicas.push_back(
+        nn::make_transformer_classifier(seq, feat, 6, seq, 1, rng));
+  }
+  std::vector<nn::Model*> ptrs;
+  for (auto& m : replicas) ptrs.push_back(&m);
+  compso::comm::Communicator comm(compso::comm::Topology::with_gpus(world),
+                                  compso::comm::NetworkModel::platform1());
+  compso::optim::DistKfacConfig cfg;
+  cfg.damping = 0.1;
+  cfg.aggregation = 2;
+  compso::optim::DistKfac kfac(cfg, comm, ptrs);
+  const auto compso = compso::compress::make_compso({});
+
+  auto sample = [&](std::size_t batch, ct::Rng& r) {
+    nn::Batch b;
+    b.x = ct::Tensor({batch, seq * feat});
+    b.labels.resize(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto cls = static_cast<int>(r.uniform_index(seq));
+      b.labels[i] = cls;
+      for (auto& v : b.x.span().subspan(i * seq * feat, seq * feat)) {
+        v = r.normal(0.0F, 0.3F);
+      }
+      for (std::size_t f = 0; f < feat; f += 2) {
+        b.x.at(i, static_cast<std::size_t>(cls) * feat + f) += 2.0F;
+      }
+    }
+    return b;
+  };
+  ct::Rng data_rng(9), sr_rng(10);
+  for (std::size_t t = 0; t < 120; ++t) {
+    for (auto& m : replicas) {
+      const auto b = sample(8, data_rng);
+      const auto logits = m.forward(b.x);
+      ct::Tensor grad;
+      nn::softmax_cross_entropy(logits, b.labels, grad);
+      m.backward(grad);
+    }
+    kfac.step(t, 0.01, compso.get(), sr_rng);
+  }
+  ct::Rng eval_rng(11);
+  const auto b = sample(256, eval_rng);
+  EXPECT_GT(nn::accuracy(replicas[0].forward(b.x), b.labels), 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Codec edge cases: block boundaries, degenerate alphabets, window limits,
+// and exact-size bookkeeping that the broad roundtrip sweep can miss.
+
+#include "src/codec/ans.hpp"
+#include "src/codec/codec.hpp"
+#include "src/codec/huffman.hpp"
+#include "src/codec/lz77.hpp"
+#include "src/tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace cc = compso::codec;
+using compso::tensor::Rng;
+
+namespace {
+
+TEST(BitcompEdge, BlockBoundarySizes) {
+  const auto codec = cc::make_codec(cc::CodecKind::kBitcomp);
+  Rng rng(1);
+  for (std::size_t n : {4095UL, 4096UL, 4097UL, 8192UL, 12287UL}) {
+    cc::Bytes data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(7));
+    EXPECT_EQ(codec->decode(codec->encode(data)), data) << n;
+  }
+}
+
+TEST(BitcompEdge, PerBlockRangesAreExploited) {
+  // Two blocks with different tight ranges must both pack narrow.
+  cc::Bytes data;
+  data.insert(data.end(), 4096, 100);  // width 0 block
+  for (int i = 0; i < 4096; ++i) {
+    data.push_back(static_cast<std::uint8_t>(200 + (i % 4)));  // width 2
+  }
+  const auto codec = cc::make_codec(cc::CodecKind::kBitcomp);
+  const auto enc = codec->encode(data);
+  EXPECT_LT(enc.size(), data.size() / 4);
+  EXPECT_EQ(codec->decode(enc), data);
+}
+
+TEST(CascadedEdge, SingleRunCollapses) {
+  const cc::Bytes data(100000, 42);
+  const auto codec = cc::make_codec(cc::CodecKind::kCascaded);
+  const auto enc = codec->encode(data);
+  EXPECT_LT(enc.size(), 64U);
+  EXPECT_EQ(codec->decode(enc), data);
+}
+
+TEST(CascadedEdge, AlternatingBytesWorstCase) {
+  cc::Bytes data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i % 2 ? 255 : 0);
+  }
+  const auto codec = cc::make_codec(cc::CodecKind::kCascaded);
+  // Run length 1 everywhere: stored-block fallback keeps it bounded.
+  const auto enc = codec->encode(data);
+  EXPECT_LE(enc.size(), data.size() + 64);
+  EXPECT_EQ(codec->decode(enc), data);
+}
+
+TEST(AnsEdge, FullAlphabetUniform) {
+  cc::Bytes data(256 * 64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i % 256);
+  }
+  EXPECT_EQ(cc::rans_decode(cc::rans_encode(data)), data);
+}
+
+TEST(AnsEdge, ExtremeSkew) {
+  // One symbol at ~99.99%, 200 rare symbols with 1-2 occurrences: the
+  // frequency normalizer must keep every present symbol >= 1 slot.
+  cc::Bytes data(100000, 7);
+  Rng rng(2);
+  for (int s = 0; s < 200; ++s) {
+    data[rng.uniform_index(data.size())] = static_cast<std::uint8_t>(s);
+  }
+  const auto enc = cc::rans_encode(data);
+  EXPECT_LT(enc.size(), data.size() / 10);
+  EXPECT_EQ(cc::rans_decode(enc), data);
+}
+
+TEST(AnsEdge, TwoSymbols) {
+  Rng rng(3);
+  cc::Bytes data(50000);
+  for (auto& b : data) b = rng.uniform() < 0.9F ? 0 : 255;
+  const auto enc = cc::rans_encode(data);
+  // H(0.9) ~ 0.469 bits/byte -> ~8.5% of original + table.
+  EXPECT_LT(enc.size(), data.size() / 6);
+  EXPECT_EQ(cc::rans_decode(enc), data);
+}
+
+TEST(HuffmanEdge, TwoSymbolAlphabetIsOneBit) {
+  cc::Bytes data(80000);
+  Rng rng(4);
+  for (auto& b : data) b = rng.uniform() < 0.5F ? 'a' : 'b';
+  const auto enc = cc::huffman_encode(data);
+  // 1 bit/byte + 256-byte table + header.
+  EXPECT_LT(enc.size(), data.size() / 7);
+  EXPECT_EQ(cc::huffman_decode(enc), data);
+}
+
+TEST(HuffmanEdge, DeepTreeFromExponentialSkew) {
+  // Frequencies ~2^-k build a maximally deep tree; decode must handle
+  // long codes.
+  cc::Bytes data;
+  std::size_t count = 1;
+  for (int s = 0; s < 20; ++s) {
+    data.insert(data.end(), count, static_cast<std::uint8_t>(s));
+    count *= 2;
+  }
+  Rng rng(5);
+  // Shuffle so the encoder sees interleaved symbols.
+  for (std::size_t i = data.size(); i > 1; --i) {
+    std::swap(data[i - 1], data[rng.uniform_index(i)]);
+  }
+  EXPECT_EQ(cc::huffman_decode(cc::huffman_encode(data)), data);
+}
+
+TEST(Lz77Edge, MatchAtWindowLimit) {
+  // A phrase recurring exactly at the window boundary must still decode
+  // (whether or not the parser chose to match it).
+  cc::Lz77Params params;
+  params.window = 1024;
+  cc::Bytes data;
+  Rng rng(6);
+  cc::Bytes phrase(32);
+  for (auto& b : phrase) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  data.insert(data.end(), phrase.begin(), phrase.end());
+  // Filler of exactly window - phrase size.
+  for (std::size_t i = 0; i < 1024 - 32; ++i) {
+    data.push_back(static_cast<std::uint8_t>(rng() & 0xFF));
+  }
+  data.insert(data.end(), phrase.begin(), phrase.end());
+  const auto tokens = cc::lz77_parse(data, params);
+  const auto s = cc::lz77_serialize(data, tokens);
+  EXPECT_EQ(cc::lz77_deserialize(s.literals, s.tokens, data.size()), data);
+}
+
+TEST(Lz77Edge, MaxMatchLengthHonored) {
+  cc::Lz77Params params;
+  params.max_match = 64;
+  const cc::Bytes data(10000, 9);  // one giant run
+  const auto tokens = cc::lz77_parse(data, params);
+  for (const auto& t : tokens) {
+    EXPECT_LE(t.match_len, 64U);
+  }
+  const auto s = cc::lz77_serialize(data, tokens);
+  EXPECT_EQ(cc::lz77_deserialize(s.literals, s.tokens, data.size()), data);
+}
+
+TEST(Lz77Edge, LazyParseRoundtrips) {
+  cc::Lz77Params params;
+  params.lazy = true;
+  Rng rng(7);
+  cc::Bytes data;
+  cc::Bytes phrase(23);
+  for (auto& b : phrase) b = static_cast<std::uint8_t>(rng.uniform_index(5));
+  while (data.size() < 30000) {
+    data.insert(data.end(), phrase.begin(), phrase.end());
+    data.push_back(static_cast<std::uint8_t>(rng() & 0xFF));
+  }
+  const auto tokens = cc::lz77_parse(data, params);
+  const auto s = cc::lz77_serialize(data, tokens);
+  EXPECT_EQ(cc::lz77_deserialize(s.literals, s.tokens, data.size()), data);
+}
+
+TEST(StoredFallback, HeaderOverheadIsBounded) {
+  // Incompressible single bytes: every codec's output stays within header
+  // + mode overhead of the input, even for size 1.
+  Rng rng(8);
+  for (auto kind : cc::kAllCodecKinds) {
+    const auto codec = cc::make_codec(kind);
+    for (std::size_t n : {1UL, 2UL, 3UL}) {
+      cc::Bytes data(n);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 0xFF);
+      const auto enc = codec->encode(data);
+      EXPECT_LE(enc.size(), n + 32) << codec->name() << " n=" << n;
+      EXPECT_EQ(codec->decode(enc), data) << codec->name();
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Tests for the Conv2d (im2col) layer: finite-difference gradient checks,
+// KFAC hook shapes, and end-to-end CNN training with distributed KFAC.
+
+#include "src/comm/communicator.hpp"
+#include "src/nn/conv.hpp"
+#include "src/nn/dataset.hpp"
+#include "src/optim/dist_kfac.hpp"
+#include "src/optim/first_order.hpp"
+#include "src/tensor/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nn = compso::nn;
+namespace ct = compso::tensor;
+
+namespace {
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  // 1x1 "kernel": k must be odd, use k=1: conv with weight=1 is identity.
+  ct::Rng rng(1);
+  nn::Conv2d conv(1, 1, 1, 4, 4, rng);
+  conv.weight()->fill(1.0F);
+  (*conv.bias())[0] = 0.0F;
+  ct::Tensor x({2, 16});
+  rng.fill_normal(x.span());
+  const auto y = conv.forward(x);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, KnownAveragingKernel) {
+  // 3x3 all-ones kernel on a constant image: interior outputs are 9,
+  // edges/corners less (zero padding).
+  ct::Rng rng(2);
+  nn::Conv2d conv(1, 1, 3, 3, 3, rng);
+  conv.weight()->fill(1.0F);
+  (*conv.bias())[0] = 0.0F;
+  ct::Tensor x({1, 9});
+  x.fill(1.0F);
+  const auto y = conv.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 4), 9.0F);  // center
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.0F);  // corner
+  EXPECT_FLOAT_EQ(y.at(0, 1), 6.0F);  // edge
+}
+
+TEST(Conv2d, WeightGradientMatchesFiniteDifference) {
+  ct::Rng rng(3);
+  nn::Conv2d conv(2, 2, 3, 4, 4, rng);
+  ct::Tensor x({2, 2 * 16});
+  rng.fill_normal(x.span());
+  conv.forward(x);
+  ct::Tensor ones({2, 2 * 16});
+  ones.fill(1.0F);
+  conv.backward(ones);
+  const ct::Tensor analytic = *conv.weight_grad();
+
+  const float eps = 1e-2F;
+  // Spot-check a scattering of weight coordinates.
+  for (std::size_t idx : {0UL, 5UL, 17UL, 23UL, 35UL}) {
+    const float orig = conv.weight()->data()[idx];
+    conv.weight()->data()[idx] = orig + eps;
+    const auto yp = conv.forward(x);
+    conv.weight()->data()[idx] = orig - eps;
+    const auto ym = conv.forward(x);
+    conv.weight()->data()[idx] = orig;
+    double sp = 0.0, sm = 0.0;
+    for (std::size_t i = 0; i < yp.size(); ++i) {
+      sp += yp[i];
+      sm += ym[i];
+    }
+    EXPECT_NEAR(analytic[idx], (sp - sm) / (2.0 * eps), 0.05) << idx;
+  }
+}
+
+TEST(Conv2d, InputGradientMatchesFiniteDifference) {
+  ct::Rng rng(4);
+  nn::Conv2d conv(1, 2, 3, 3, 3, rng);
+  ct::Tensor x({1, 9});
+  rng.fill_normal(x.span());
+  conv.forward(x);
+  ct::Tensor ones({1, 18});
+  ones.fill(1.0F);
+  const auto gin = conv.backward(ones);
+
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < 9; ++i) {
+    ct::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const auto yp = conv.forward(xp);
+    const auto ym = conv.forward(xm);
+    double sp = 0.0, sm = 0.0;
+    for (std::size_t j = 0; j < yp.size(); ++j) {
+      sp += yp[j];
+      sm += ym[j];
+    }
+    EXPECT_NEAR(gin[i], (sp - sm) / (2.0 * eps), 0.05) << i;
+  }
+}
+
+TEST(Conv2d, KfacHooksHavePatchShapes) {
+  ct::Rng rng(5);
+  nn::Conv2d conv(2, 3, 3, 4, 4, rng);
+  ct::Tensor x({2, 2 * 16});
+  rng.fill_normal(x.span());
+  conv.forward(x);
+  ct::Tensor g({2, 3 * 16});
+  rng.fill_normal(g.span());
+  conv.backward(g);
+  // A-factor input: (batch*positions, in_ch*k*k + 1).
+  ASSERT_NE(conv.kfac_input(), nullptr);
+  EXPECT_EQ(conv.kfac_input()->rows(), 2U * 16U);
+  EXPECT_EQ(conv.kfac_input()->cols(), 2U * 9U + 1U);
+  // G-factor input: (batch*positions, out_ch).
+  ASSERT_NE(conv.kfac_grad_output(), nullptr);
+  EXPECT_EQ(conv.kfac_grad_output()->rows(), 2U * 16U);
+  EXPECT_EQ(conv.kfac_grad_output()->cols(), 3U);
+}
+
+TEST(Conv2d, EvenKernelRejected) {
+  ct::Rng rng(6);
+  EXPECT_THROW(nn::Conv2d(1, 1, 2, 4, 4, rng), std::invalid_argument);
+}
+
+TEST(CnnTraining, SgdLearnsSpatialPattern) {
+  // Classify 6x6 single-channel images by which quadrant carries a bright
+  // blob — a genuinely spatial task a conv should learn quickly.
+  ct::Rng rng(7);
+  auto model = nn::make_cnn_classifier(1, 6, 4, 4, rng);
+  compso::optim::Sgd sgd(0.9);
+  auto sample = [&](std::size_t batch, ct::Rng& r) {
+    nn::Batch b;
+    b.x = ct::Tensor({batch, 36});
+    b.labels.resize(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto q = static_cast<int>(r.uniform_index(4));
+      b.labels[i] = q;
+      for (auto& v : b.x.span().subspan(i * 36, 36)) v = r.normal(0.0F, 0.3F);
+      const std::size_t oy = (q / 2) * 3, ox = (q % 2) * 3;
+      for (std::size_t dy = 0; dy < 3; ++dy) {
+        for (std::size_t dx = 0; dx < 3; ++dx) {
+          b.x.at(i, (oy + dy) * 6 + ox + dx) += 2.0F;
+        }
+      }
+    }
+    return b;
+  };
+  ct::Rng data_rng(8);
+  for (int t = 0; t < 120; ++t) {
+    const auto b = sample(16, data_rng);
+    const auto logits = model.forward(b.x);
+    ct::Tensor grad;
+    nn::softmax_cross_entropy(logits, b.labels, grad);
+    model.backward(grad);
+    sgd.step(model, 0.02);
+  }
+  ct::Rng eval_rng(9);
+  const auto b = sample(256, eval_rng);
+  EXPECT_GT(nn::accuracy(model.forward(b.x), b.labels), 0.9);
+}
+
+TEST(CnnTraining, DistributedKfacOnConvLayersConverges) {
+  // The KFAC hooks of Conv2d feed the same DistKfac machinery: the factor
+  // shapes differ per layer but the pipeline is unchanged (KFC form).
+  const std::size_t world = 2;
+  std::vector<nn::Model> replicas;
+  for (std::size_t r = 0; r < world; ++r) {
+    ct::Rng rng(99);
+    replicas.push_back(nn::make_cnn_classifier(1, 5, 3, 3, rng));
+  }
+  std::vector<nn::Model*> ptrs;
+  for (auto& m : replicas) ptrs.push_back(&m);
+  compso::comm::Communicator comm(compso::comm::Topology::with_gpus(world),
+                                  compso::comm::NetworkModel::platform1());
+  compso::optim::DistKfacConfig cfg;
+  cfg.damping = 0.1;
+  compso::optim::DistKfac kfac(cfg, comm, ptrs);
+  const auto compso = compso::compress::make_compso({});
+
+  auto sample = [&](std::size_t batch, ct::Rng& r) {
+    nn::Batch b;
+    b.x = ct::Tensor({batch, 25});
+    b.labels.resize(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto cls = static_cast<int>(r.uniform_index(3));
+      b.labels[i] = cls;
+      for (auto& v : b.x.span().subspan(i * 25, 25)) v = r.normal(0.0F, 0.3F);
+      // Class = which row band is bright.
+      for (std::size_t c = 0; c < 5; ++c) {
+        b.x.at(i, static_cast<std::size_t>(cls) * 2 * 5 + c) += 2.0F;
+      }
+    }
+    return b;
+  };
+  ct::Rng data_rng(10), sr_rng(11);
+  for (std::size_t t = 0; t < 50; ++t) {
+    for (auto& m : replicas) {
+      const auto b = sample(8, data_rng);
+      const auto logits = m.forward(b.x);
+      ct::Tensor grad;
+      nn::softmax_cross_entropy(logits, b.labels, grad);
+      m.backward(grad);
+    }
+    kfac.step(t, 0.01, compso.get(), sr_rng);
+  }
+  ct::Rng eval_rng(12);
+  const auto b = sample(256, eval_rng);
+  EXPECT_GT(nn::accuracy(replicas[0].forward(b.x), b.labels), 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// End-to-end integration: the full COMPSO workflow a user would run —
+// build the framework, tune it on warm-up gradients, train distributed
+// KFAC with the per-iteration compressor it provides, and verify both the
+// learning outcome and the communication savings.
+
+#include "src/core/bound_tuner.hpp"
+#include "src/core/framework.hpp"
+#include "src/core/perf_sim.hpp"
+#include "src/core/trainer.hpp"
+#include "src/tensor/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cc = compso::core;
+namespace cm = compso::comm;
+namespace cp = compso::compress;
+namespace ct = compso::tensor;
+
+namespace {
+
+TEST(Integration, FrameworkProviderTrainsToBaselineAccuracy) {
+  cc::TrainerConfig cfg;
+  cfg.noise = 1.1F;
+  cfg.classes = 8;
+  cfg.hidden = 24;
+  const std::size_t iters = 80;
+  const compso::optim::StepLr lr(0.01, 0.1, {50});
+  compso::optim::DistKfacConfig kc;
+  kc.damping = 0.1;
+  kc.aggregation = 4;
+
+  cm::Communicator comm(cm::Topology::with_gpus(cfg.world),
+                        cm::NetworkModel::platform1());
+  cc::CompsoFramework framework({}, lr, iters, comm);
+  ct::Rng rng(5);
+  const auto warmup = ct::synthetic_gradient(
+      1 << 15, ct::GradientProfile::kfac(), rng);
+  framework.tune({1 << 14, 1 << 14, 1 << 14}, warmup, 0.4, rng);
+
+  cc::ClusterTrainer trainer(cfg);
+  const auto base = trainer.train_kfac(iters, lr, nullptr, kc);
+  const auto compressed =
+      trainer.train_kfac(iters, lr, framework.provider(), kc);
+  EXPECT_GT(compressed.final_accuracy, base.final_accuracy - 0.04);
+  EXPECT_GT(compressed.avg_compression_ratio, 2.0);
+}
+
+TEST(Integration, TunedBoundsFeedTheCompressor) {
+  // tune_bounds -> CompsoParams -> training: the auto-tuned configuration
+  // must behave like a hand-tuned one.
+  ct::Rng rng(6);
+  const auto sample = ct::synthetic_gradient(
+      1 << 15, ct::GradientProfile::kfac(), rng);
+  cc::BoundTunerConfig tuner_cfg;
+  tuner_cfg.max_relative_l2 = 0.10;
+  tuner_cfg.max_cosine_distortion = 0.01;
+  const auto tuned = cc::tune_bounds(sample, tuner_cfg, rng);
+
+  cp::CompsoParams params;
+  params.filter_bound = tuned.filter_bound;
+  params.quant_bound = tuned.quant_bound;
+  const auto compressor = cp::make_compso(params);
+
+  cc::TrainerConfig cfg;
+  cfg.noise = 1.1F;
+  const compso::optim::StepLr lr(0.01, 0.1, {50});
+  compso::optim::DistKfacConfig kc;
+  kc.damping = 0.1;
+  cc::ClusterTrainer trainer(cfg);
+  const auto result = trainer.train_kfac(
+      80, lr, [&](std::size_t) { return compressor.get(); }, kc);
+  EXPECT_GT(result.final_accuracy, 0.9);
+}
+
+TEST(Integration, PerfModelDecisionMatchesSimulatorOptimum) {
+  // The §4.4 decision pipeline end-to-end: the aggregation factor chosen
+  // by the perf model should realize an end-to-end speedup within a few
+  // percent of the best factor the simulator can find by sweeping.
+  const auto shape = compso::nn::resnet50_shape();
+  cc::PerfConfig pcfg;
+  pcfg.model = shape;
+  pcfg.topo = cm::Topology{.nodes = 16, .gpus_per_node = 4};
+  const cc::PerfSimulator sim(pcfg);
+  const auto compso = cp::make_compso({});
+
+  double best = 0.0;
+  for (std::size_t m : {1UL, 2UL, 4UL, 8UL, 16UL, 32UL}) {
+    best = std::max(best,
+                    sim.with_compressor(*compso, m).end_to_end_speedup);
+  }
+
+  const cm::Communicator comm(pcfg.topo, pcfg.net);
+  const compso::perf::CommLookupTable table(comm);
+  ct::Rng rng(7);
+  const auto sample = ct::synthetic_gradient(
+      1 << 16, ct::GradientProfile::kfac(), rng);
+  compso::perf::OnlineProfiler profiler;
+  const auto payload = compso->compress(sample, rng);
+  const std::size_t in_bytes = sample.size() * sizeof(float);
+  profiler.record(in_bytes, payload.size(), 1e-4, 1e-4,
+                  sim.baseline().allgather_s, sim.baseline().total_s());
+  const auto decision = compso::perf::choose_aggregation_factor(
+      sim.layer_bytes(), profiler.finish(), *compso, pcfg.dev, table);
+  const double realized =
+      sim.with_compressor(*compso, decision.factor).end_to_end_speedup;
+  EXPECT_GT(realized, best * 0.95);
+}
+
+TEST(Integration, BreakdownTotalsAreConsistent) {
+  // Compressed-iteration breakdown components must sum to total_s and the
+  // non-comm components must be identical to the baseline's.
+  const auto shape = compso::nn::bert_large_shape();
+  cc::PerfConfig pcfg;
+  pcfg.model = shape;
+  pcfg.batch_per_gpu = 1;
+  const cc::PerfSimulator sim(pcfg);
+  const auto compso = cp::make_compso({});
+  const auto r = sim.with_compressor(*compso, 4);
+  const auto& b = r.breakdown;
+  EXPECT_NEAR(b.total_s(),
+              b.allgather_s + b.allreduce_s + b.kfac_compute_s +
+                  b.forward_backward_s + b.others_s + b.comp_s + b.decomp_s,
+              1e-12);
+  EXPECT_DOUBLE_EQ(b.forward_backward_s,
+                   sim.baseline().forward_backward_s);
+  EXPECT_DOUBLE_EQ(b.kfac_compute_s, sim.baseline().kfac_compute_s);
+  EXPECT_LT(b.allgather_s, sim.baseline().allgather_s);
+  EXPECT_GT(b.comp_s, 0.0);
+  EXPECT_GT(b.decomp_s, 0.0);
+}
+
+TEST(Integration, SpanTrainerSgdAndKfacBothLearn) {
+  cc::SpanTrainerConfig cfg;
+  cfg.noise = 0.6F;
+  cc::SpanTrainer trainer(cfg);
+  const compso::optim::StepLr klr(0.02, 0.1, {80});
+  const compso::optim::StepLr slr(0.05, 0.1, {120});
+  compso::optim::DistKfacConfig kc;
+  kc.damping = 0.05;
+  const auto kfac = trainer.train_kfac(100, klr, nullptr, kc);
+  const auto sgd = trainer.train_sgd(150, slr, nullptr);
+  EXPECT_GT(kfac.metrics.f1, 70.0);
+  EXPECT_GT(sgd.metrics.f1, 70.0);
+}
+
+}  // namespace

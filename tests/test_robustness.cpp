@@ -1,0 +1,133 @@
+// Failure-injection tests: decoding must never crash or loop on corrupted
+// input — every codec and compressor either throws std::exception or
+// returns data of the advertised size.
+
+#include "src/codec/codec.hpp"
+#include "src/compress/compressor.hpp"
+#include "src/tensor/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cc = compso::codec;
+namespace cp = compso::compress;
+namespace ct = compso::tensor;
+
+namespace {
+
+cc::Bytes sample_encoded(const cc::Codec& codec, std::size_t n,
+                         std::uint64_t seed) {
+  ct::Rng rng(seed);
+  cc::Bytes data(n);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.uniform_index(24));
+  }
+  return codec.encode(data);
+}
+
+/// Decodes and tolerates either an exception or a (possibly wrong) result.
+/// Crashing / hanging is the only failure mode under test.
+void expect_contained(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception&) {
+    // acceptable: corruption detected
+  }
+}
+
+class CodecCorruption : public ::testing::TestWithParam<cc::CodecKind> {};
+
+TEST_P(CodecCorruption, TruncatedStreamIsContained) {
+  const auto codec = cc::make_codec(GetParam());
+  const auto enc = sample_encoded(*codec, 4096, 1);
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, enc.size() / 2, enc.size() - 1}) {
+    cc::ByteView cut(enc.data(), std::min(keep, enc.size()));
+    expect_contained([&] { (void)codec->decode(cut); });
+  }
+}
+
+TEST_P(CodecCorruption, BitFlipsAreContained) {
+  const auto codec = cc::make_codec(GetParam());
+  const auto enc = sample_encoded(*codec, 4096, 2);
+  ct::Rng rng(3);
+  for (int trial = 0; trial < 32; ++trial) {
+    cc::Bytes mutated = enc;
+    // Flip a random bit beyond the magic header so decode engages.
+    const std::size_t pos =
+        4 + rng.uniform_index(std::max<std::size_t>(mutated.size() - 4, 1));
+    mutated[pos] ^= static_cast<std::uint8_t>(1U << rng.uniform_index(8));
+    expect_contained([&] { (void)codec->decode(mutated); });
+  }
+}
+
+TEST_P(CodecCorruption, WrongCodecStreamRejected) {
+  const auto codec = cc::make_codec(GetParam());
+  // Feed a stream produced by a *different* codec: the magic must trip.
+  const auto other = cc::make_codec(GetParam() == cc::CodecKind::kAns
+                                        ? cc::CodecKind::kLz4
+                                        : cc::CodecKind::kAns);
+  const auto enc = sample_encoded(*other, 1024, 4);
+  EXPECT_THROW((void)codec->decode(enc), std::invalid_argument);
+}
+
+TEST_P(CodecCorruption, EmptyStreamRejected) {
+  const auto codec = cc::make_codec(GetParam());
+  EXPECT_THROW((void)codec->decode({}), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecCorruption,
+                         ::testing::ValuesIn(std::vector<cc::CodecKind>(
+                             std::begin(cc::kAllCodecKinds),
+                             std::end(cc::kAllCodecKinds))),
+                         [](const auto& info) {
+                           return std::string(cc::to_string(info.param));
+                         });
+
+struct CompressorCase {
+  const char* name;
+  std::function<std::unique_ptr<cp::GradientCompressor>()> make;
+};
+
+class CompressorCorruption
+    : public ::testing::TestWithParam<CompressorCase> {};
+
+TEST_P(CompressorCorruption, TruncatedPayloadIsContained) {
+  const auto c = GetParam().make();
+  ct::Rng rng(5);
+  const auto grad =
+      ct::synthetic_gradient(5000, ct::GradientProfile::kfac(), rng);
+  const auto payload = c->compress(grad, rng);
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, payload.size() / 3,
+        payload.size() - 1}) {
+    cc::ByteView cut(payload.data(), std::min(keep, payload.size()));
+    expect_contained([&] { (void)c->decompress(cut); });
+  }
+}
+
+TEST_P(CompressorCorruption, BitFlipsAreContained) {
+  const auto c = GetParam().make();
+  ct::Rng rng(6);
+  const auto grad =
+      ct::synthetic_gradient(5000, ct::GradientProfile::kfac(), rng);
+  const auto payload = c->compress(grad, rng);
+  for (int trial = 0; trial < 24; ++trial) {
+    auto mutated = payload;
+    const std::size_t pos = rng.uniform_index(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1U << rng.uniform_index(8));
+    expect_contained([&] { (void)c->decompress(mutated); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCompressors, CompressorCorruption,
+    ::testing::Values(
+        CompressorCase{"COMPSO", [] { return cp::make_compso({}); }},
+        CompressorCase{"QSGD", [] { return cp::make_qsgd(8); }},
+        CompressorCase{"SZ", [] { return cp::make_sz(4e-3); }},
+        CompressorCase{"Cocktail", [] { return cp::make_cocktail(0.2, 8); }},
+        CompressorCase{"TopK", [] { return cp::make_topk(0.1); }},
+        CompressorCase{"Identity", [] { return cp::make_identity(); }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
