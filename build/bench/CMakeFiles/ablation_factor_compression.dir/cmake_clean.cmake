@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_factor_compression.dir/ablation_factor_compression.cpp.o"
+  "CMakeFiles/ablation_factor_compression.dir/ablation_factor_compression.cpp.o.d"
+  "ablation_factor_compression"
+  "ablation_factor_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_factor_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cr_accuracy.dir/fig03_cr_accuracy.cpp.o"
+  "CMakeFiles/fig03_cr_accuracy.dir/fig03_cr_accuracy.cpp.o.d"
+  "fig03_cr_accuracy"
+  "fig03_cr_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cr_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

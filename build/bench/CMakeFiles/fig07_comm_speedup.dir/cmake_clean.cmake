@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_comm_speedup.dir/fig07_comm_speedup.cpp.o"
+  "CMakeFiles/fig07_comm_speedup.dir/fig07_comm_speedup.cpp.o.d"
+  "fig07_comm_speedup"
+  "fig07_comm_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_comm_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_squad.dir/table1_squad.cpp.o"
+  "CMakeFiles/table1_squad.dir/table1_squad.cpp.o.d"
+  "table1_squad"
+  "table1_squad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_squad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

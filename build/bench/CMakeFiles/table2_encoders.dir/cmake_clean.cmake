@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_encoders.dir/table2_encoders.cpp.o"
+  "CMakeFiles/table2_encoders.dir/table2_encoders.cpp.o.d"
+  "table2_encoders"
+  "table2_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

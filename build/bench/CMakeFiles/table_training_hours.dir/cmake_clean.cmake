@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_training_hours.dir/table_training_hours.cpp.o"
+  "CMakeFiles/table_training_hours.dir/table_training_hours.cpp.o.d"
+  "table_training_hours"
+  "table_training_hours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_training_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

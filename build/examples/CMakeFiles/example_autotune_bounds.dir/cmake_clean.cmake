@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autotune_bounds.dir/autotune_bounds.cpp.o"
+  "CMakeFiles/example_autotune_bounds.dir/autotune_bounds.cpp.o.d"
+  "example_autotune_bounds"
+  "example_autotune_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autotune_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

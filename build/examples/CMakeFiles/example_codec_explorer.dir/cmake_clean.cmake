@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_codec_explorer.dir/codec_explorer.cpp.o"
+  "CMakeFiles/example_codec_explorer.dir/codec_explorer.cpp.o.d"
+  "example_codec_explorer"
+  "example_codec_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_codec_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

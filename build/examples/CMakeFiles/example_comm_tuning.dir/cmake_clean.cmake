@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_comm_tuning.dir/comm_tuning.cpp.o"
+  "CMakeFiles/example_comm_tuning.dir/comm_tuning.cpp.o.d"
+  "example_comm_tuning"
+  "example_comm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_comm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

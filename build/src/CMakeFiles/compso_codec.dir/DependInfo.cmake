@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/ans.cpp" "src/CMakeFiles/compso_codec.dir/codec/ans.cpp.o" "gcc" "src/CMakeFiles/compso_codec.dir/codec/ans.cpp.o.d"
+  "/root/repo/src/codec/codec.cpp" "src/CMakeFiles/compso_codec.dir/codec/codec.cpp.o" "gcc" "src/CMakeFiles/compso_codec.dir/codec/codec.cpp.o.d"
+  "/root/repo/src/codec/elias.cpp" "src/CMakeFiles/compso_codec.dir/codec/elias.cpp.o" "gcc" "src/CMakeFiles/compso_codec.dir/codec/elias.cpp.o.d"
+  "/root/repo/src/codec/huffman.cpp" "src/CMakeFiles/compso_codec.dir/codec/huffman.cpp.o" "gcc" "src/CMakeFiles/compso_codec.dir/codec/huffman.cpp.o.d"
+  "/root/repo/src/codec/lz77.cpp" "src/CMakeFiles/compso_codec.dir/codec/lz77.cpp.o" "gcc" "src/CMakeFiles/compso_codec.dir/codec/lz77.cpp.o.d"
+  "/root/repo/src/codec/lz_codecs.cpp" "src/CMakeFiles/compso_codec.dir/codec/lz_codecs.cpp.o" "gcc" "src/CMakeFiles/compso_codec.dir/codec/lz_codecs.cpp.o.d"
+  "/root/repo/src/codec/simple_codecs.cpp" "src/CMakeFiles/compso_codec.dir/codec/simple_codecs.cpp.o" "gcc" "src/CMakeFiles/compso_codec.dir/codec/simple_codecs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/compso_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

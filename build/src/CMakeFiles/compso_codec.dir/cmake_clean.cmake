@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_codec.dir/codec/ans.cpp.o"
+  "CMakeFiles/compso_codec.dir/codec/ans.cpp.o.d"
+  "CMakeFiles/compso_codec.dir/codec/codec.cpp.o"
+  "CMakeFiles/compso_codec.dir/codec/codec.cpp.o.d"
+  "CMakeFiles/compso_codec.dir/codec/elias.cpp.o"
+  "CMakeFiles/compso_codec.dir/codec/elias.cpp.o.d"
+  "CMakeFiles/compso_codec.dir/codec/huffman.cpp.o"
+  "CMakeFiles/compso_codec.dir/codec/huffman.cpp.o.d"
+  "CMakeFiles/compso_codec.dir/codec/lz77.cpp.o"
+  "CMakeFiles/compso_codec.dir/codec/lz77.cpp.o.d"
+  "CMakeFiles/compso_codec.dir/codec/lz_codecs.cpp.o"
+  "CMakeFiles/compso_codec.dir/codec/lz_codecs.cpp.o.d"
+  "CMakeFiles/compso_codec.dir/codec/simple_codecs.cpp.o"
+  "CMakeFiles/compso_codec.dir/codec/simple_codecs.cpp.o.d"
+  "libcompso_codec.a"
+  "libcompso_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

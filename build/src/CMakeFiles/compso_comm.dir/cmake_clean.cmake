@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_comm.dir/comm/communicator.cpp.o"
+  "CMakeFiles/compso_comm.dir/comm/communicator.cpp.o.d"
+  "CMakeFiles/compso_comm.dir/comm/network_model.cpp.o"
+  "CMakeFiles/compso_comm.dir/comm/network_model.cpp.o.d"
+  "libcompso_comm.a"
+  "libcompso_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/baseline_compressors.cpp" "src/CMakeFiles/compso_compress.dir/compress/baseline_compressors.cpp.o" "gcc" "src/CMakeFiles/compso_compress.dir/compress/baseline_compressors.cpp.o.d"
+  "/root/repo/src/compress/compressor.cpp" "src/CMakeFiles/compso_compress.dir/compress/compressor.cpp.o" "gcc" "src/CMakeFiles/compso_compress.dir/compress/compressor.cpp.o.d"
+  "/root/repo/src/compress/compso_compressor.cpp" "src/CMakeFiles/compso_compress.dir/compress/compso_compressor.cpp.o" "gcc" "src/CMakeFiles/compso_compress.dir/compress/compso_compressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/compso_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

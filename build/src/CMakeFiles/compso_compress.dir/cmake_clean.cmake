@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_compress.dir/compress/baseline_compressors.cpp.o"
+  "CMakeFiles/compso_compress.dir/compress/baseline_compressors.cpp.o.d"
+  "CMakeFiles/compso_compress.dir/compress/compressor.cpp.o"
+  "CMakeFiles/compso_compress.dir/compress/compressor.cpp.o.d"
+  "CMakeFiles/compso_compress.dir/compress/compso_compressor.cpp.o"
+  "CMakeFiles/compso_compress.dir/compress/compso_compressor.cpp.o.d"
+  "libcompso_compress.a"
+  "libcompso_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

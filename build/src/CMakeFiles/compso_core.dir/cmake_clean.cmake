@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_core.dir/core/adaptive_schedule.cpp.o"
+  "CMakeFiles/compso_core.dir/core/adaptive_schedule.cpp.o.d"
+  "CMakeFiles/compso_core.dir/core/bound_tuner.cpp.o"
+  "CMakeFiles/compso_core.dir/core/bound_tuner.cpp.o.d"
+  "CMakeFiles/compso_core.dir/core/framework.cpp.o"
+  "CMakeFiles/compso_core.dir/core/framework.cpp.o.d"
+  "CMakeFiles/compso_core.dir/core/perf_sim.cpp.o"
+  "CMakeFiles/compso_core.dir/core/perf_sim.cpp.o.d"
+  "CMakeFiles/compso_core.dir/core/trainer.cpp.o"
+  "CMakeFiles/compso_core.dir/core/trainer.cpp.o.d"
+  "libcompso_core.a"
+  "libcompso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device_model.cpp" "src/CMakeFiles/compso_gpusim.dir/gpusim/device_model.cpp.o" "gcc" "src/CMakeFiles/compso_gpusim.dir/gpusim/device_model.cpp.o.d"
+  "/root/repo/src/gpusim/layer_mapping.cpp" "src/CMakeFiles/compso_gpusim.dir/gpusim/layer_mapping.cpp.o" "gcc" "src/CMakeFiles/compso_gpusim.dir/gpusim/layer_mapping.cpp.o.d"
+  "/root/repo/src/gpusim/reduction.cpp" "src/CMakeFiles/compso_gpusim.dir/gpusim/reduction.cpp.o" "gcc" "src/CMakeFiles/compso_gpusim.dir/gpusim/reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/compso_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

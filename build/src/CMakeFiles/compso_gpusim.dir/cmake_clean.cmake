@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_gpusim.dir/gpusim/device_model.cpp.o"
+  "CMakeFiles/compso_gpusim.dir/gpusim/device_model.cpp.o.d"
+  "CMakeFiles/compso_gpusim.dir/gpusim/layer_mapping.cpp.o"
+  "CMakeFiles/compso_gpusim.dir/gpusim/layer_mapping.cpp.o.d"
+  "CMakeFiles/compso_gpusim.dir/gpusim/reduction.cpp.o"
+  "CMakeFiles/compso_gpusim.dir/gpusim/reduction.cpp.o.d"
+  "libcompso_gpusim.a"
+  "libcompso_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

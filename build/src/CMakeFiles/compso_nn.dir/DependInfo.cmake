@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/compso_nn.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/compso_nn.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/compso_nn.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/compso_nn.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/dataset.cpp" "src/CMakeFiles/compso_nn.dir/nn/dataset.cpp.o" "gcc" "src/CMakeFiles/compso_nn.dir/nn/dataset.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/compso_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/compso_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/compso_nn.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/compso_nn.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/CMakeFiles/compso_nn.dir/nn/model_zoo.cpp.o" "gcc" "src/CMakeFiles/compso_nn.dir/nn/model_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/compso_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_nn.dir/nn/attention.cpp.o"
+  "CMakeFiles/compso_nn.dir/nn/attention.cpp.o.d"
+  "CMakeFiles/compso_nn.dir/nn/conv.cpp.o"
+  "CMakeFiles/compso_nn.dir/nn/conv.cpp.o.d"
+  "CMakeFiles/compso_nn.dir/nn/dataset.cpp.o"
+  "CMakeFiles/compso_nn.dir/nn/dataset.cpp.o.d"
+  "CMakeFiles/compso_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/compso_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/compso_nn.dir/nn/model.cpp.o"
+  "CMakeFiles/compso_nn.dir/nn/model.cpp.o.d"
+  "CMakeFiles/compso_nn.dir/nn/model_zoo.cpp.o"
+  "CMakeFiles/compso_nn.dir/nn/model_zoo.cpp.o.d"
+  "libcompso_nn.a"
+  "libcompso_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/dist_kfac.cpp" "src/CMakeFiles/compso_optim.dir/optim/dist_kfac.cpp.o" "gcc" "src/CMakeFiles/compso_optim.dir/optim/dist_kfac.cpp.o.d"
+  "/root/repo/src/optim/dist_sgd.cpp" "src/CMakeFiles/compso_optim.dir/optim/dist_sgd.cpp.o" "gcc" "src/CMakeFiles/compso_optim.dir/optim/dist_sgd.cpp.o.d"
+  "/root/repo/src/optim/first_order.cpp" "src/CMakeFiles/compso_optim.dir/optim/first_order.cpp.o" "gcc" "src/CMakeFiles/compso_optim.dir/optim/first_order.cpp.o.d"
+  "/root/repo/src/optim/kfac.cpp" "src/CMakeFiles/compso_optim.dir/optim/kfac.cpp.o" "gcc" "src/CMakeFiles/compso_optim.dir/optim/kfac.cpp.o.d"
+  "/root/repo/src/optim/lr_scheduler.cpp" "src/CMakeFiles/compso_optim.dir/optim/lr_scheduler.cpp.o" "gcc" "src/CMakeFiles/compso_optim.dir/optim/lr_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/compso_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/compso_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_optim.dir/optim/dist_kfac.cpp.o"
+  "CMakeFiles/compso_optim.dir/optim/dist_kfac.cpp.o.d"
+  "CMakeFiles/compso_optim.dir/optim/dist_sgd.cpp.o"
+  "CMakeFiles/compso_optim.dir/optim/dist_sgd.cpp.o.d"
+  "CMakeFiles/compso_optim.dir/optim/first_order.cpp.o"
+  "CMakeFiles/compso_optim.dir/optim/first_order.cpp.o.d"
+  "CMakeFiles/compso_optim.dir/optim/kfac.cpp.o"
+  "CMakeFiles/compso_optim.dir/optim/kfac.cpp.o.d"
+  "CMakeFiles/compso_optim.dir/optim/lr_scheduler.cpp.o"
+  "CMakeFiles/compso_optim.dir/optim/lr_scheduler.cpp.o.d"
+  "libcompso_optim.a"
+  "libcompso_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

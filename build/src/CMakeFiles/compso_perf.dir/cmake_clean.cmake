@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_perf.dir/perf/perf_model.cpp.o"
+  "CMakeFiles/compso_perf.dir/perf/perf_model.cpp.o.d"
+  "libcompso_perf.a"
+  "libcompso_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/bitpack.cpp" "src/CMakeFiles/compso_quant.dir/quant/bitpack.cpp.o" "gcc" "src/CMakeFiles/compso_quant.dir/quant/bitpack.cpp.o.d"
+  "/root/repo/src/quant/filter.cpp" "src/CMakeFiles/compso_quant.dir/quant/filter.cpp.o" "gcc" "src/CMakeFiles/compso_quant.dir/quant/filter.cpp.o.d"
+  "/root/repo/src/quant/quantizer.cpp" "src/CMakeFiles/compso_quant.dir/quant/quantizer.cpp.o" "gcc" "src/CMakeFiles/compso_quant.dir/quant/quantizer.cpp.o.d"
+  "/root/repo/src/quant/rounding.cpp" "src/CMakeFiles/compso_quant.dir/quant/rounding.cpp.o" "gcc" "src/CMakeFiles/compso_quant.dir/quant/rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/compso_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_quant.dir/quant/bitpack.cpp.o"
+  "CMakeFiles/compso_quant.dir/quant/bitpack.cpp.o.d"
+  "CMakeFiles/compso_quant.dir/quant/filter.cpp.o"
+  "CMakeFiles/compso_quant.dir/quant/filter.cpp.o.d"
+  "CMakeFiles/compso_quant.dir/quant/quantizer.cpp.o"
+  "CMakeFiles/compso_quant.dir/quant/quantizer.cpp.o.d"
+  "CMakeFiles/compso_quant.dir/quant/rounding.cpp.o"
+  "CMakeFiles/compso_quant.dir/quant/rounding.cpp.o.d"
+  "libcompso_quant.a"
+  "libcompso_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/eigen.cpp" "src/CMakeFiles/compso_tensor.dir/tensor/eigen.cpp.o" "gcc" "src/CMakeFiles/compso_tensor.dir/tensor/eigen.cpp.o.d"
+  "/root/repo/src/tensor/matrix_ops.cpp" "src/CMakeFiles/compso_tensor.dir/tensor/matrix_ops.cpp.o" "gcc" "src/CMakeFiles/compso_tensor.dir/tensor/matrix_ops.cpp.o.d"
+  "/root/repo/src/tensor/rng.cpp" "src/CMakeFiles/compso_tensor.dir/tensor/rng.cpp.o" "gcc" "src/CMakeFiles/compso_tensor.dir/tensor/rng.cpp.o.d"
+  "/root/repo/src/tensor/stats.cpp" "src/CMakeFiles/compso_tensor.dir/tensor/stats.cpp.o" "gcc" "src/CMakeFiles/compso_tensor.dir/tensor/stats.cpp.o.d"
+  "/root/repo/src/tensor/synthetic.cpp" "src/CMakeFiles/compso_tensor.dir/tensor/synthetic.cpp.o" "gcc" "src/CMakeFiles/compso_tensor.dir/tensor/synthetic.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/compso_tensor.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/compso_tensor.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compso_tensor.dir/tensor/eigen.cpp.o"
+  "CMakeFiles/compso_tensor.dir/tensor/eigen.cpp.o.d"
+  "CMakeFiles/compso_tensor.dir/tensor/matrix_ops.cpp.o"
+  "CMakeFiles/compso_tensor.dir/tensor/matrix_ops.cpp.o.d"
+  "CMakeFiles/compso_tensor.dir/tensor/rng.cpp.o"
+  "CMakeFiles/compso_tensor.dir/tensor/rng.cpp.o.d"
+  "CMakeFiles/compso_tensor.dir/tensor/stats.cpp.o"
+  "CMakeFiles/compso_tensor.dir/tensor/stats.cpp.o.d"
+  "CMakeFiles/compso_tensor.dir/tensor/synthetic.cpp.o"
+  "CMakeFiles/compso_tensor.dir/tensor/synthetic.cpp.o.d"
+  "CMakeFiles/compso_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/compso_tensor.dir/tensor/tensor.cpp.o.d"
+  "libcompso_tensor.a"
+  "libcompso_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compso_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_edge.dir/test_codec_edge.cpp.o"
+  "CMakeFiles/test_codec_edge.dir/test_codec_edge.cpp.o.d"
+  "test_codec_edge"
+  "test_codec_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
