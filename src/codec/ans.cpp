@@ -67,6 +67,7 @@ Bytes rans_encode(ByteView input) {
   detail::write_header(out, kMagic, input.size());
   if (input.empty()) {
     out.push_back(kModeStored);
+    detail::seal_frame(out);
     return out;
   }
   std::array<std::uint64_t, 256> raw{};
@@ -97,6 +98,7 @@ Bytes rans_encode(ByteView input) {
   if (payload.size() + 512 + 4 >= input.size()) {
     out.push_back(kModeStored);
     out.insert(out.end(), input.begin(), input.end());
+    detail::seal_frame(out);
     return out;
   }
   out.push_back(kModeCoded);
@@ -109,21 +111,27 @@ Bytes rans_encode(ByteView input) {
   // Payload was produced back-to-front; store reversed so decode reads
   // forward with push-back semantics preserved.
   out.insert(out.end(), payload.rbegin(), payload.rend());
+  detail::seal_frame(out);
   return out;
 }
 
 Bytes rans_decode(ByteView input) {
   const std::uint64_t size = detail::read_header(input, kMagic);
   if (input.size() < detail::kHeaderSize + 1) {
-    throw std::invalid_argument("rans: truncated stream");
+    throw PayloadError("rans: truncated stream");
   }
   const std::uint8_t mode = input[detail::kHeaderSize];
   ByteView body = input.subspan(detail::kHeaderSize + 1);
   if (mode == kModeStored) {
-    if (body.size() < size) throw std::invalid_argument("rans: truncated stored block");
+    if (body.size() < size) throw PayloadError("rans: truncated stored block");
     return Bytes(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(size));
   }
-  if (body.size() < 512 + 4) throw std::invalid_argument("rans: missing table");
+  if (mode != kModeCoded) throw PayloadError("rans: unknown block mode");
+  if (body.size() < 512 + 4) throw PayloadError("rans: missing table");
+  // A coded symbol consumes at least log2(4096/4095) bits, so legitimate
+  // streams never expand past ~2842x; reject bigger claims before the
+  // output allocation.
+  wire::check_expansion(size, body.size(), 4096, "rans");
   std::array<std::uint32_t, 256> freq{};
   for (int s = 0; s < 256; ++s) {
     freq[static_cast<std::size_t>(s)] =
@@ -137,7 +145,7 @@ Bytes rans_decode(ByteView input) {
   std::uint64_t freq_sum = 0;
   for (int s = 0; s < 256; ++s) freq_sum += freq[static_cast<std::size_t>(s)];
   if (freq_sum != kProbScale) {
-    throw std::invalid_argument("rans: corrupt frequency table");
+    throw PayloadError("rans: corrupt frequency table");
   }
   std::array<std::uint32_t, 256> cum{};
   for (int s = 1; s < 256; ++s) {
@@ -163,7 +171,7 @@ Bytes rans_decode(ByteView input) {
     state = freq[s] * (state >> kProbBits) + slot - cum[s];
     while (state < kRansLowerBound) {
       if (pos >= body.size()) {
-        throw std::invalid_argument("rans: stream underrun");
+        throw PayloadError("rans: stream underrun");
       }
       state = (state << 8) | body[pos++];
     }

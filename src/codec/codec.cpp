@@ -61,30 +61,31 @@ void append_u64(Bytes& out, std::uint64_t v) {
 }
 
 std::uint32_t read_u32(ByteView in, std::size_t offset) {
-  if (offset + 4 > in.size()) throw std::invalid_argument("codec: truncated u32");
+  if (offset > in.size() || in.size() - offset < 4) {
+    throw PayloadError("codec: truncated u32");
+  }
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[offset + i]) << (8 * i);
   return v;
 }
 
 std::uint64_t read_u64(ByteView in, std::size_t offset) {
-  if (offset + 8 > in.size()) throw std::invalid_argument("codec: truncated u64");
+  if (offset > in.size() || in.size() - offset < 8) {
+    throw PayloadError("codec: truncated u64");
+  }
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[offset + i]) << (8 * i);
   return v;
 }
 
 void write_header(Bytes& out, std::uint32_t magic, std::uint64_t size) {
-  append_u32(out, magic);
-  append_u64(out, size);
+  wire::begin_payload(out, magic, size);
 }
 
+void seal_frame(Bytes& out) { wire::seal_payload(out); }
+
 std::uint64_t read_header(ByteView in, std::uint32_t expected_magic) {
-  const std::uint32_t magic = read_u32(in, 0);
-  if (magic != expected_magic) {
-    throw std::invalid_argument("codec: bad magic (wrong codec for stream)");
-  }
-  return read_u64(in, 4);
+  return wire::read_payload_header(in, expected_magic).count;
 }
 
 }  // namespace detail

@@ -7,6 +7,8 @@
 // algorithm family (see DESIGN.md for the simplifications), plus a GPU cost
 // profile so the gpusim device model can estimate the GB/s columns.
 
+#include "src/codec/wire.hpp"
+
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -68,10 +70,16 @@ std::unique_ptr<Codec> make_codec(CodecKind kind);
 /// Lookup by name ("ANS", "Bitcomp", ...); throws on unknown name.
 std::unique_ptr<Codec> make_codec(std::string_view name);
 
-/// Header helpers shared by all codecs: [u32 magic | u64 original_size].
+/// Frame helpers shared by all codecs. Every codec stream is a wire-format
+/// v1 payload (src/codec/wire.hpp): [magic | version | original_size |
+/// body CRC32], followed by the codec body. Encoders call write_header
+/// first and seal_frame last; read_header validates magic, version, and
+/// CRC and throws compso::PayloadError on any mismatch.
 namespace detail {
-constexpr std::size_t kHeaderSize = 12;
+constexpr std::size_t kHeaderSize = wire::kHeaderSize;
 void write_header(Bytes& out, std::uint32_t magic, std::uint64_t size);
+/// Patches the body CRC into the header; the last step of every encode.
+void seal_frame(Bytes& out);
 std::uint64_t read_header(ByteView in, std::uint32_t expected_magic);
 void append_u32(Bytes& out, std::uint32_t v);
 void append_u64(Bytes& out, std::uint64_t v);

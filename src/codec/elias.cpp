@@ -25,6 +25,11 @@ Bytes elias_gamma_encode(std::span<const std::uint64_t> values) {
 
 std::vector<std::uint64_t> elias_gamma_decode(ByteView bytes,
                                               std::size_t count) {
+  // Each value costs at least one bit, so a count beyond the stream's bit
+  // capacity is corrupt; reject before reserving.
+  if (count > bytes.size() * 8) {
+    throw PayloadError("elias gamma: count exceeds stream capacity");
+  }
   quant::BitReader r(bytes);
   std::vector<std::uint64_t> out;
   out.reserve(count);
@@ -32,7 +37,7 @@ std::vector<std::uint64_t> elias_gamma_decode(ByteView bytes,
     unsigned zeros = 0;
     while (r.read(1) == 0) {
       if (++zeros > 64 || r.exhausted()) {
-        throw std::invalid_argument("elias gamma: corrupt stream");
+        throw PayloadError("elias gamma: corrupt stream");
       }
     }
     std::uint64_t v = 1ULL << zeros;

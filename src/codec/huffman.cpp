@@ -101,6 +101,7 @@ Bytes huffman_encode(ByteView input) {
   detail::write_header(out, kMagic, input.size());
   if (input.empty()) {
     out.push_back(kModeStored);
+    detail::seal_frame(out);
     return out;
   }
   std::array<std::uint64_t, 256> freq{};
@@ -119,26 +120,31 @@ Bytes huffman_encode(ByteView input) {
   if (payload.size() + 256 >= input.size()) {
     out.push_back(kModeStored);
     out.insert(out.end(), input.begin(), input.end());
+    detail::seal_frame(out);
     return out;
   }
   out.push_back(kModeCoded);
   out.insert(out.end(), lengths.begin(), lengths.end());
   out.insert(out.end(), payload.begin(), payload.end());
+  detail::seal_frame(out);
   return out;
 }
 
 Bytes huffman_decode(ByteView input) {
   const std::uint64_t size = detail::read_header(input, kMagic);
   if (input.size() < detail::kHeaderSize + 1) {
-    throw std::invalid_argument("huffman: truncated stream");
+    throw PayloadError("huffman: truncated stream");
   }
   const std::uint8_t mode = input[detail::kHeaderSize];
   ByteView body = input.subspan(detail::kHeaderSize + 1);
   if (mode == kModeStored) {
-    if (body.size() < size) throw std::invalid_argument("huffman: truncated stored block");
+    if (body.size() < size) throw PayloadError("huffman: truncated stored block");
     return Bytes(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(size));
   }
-  if (body.size() < 256) throw std::invalid_argument("huffman: missing table");
+  if (mode != kModeCoded) throw PayloadError("huffman: unknown block mode");
+  if (body.size() < 256) throw PayloadError("huffman: missing table");
+  // Every coded symbol consumes at least one bit of the stream.
+  wire::check_expansion(size, body.size() - 256, 8, "huffman");
   std::array<std::uint8_t, 256> lengths{};
   std::copy_n(body.begin(), 256, lengths.begin());
   // Validate the (possibly corrupted) table: lengths must fit the decode
@@ -146,11 +152,11 @@ Bytes huffman_decode(ByteView input) {
   // code assignment would overflow.
   double kraft = 0.0;
   for (auto l : lengths) {
-    if (l > 60) throw std::invalid_argument("huffman: corrupt length table");
+    if (l > 60) throw PayloadError("huffman: corrupt length table");
     if (l > 0) kraft += std::ldexp(1.0, -static_cast<int>(l));
   }
   if (kraft > 1.0 + 1e-9) {
-    throw std::invalid_argument("huffman: invalid code lengths");
+    throw PayloadError("huffman: invalid code lengths");
   }
   std::uint8_t max_len = 0;
   (void)canonical_codes(lengths, max_len);
@@ -194,7 +200,7 @@ Bytes huffman_decode(ByteView input) {
       }
     }
     if (len == max_len && out.size() != i + 1) {
-      throw std::invalid_argument("huffman: invalid code in stream");
+      throw PayloadError("huffman: invalid code in stream");
     }
   }
   return out;

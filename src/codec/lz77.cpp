@@ -41,7 +41,7 @@ std::uint64_t read_varint(ByteView in, std::size_t& pos) {
     shift += 7;
     if (shift > 63) break;
   }
-  throw std::invalid_argument("lz77: truncated varint");
+  throw PayloadError("lz77: truncated varint");
 }
 
 struct Matcher {
@@ -147,7 +147,7 @@ Bytes lz77_reconstruct(std::span<const Lz77Token> tokens, ByteView literals,
   std::size_t lit_pos = 0;
   for (const auto& t : tokens) {
     if (lit_pos + t.literal_len > literals.size()) {
-      throw std::invalid_argument("lz77: literal stream underrun");
+      throw PayloadError("lz77: literal stream underrun");
     }
     out.insert(out.end(), literals.begin() + static_cast<std::ptrdiff_t>(lit_pos),
                literals.begin() +
@@ -155,7 +155,7 @@ Bytes lz77_reconstruct(std::span<const Lz77Token> tokens, ByteView literals,
     lit_pos += t.literal_len;
     if (t.match_len > 0) {
       if (t.distance == 0 || t.distance > out.size()) {
-        throw std::invalid_argument("lz77: invalid match distance");
+        throw PayloadError("lz77: invalid match distance");
       }
       // Byte-by-byte to support overlapping matches (RLE-style).
       std::size_t src = out.size() - t.distance;
@@ -165,7 +165,7 @@ Bytes lz77_reconstruct(std::span<const Lz77Token> tokens, ByteView literals,
     }
   }
   if (out.size() != output_size) {
-    throw std::invalid_argument("lz77: reconstructed size mismatch");
+    throw PayloadError("lz77: reconstructed size mismatch");
   }
   return out;
 }
@@ -190,17 +190,24 @@ Lz77Streams lz77_serialize(ByteView input,
 Bytes lz77_deserialize(ByteView literals, ByteView tokens,
                        std::size_t output_size) {
   Bytes out;
-  out.reserve(output_size);
+  out.reserve(std::min<std::size_t>(output_size, std::size_t{1} << 22));
   std::size_t lit_pos = 0;
   std::size_t pos = 0;
   while (out.size() < output_size) {
     if (pos >= tokens.size()) {
-      throw std::invalid_argument("lz77: token stream underrun");
+      throw PayloadError("lz77: token stream underrun");
     }
     const std::uint64_t lit_len = read_varint(tokens, pos);
     const std::uint64_t match_len = read_varint(tokens, pos);
-    if (lit_pos + lit_len > literals.size()) {
-      throw std::invalid_argument("lz77: literal stream underrun");
+    // Bound both lengths against the remaining output before copying:
+    // a corrupt varint must not grow `out` past the declared size (the
+    // literal check alone also guards the u64 overflow in lit_pos + len).
+    if (lit_len > output_size - out.size() ||
+        match_len > output_size - out.size() - lit_len) {
+      throw PayloadError("lz77: token exceeds declared output size");
+    }
+    if (lit_len > literals.size() - lit_pos) {
+      throw PayloadError("lz77: literal stream underrun");
     }
     out.insert(out.end(),
                literals.begin() + static_cast<std::ptrdiff_t>(lit_pos),
@@ -209,14 +216,14 @@ Bytes lz77_deserialize(ByteView literals, ByteView tokens,
     if (match_len > 0) {
       const std::uint64_t dist = read_varint(tokens, pos);
       if (dist == 0 || dist > out.size()) {
-        throw std::invalid_argument("lz77: invalid match distance");
+        throw PayloadError("lz77: invalid match distance");
       }
       std::size_t src = out.size() - dist;
       for (std::uint64_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
     }
   }
   if (out.size() != output_size) {
-    throw std::invalid_argument("lz77: output size mismatch");
+    throw PayloadError("lz77: output size mismatch");
   }
   return out;
 }

@@ -28,7 +28,7 @@ void append_sized(Bytes& out, const Bytes& blob) {
 ByteView read_sized(ByteView in, std::size_t& pos) {
   const std::uint64_t n = detail::read_u64(in, pos);
   pos += 8;
-  if (pos + n > in.size()) throw std::invalid_argument("codec: truncated blob");
+  if (n > in.size() - pos) throw PayloadError("codec: truncated blob");
   ByteView v = in.subspan(pos, n);
   pos += n;
   return v;
@@ -77,28 +77,31 @@ class LzCodec : public Codec {
     if (lit.size() + tok.size() + 32 >= input.size()) {
       out.push_back(0);  // stored
       out.insert(out.end(), input.begin(), input.end());
+      detail::seal_frame(out);
       return out;
     }
     out.push_back(1);  // coded
     append_sized(out, lit);
     append_sized(out, tok);
+    detail::seal_frame(out);
     return out;
   }
 
   Bytes decode(ByteView input) const override {
     const std::uint64_t size = detail::read_header(input, magic_);
     if (input.size() < detail::kHeaderSize + 1) {
-      throw std::invalid_argument(name_ + ": truncated stream");
+      throw PayloadError(name_ + ": truncated stream");
     }
     const std::uint8_t mode = input[detail::kHeaderSize];
     std::size_t pos = detail::kHeaderSize + 1;
     if (mode == 0) {
       ByteView body = input.subspan(pos);
       if (body.size() < size) {
-        throw std::invalid_argument(name_ + ": truncated stored block");
+        throw PayloadError(name_ + ": truncated stored block");
       }
       return Bytes(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(size));
     }
+    if (mode != 1) throw PayloadError(name_ + ": unknown block mode");
     const ByteView lit_blob = read_sized(input, pos);
     const ByteView tok_blob = read_sized(input, pos);
     const Bytes literals = entropy_decode(lit_blob, entropy_);

@@ -52,22 +52,26 @@ class BitcompCodec final : public Codec {
       out.push_back(1);
       out.insert(out.end(), payload.begin(), payload.end());
     }
+    detail::seal_frame(out);
     return out;
   }
 
   Bytes decode(ByteView input) const override {
     const std::uint64_t size = detail::read_header(input, kBitcompMagic);
     if (input.size() < detail::kHeaderSize + 1) {
-      throw std::invalid_argument("bitcomp: truncated stream");
+      throw PayloadError("bitcomp: truncated stream");
     }
     const std::uint8_t mode = input[detail::kHeaderSize];
     ByteView body = input.subspan(detail::kHeaderSize + 1);
     if (mode == 0) {
       if (body.size() < size) {
-        throw std::invalid_argument("bitcomp: truncated stored block");
+        throw PayloadError("bitcomp: truncated stored block");
       }
       return Bytes(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(size));
     }
+    if (mode != 1) throw PayloadError("bitcomp: unknown block mode");
+    // Every block of up to 4096 output bytes costs at least 12 header bits.
+    wire::check_expansion(size, body.size(), 4096, "bitcomp");
     quant::BitReader r(body);
     Bytes out;
     out.reserve(size);
@@ -140,49 +144,56 @@ class CascadedCodec final : public Codec {
       out.push_back(1);
       out.insert(out.end(), payload.begin(), payload.end());
     }
+    detail::seal_frame(out);
     return out;
   }
 
   Bytes decode(ByteView input) const override {
     const std::uint64_t size = detail::read_header(input, kCascadedMagic);
     if (input.size() < detail::kHeaderSize + 1) {
-      throw std::invalid_argument("cascaded: truncated stream");
+      throw PayloadError("cascaded: truncated stream");
     }
     const std::uint8_t mode = input[detail::kHeaderSize];
     ByteView body = input.subspan(detail::kHeaderSize + 1);
     if (mode == 0) {
       if (body.size() < size) {
-        throw std::invalid_argument("cascaded: truncated stored block");
+        throw PayloadError("cascaded: truncated stored block");
       }
       return Bytes(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(size));
     }
+    if (mode != 1) throw PayloadError("cascaded: unknown block mode");
     std::size_t pos = 0;
     const std::uint64_t pairs = detail::read_u64(body, pos); pos += 8;
-    if (pos + 2 > body.size()) throw std::invalid_argument("cascaded: truncated");
+    if (pos + 2 > body.size()) throw PayloadError("cascaded: truncated");
     const unsigned dbits = body[pos++];
     const unsigned rbits = body[pos++];
     const std::uint64_t dpack_size = detail::read_u64(body, pos); pos += 8;
-    if (pos + dpack_size > body.size()) {
-      throw std::invalid_argument("cascaded: truncated delta stream");
+    if (dpack_size > body.size() - pos) {
+      throw PayloadError("cascaded: truncated delta stream");
     }
+    // unpack_codes bounds `pairs` against the packed streams before
+    // allocating, so a hostile pair count cannot drive the vectors below.
     const auto deltas =
         quant::unpack_codes(body.subspan(pos, dpack_size), dbits, pairs);
     pos += dpack_size;
     const auto runs = quant::unpack_codes(body.subspan(pos), rbits, pairs);
 
     Bytes out;
-    out.reserve(size);
+    out.reserve(std::min<std::uint64_t>(size, 1ULL << 22));
     std::int64_t value = 0;
     for (std::uint64_t k = 0; k < pairs; ++k) {
       value += deltas[k];
-      if (value < 0 || value > 255 || runs[k] < 0) {
-        throw std::invalid_argument("cascaded: corrupt stream");
+      // RLE is unbounded expansion, so bound each run against the declared
+      // output size incrementally instead of after the fact.
+      if (value < 0 || value > 255 || runs[k] < 0 ||
+          static_cast<std::uint64_t>(runs[k]) > size - out.size()) {
+        throw PayloadError("cascaded: corrupt stream");
       }
       out.insert(out.end(), static_cast<std::size_t>(runs[k]),
                  static_cast<std::uint8_t>(value));
     }
     if (out.size() != size) {
-      throw std::invalid_argument("cascaded: size mismatch");
+      throw PayloadError("cascaded: size mismatch");
     }
     return out;
   }

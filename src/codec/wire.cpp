@@ -1,0 +1,203 @@
+#include "src/codec/wire.hpp"
+
+#include <array>
+#include <cstring>
+#include <string>
+
+namespace compso::codec::wire {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(ByteView in, std::size_t offset) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[offset + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(ByteView in, std::size_t offset) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[offset + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+namespace {
+
+std::uint32_t crc32_update(std::uint32_t crc, ByteView data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  for (std::uint8_t b : data) {
+    crc = table[(crc ^ b) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+/// CRC of the whole frame except the CRC field itself: the header prefix
+/// (magic, version, count) chained with the body. Covering the count is
+/// essential — a flipped count bit can otherwise thread through structural
+/// checks on unlucky inputs (e.g. a bitmap whose final padding absorbs it).
+std::uint32_t frame_crc(ByteView payload) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFU;
+  crc = crc32_update(crc, payload.first(13));
+  crc = crc32_update(crc, payload.subspan(kHeaderSize));
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace
+
+std::uint32_t crc32(ByteView data) noexcept {
+  return crc32_update(0xFFFFFFFFU, data) ^ 0xFFFFFFFFU;
+}
+
+void begin_payload(Bytes& out, std::uint32_t magic, std::uint64_t count) {
+  put_u32(out, magic);
+  out.push_back(kFormatVersion);
+  put_u64(out, count);
+  put_u32(out, 0);  // CRC placeholder, patched by seal_payload.
+}
+
+void seal_payload(Bytes& out) {
+  const std::uint32_t crc = frame_crc(out);
+  for (int i = 0; i < 4; ++i) {
+    out[13 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+PayloadHeader read_payload_header(ByteView payload,
+                                  std::uint32_t expected_magic) {
+  if (payload.size() < kHeaderSize) {
+    throw PayloadError("payload: truncated header");
+  }
+  PayloadHeader h;
+  h.magic = get_u32(payload, 0);
+  if (h.magic != expected_magic) {
+    throw PayloadError("payload: bad magic (wrong decoder for stream)");
+  }
+  h.version = payload[4];
+  if (h.version != kFormatVersion) {
+    throw PayloadError("payload: unsupported format version " +
+                       std::to_string(static_cast<int>(h.version)));
+  }
+  h.count = get_u64(payload, 5);
+  h.crc = get_u32(payload, 13);
+  if (frame_crc(payload) != h.crc) {
+    throw PayloadError("payload: checksum mismatch");
+  }
+  return h;
+}
+
+ByteView payload_body(ByteView payload) noexcept {
+  return payload.subspan(kHeaderSize);
+}
+
+std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b, const char* what) {
+  if (a != 0 && b > ~std::uint64_t{0} / a) {
+    throw PayloadError(std::string(what) + ": size overflow");
+  }
+  return a * b;
+}
+
+void check_expansion(std::uint64_t claimed_size, std::size_t body_bytes,
+                     std::uint64_t max_expansion, const char* what) {
+  const std::uint64_t cap =
+      checked_mul(static_cast<std::uint64_t>(body_bytes) + 1, max_expansion,
+                  what);
+  if (claimed_size > cap) {
+    throw PayloadError(std::string(what) + ": implausible decoded size");
+  }
+}
+
+void Reader::need(std::size_t n) const {
+  if (n > remaining()) {
+    throw PayloadError("payload: truncated body");
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  const std::uint64_t v = get_u64(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+float Reader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::uint64_t Reader::bounded_u64(std::uint64_t max, const char* field) {
+  const std::uint64_t v = u64();
+  if (v > max) {
+    throw PayloadError(std::string("payload: field '") + field +
+                       "' out of range");
+  }
+  return v;
+}
+
+ByteView Reader::blob(std::uint64_t n) {
+  if (n > remaining()) {
+    throw PayloadError("payload: blob extends past end of buffer");
+  }
+  ByteView v = data_.subspan(pos_, static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return v;
+}
+
+ByteView Reader::rest() noexcept {
+  ByteView v = data_.subspan(pos_);
+  pos_ = data_.size();
+  return v;
+}
+
+}  // namespace compso::codec::wire

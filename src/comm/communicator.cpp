@@ -157,6 +157,7 @@ void Communicator::allgatherv(
     gathered.insert(gathered.end(), s.begin(), s.end());
     sizes.push_back(s.size());
   }
+  if (fault_) fault_(gathered);
   recv.assign(world_size(), gathered);
   const double dt = allgatherv_time(sizes);
   clocks_.sync_advance(dt);

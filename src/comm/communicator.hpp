@@ -18,6 +18,7 @@
 #include "src/comm/topology.hpp"
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -57,6 +58,11 @@ struct CommStats {
 
 class Communicator {
  public:
+  /// Mutates the gathered byte stream of `allgatherv` in flight — the test
+  /// hook that models a corrupting transport, so end-to-end paths can prove
+  /// the payload CRC/validation layer catches damaged frames.
+  using PayloadFault = std::function<void(std::vector<std::uint8_t>&)>;
+
   Communicator(Topology topo, NetworkModel net)
       : topo_(topo), net_(std::move(net)), clocks_(topo.world_size()) {}
 
@@ -90,6 +96,8 @@ class Communicator {
   /// Variable-size byte allgather (compressed payloads differ per rank).
   void allgatherv(const std::vector<std::vector<std::uint8_t>>& send,
                   std::vector<std::vector<std::uint8_t>>& recv);
+  /// Installs (or clears, with nullptr) the allgatherv fault hook.
+  void set_payload_fault(PayloadFault fault) { fault_ = std::move(fault); }
   /// Broadcast root's buffer to every rank (buffers must be same length).
   void broadcast(std::vector<std::span<float>> bufs, std::size_t root);
   /// Byte broadcast of root's payload; other entries are overwritten.
@@ -109,6 +117,7 @@ class Communicator {
   NetworkModel net_;
   SimClocks clocks_;
   CommStats stats_;
+  PayloadFault fault_;
 };
 
 }  // namespace compso::comm

@@ -1,0 +1,25 @@
+#pragma once
+// PayloadError: the single exception type for malformed wire data.
+//
+// Every decode path in the library (codec frames, bit-packed streams,
+// compressor payloads) throws PayloadError when the input is corrupt,
+// truncated, or structurally inconsistent — never UB, never a silent wrong
+// answer. It derives from std::invalid_argument so callers that only care
+// about "decode failed" keep working, while the fuzz harness can assert the
+// precise type.
+//
+// This header is dependency-free on purpose: quant, codec, and compress all
+// sit at different layers of the link graph but share the one error type.
+
+#include <stdexcept>
+#include <string>
+
+namespace compso {
+
+/// Thrown when a wire payload fails validation during decode.
+class PayloadError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace compso

@@ -6,6 +6,12 @@
 //                 the shared seed) + n-bit SR quantization.
 //   Top-k       = magnitude sparsification with explicit indices.
 //   Identity    = no compression.
+//
+// All payloads use wire format v1 (see DESIGN.md "Payload format v1"): a
+// 17-byte [magic | version | count | body CRC32] header followed by the
+// body documented per compressor below. Decompress validates the header,
+// then reads the body through the bounds-checked wire::Reader and
+// cross-checks every length field structurally before allocating.
 
 #include "src/codec/elias.hpp"
 #include "src/codec/huffman.hpp"
@@ -22,17 +28,18 @@
 namespace compso::compress {
 namespace {
 
+namespace wire = codec::wire;
+
+constexpr std::uint32_t kQsgdMagic = 0x51534744U;      // "QSGD"
+constexpr std::uint32_t kSzMagic = 0x535A3031U;        // "SZ01"
+constexpr std::uint32_t kCocktailMagic = 0x434B544CU;  // "CKTL"
+constexpr std::uint32_t kTopKMagic = 0x544F504BU;      // "TOPK"
+constexpr std::uint32_t kIdentityMagic = 0x49444E54U;  // "IDNT"
+
 void append_f64(Bytes& out, double v) {
   std::uint64_t bits;
   std::memcpy(&bits, &v, 8);
   codec::detail::append_u64(out, bits);
-}
-
-double read_f64(ByteView in, std::size_t offset) {
-  const std::uint64_t bits = codec::detail::read_u64(in, offset);
-  double v;
-  std::memcpy(&v, &bits, 8);
-  return v;
 }
 
 void append_f32(Bytes& out, float v) {
@@ -41,14 +48,26 @@ void append_f32(Bytes& out, float v) {
   codec::detail::append_u32(out, bits);
 }
 
-float read_f32(ByteView in, std::size_t offset) {
-  const std::uint32_t bits = codec::detail::read_u32(in, offset);
-  float v;
-  std::memcpy(&v, &bits, 4);
+/// Reads the common header, bounds the element count, and returns it.
+std::size_t checked_count(ByteView payload, std::uint32_t magic,
+                          const char* who) {
+  const wire::PayloadHeader h = wire::read_payload_header(payload, magic);
+  if (h.count > wire::kMaxElementCount) {
+    throw PayloadError(std::string(who) + ": element count out of range");
+  }
+  return static_cast<std::size_t>(h.count);
+}
+
+double finite_f64(wire::Reader& r, const char* who) {
+  const double v = r.f64();
+  if (!std::isfinite(v)) {
+    throw PayloadError(std::string(who) + ": non-finite step");
+  }
   return v;
 }
 
 // ---------------------------------------------------------------- QSGD --
+// Body: [f64 step][Elias-gamma signed codes, to end of payload]
 class QsgdCompressor final : public GradientCompressor {
  public:
   explicit QsgdCompressor(unsigned bits) : bits_(bits) {}
@@ -61,17 +80,20 @@ class QsgdCompressor final : public GradientCompressor {
     const quant::QuantizedBlock block = q.quantize(values, rng);
     const Bytes coded = codec::elias_gamma_encode_signed(block.codes);
     Bytes out;
-    codec::detail::append_u64(out, values.size());
+    wire::begin_payload(out, kQsgdMagic, values.size());
     append_f64(out, block.step);
     out.insert(out.end(), coded.begin(), coded.end());
+    wire::seal_payload(out);
     return out;
   }
 
   std::vector<float> decompress(ByteView payload) const override {
-    const std::uint64_t count = codec::detail::read_u64(payload, 0);
-    const double step = read_f64(payload, 8);
-    const auto codes =
-        codec::elias_gamma_decode_signed(payload.subspan(16), count);
+    const std::size_t count = checked_count(payload, kQsgdMagic, "QSGD");
+    wire::Reader r(wire::payload_body(payload));
+    const double step = finite_f64(r, "QSGD");
+    // elias_gamma_decode bounds count against the stream's bit capacity
+    // before allocating and throws on any corrupt/truncated code.
+    const auto codes = codec::elias_gamma_decode_signed(r.rest(), count);
     std::vector<float> out(count);
     for (std::size_t i = 0; i < count; ++i) {
       out[i] = static_cast<float>(static_cast<double>(codes[i]) * step);
@@ -94,6 +116,8 @@ class QsgdCompressor final : public GradientCompressor {
 };
 
 // ------------------------------------------------------------------ SZ --
+// Body: [f64 step][u64 unpredictable][u64 coded_size][Huffman codes blob]
+//       [f32 raw value x unpredictable]
 class SzCompressor final : public GradientCompressor {
  public:
   explicit SzCompressor(double eb) : eb_(eb) {
@@ -131,38 +155,45 @@ class SzCompressor final : public GradientCompressor {
     }
     const Bytes coded = codec::huffman_encode(codes);
     Bytes out;
-    codec::detail::append_u64(out, values.size());
+    wire::begin_payload(out, kSzMagic, values.size());
     append_f64(out, step);
     codec::detail::append_u64(out, unpredictable);
     codec::detail::append_u64(out, coded.size());
     out.insert(out.end(), coded.begin(), coded.end());
     out.insert(out.end(), raw.begin(), raw.end());
+    wire::seal_payload(out);
     return out;
   }
 
   std::vector<float> decompress(ByteView payload) const override {
-    std::size_t pos = 0;
-    const std::uint64_t count = codec::detail::read_u64(payload, pos); pos += 8;
-    const double step = read_f64(payload, pos); pos += 8;
-    const std::uint64_t unpredictable = codec::detail::read_u64(payload, pos);
-    pos += 8;
-    const std::uint64_t coded_size = codec::detail::read_u64(payload, pos);
-    pos += 8;
-    const Bytes codes = codec::huffman_decode(payload.subspan(pos, coded_size));
-    pos += coded_size;
+    const std::size_t count = checked_count(payload, kSzMagic, "SZ");
+    wire::Reader r(wire::payload_body(payload));
+    const double step = finite_f64(r, "SZ");
+    const std::uint64_t unpredictable = r.bounded_u64(count, "unpredictable");
+    const std::uint64_t coded_size = r.u64();
+    const Bytes codes = codec::huffman_decode(r.blob(coded_size));
     if (codes.size() != count) {
-      throw std::invalid_argument("SZ: code count mismatch");
+      throw PayloadError("SZ: code count mismatch");
     }
-    ByteView raw = payload.subspan(pos);
-    if (raw.size() < unpredictable * 4) {
-      throw std::invalid_argument("SZ: truncated raw values");
+    // The escape codes drive reads from the raw stream, so the stream must
+    // match them exactly: as many f32s as escapes, no trailing garbage.
+    const std::uint64_t escapes = static_cast<std::uint64_t>(
+        std::count(codes.begin(), codes.end(), std::uint8_t{0}));
+    if (escapes != unpredictable) {
+      throw PayloadError("SZ: escape count disagrees with code stream");
+    }
+    ByteView raw = r.rest();
+    if (raw.size() != wire::checked_mul(unpredictable, 4, "SZ raw stream")) {
+      throw PayloadError("SZ: raw value stream size mismatch");
     }
     std::vector<float> out(count);
     double prev = 0.0;
     std::size_t raw_pos = 0;
     for (std::size_t i = 0; i < count; ++i) {
       if (codes[i] == 0) {
-        prev = read_f32(raw, raw_pos);
+        float v;
+        std::memcpy(&v, raw.data() + raw_pos, 4);
+        prev = v;
         raw_pos += 4;
       } else {
         prev += static_cast<double>(static_cast<int>(codes[i]) - 128) * step;
@@ -187,6 +218,10 @@ class SzCompressor final : public GradientCompressor {
 };
 
 // --------------------------------------------------------- CocktailSGD --
+// Body: [u64 seed][f64 step][u8 bit_width][u64 sampled_count]
+//       [bit-packed codes, to end of payload]
+// sampled_count is redundant with (count, seed) but lets the decoder bound
+// the O(count) position replay against data the packed stream attests to.
 class CocktailCompressor final : public GradientCompressor {
  public:
   CocktailCompressor(double keep_fraction, unsigned bits)
@@ -213,26 +248,45 @@ class CocktailCompressor final : public GradientCompressor {
     const Bytes packed = quant::pack_codes(block.codes, block.bit_width);
 
     Bytes out;
-    codec::detail::append_u64(out, values.size());
+    wire::begin_payload(out, kCocktailMagic, values.size());
     codec::detail::append_u64(out, seed);
     append_f64(out, block.step);
     out.push_back(static_cast<std::uint8_t>(block.bit_width));
+    codec::detail::append_u64(out, selected.size());
     out.insert(out.end(), packed.begin(), packed.end());
+    wire::seal_payload(out);
     return out;
   }
 
   std::vector<float> decompress(ByteView payload) const override {
-    std::size_t pos = 0;
-    const std::uint64_t count = codec::detail::read_u64(payload, pos); pos += 8;
-    const std::uint64_t seed = codec::detail::read_u64(payload, pos); pos += 8;
-    const double step = read_f64(payload, pos); pos += 8;
-    if (pos >= payload.size()) {
-      throw std::invalid_argument("CocktailSGD: truncated payload");
+    const std::size_t count =
+        checked_count(payload, kCocktailMagic, "CocktailSGD");
+    wire::Reader r(wire::payload_body(payload));
+    const std::uint64_t seed = r.u64();
+    const double step = finite_f64(r, "CocktailSGD");
+    const unsigned bit_width = r.u8();
+    if (bit_width == 0 || bit_width > 64) {
+      throw PayloadError("CocktailSGD: bit width out of range");
     }
-    const unsigned bit_width = payload[pos++];
+    const std::uint64_t sampled_count = r.bounded_u64(count, "sampled_count");
+    ByteView packed = r.rest();
+    // pack_codes emits exactly ceil(n * width / 8) bytes, which pins
+    // sampled_count to the bytes actually present...
+    if (packed.size() != (sampled_count * bit_width + 7) / 8) {
+      throw PayloadError("CocktailSGD: packed code stream size mismatch");
+    }
+    // ...and the expected sample yield bounds the claimed element count in
+    // turn (binomial count*keep concentrates tightly; 16x + slack is far
+    // beyond any legitimate deviation) before the O(count) replay below.
+    if (static_cast<double>(count) * keep_ >
+        16.0 * static_cast<double>(sampled_count) + 65536.0) {
+      throw PayloadError("CocktailSGD: element count implausible for sample");
+    }
     const auto selected = select_positions(count, seed);
-    const auto codes =
-        quant::unpack_codes(payload.subspan(pos), bit_width, selected.size());
+    if (selected.size() != sampled_count) {
+      throw PayloadError("CocktailSGD: sample count disagrees with seed");
+    }
+    const auto codes = quant::unpack_codes(packed, bit_width, sampled_count);
     std::vector<float> out(count, 0.0F);
     for (std::size_t k = 0; k < selected.size(); ++k) {
       out[selected[k]] =
@@ -269,6 +323,8 @@ class CocktailCompressor final : public GradientCompressor {
 };
 
 // --------------------------------------------------------------- Top-k --
+// Body: [u64 k][u64 delta_blob_size][Elias-gamma index deltas]
+//       [f32 value x k]
 class TopKCompressor final : public GradientCompressor {
  public:
   explicit TopKCompressor(double keep_fraction) : keep_(keep_fraction) {
@@ -281,19 +337,21 @@ class TopKCompressor final : public GradientCompressor {
 
   Bytes compress(std::span<const float> values,
                  tensor::Rng& /*rng*/) const override {
-    const auto k = std::max<std::size_t>(
-        1, static_cast<std::size_t>(static_cast<double>(values.size()) * keep_));
+    const std::size_t k = expected_k(values.size());
     std::vector<std::size_t> idx(values.size());
     std::iota(idx.begin(), idx.end(), std::size_t{0});
-    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                     idx.end(), [&](std::size_t a, std::size_t b) {
-                       return std::fabs(values[a]) > std::fabs(values[b]);
-                     });
-    idx.resize(std::min(k, values.size()));
+    if (k > 0) {
+      std::nth_element(idx.begin(),
+                       idx.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       idx.end(), [&](std::size_t a, std::size_t b) {
+                         return std::fabs(values[a]) > std::fabs(values[b]);
+                       });
+    }
+    idx.resize(k);
     std::sort(idx.begin(), idx.end());
 
     Bytes out;
-    codec::detail::append_u64(out, values.size());
+    wire::begin_payload(out, kTopKMagic, values.size());
     codec::detail::append_u64(out, idx.size());
     // Delta-coded indices (gamma) + raw FP32 values.
     std::vector<std::uint64_t> deltas;
@@ -307,22 +365,37 @@ class TopKCompressor final : public GradientCompressor {
     codec::detail::append_u64(out, dcoded.size());
     out.insert(out.end(), dcoded.begin(), dcoded.end());
     for (std::size_t i : idx) append_f32(out, values[i]);
+    wire::seal_payload(out);
     return out;
   }
 
   std::vector<float> decompress(ByteView payload) const override {
-    std::size_t pos = 0;
-    const std::uint64_t count = codec::detail::read_u64(payload, pos); pos += 8;
-    const std::uint64_t k = codec::detail::read_u64(payload, pos); pos += 8;
-    const std::uint64_t dsize = codec::detail::read_u64(payload, pos); pos += 8;
-    const auto deltas = codec::elias_gamma_decode(payload.subspan(pos, dsize), k);
-    pos += dsize;
+    const std::size_t count = checked_count(payload, kTopKMagic, "TopK");
+    wire::Reader r(wire::payload_body(payload));
+    const std::uint64_t k = r.bounded_u64(count, "k");
+    // k is fully determined by count and the configured keep fraction, so
+    // a mismatch can only mean corruption.
+    if (k != expected_k(count)) {
+      throw PayloadError("TopK: k disagrees with element count");
+    }
+    const std::uint64_t dsize = r.u64();
+    const auto deltas = codec::elias_gamma_decode(r.blob(dsize), k);
+    ByteView raw = r.rest();
+    if (raw.size() != wire::checked_mul(k, 4, "TopK value stream")) {
+      throw PayloadError("TopK: value stream size mismatch");
+    }
     std::vector<float> out(count, 0.0F);
     std::size_t prev = 0;
     for (std::uint64_t j = 0; j < k; ++j) {
+      // Gamma deltas are >= 1 by construction; bound the running index
+      // before writing so a corrupt delta cannot land outside `out`.
       const std::size_t i = prev + static_cast<std::size_t>(deltas[j]) - 1;
-      out[i] = read_f32(payload, pos);
-      pos += 4;
+      if (i < prev || i >= count) {
+        throw PayloadError("TopK: index out of range");
+      }
+      float v;
+      std::memcpy(&v, raw.data() + j * 4, 4);
+      out[i] = v;
       prev = i;
     }
     return out;
@@ -337,10 +410,17 @@ class TopKCompressor final : public GradientCompressor {
   }
 
  private:
+  std::size_t expected_k(std::size_t count) const noexcept {
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(count) * keep_));
+    return std::min(k, count);
+  }
+
   double keep_;
 };
 
 // ------------------------------------------------------------ Identity --
+// Body: [f32 value x count]
 class IdentityCompressor final : public GradientCompressor {
  public:
   std::string_view name() const noexcept override { return "Identity"; }
@@ -348,19 +428,28 @@ class IdentityCompressor final : public GradientCompressor {
   Bytes compress(std::span<const float> values,
                  tensor::Rng& /*rng*/) const override {
     Bytes out;
-    codec::detail::append_u64(out, values.size());
-    out.resize(8 + values.size() * 4);
-    std::memcpy(out.data() + 8, values.data(), values.size() * 4);
+    wire::begin_payload(out, kIdentityMagic, values.size());
+    const std::size_t header = out.size();
+    out.resize(header + values.size() * 4);
+    if (!values.empty()) {
+      std::memcpy(out.data() + header, values.data(), values.size() * 4);
+    }
+    wire::seal_payload(out);
     return out;
   }
 
   std::vector<float> decompress(ByteView payload) const override {
-    const std::uint64_t count = codec::detail::read_u64(payload, 0);
-    if (payload.size() < 8 + count * 4) {
-      throw std::invalid_argument("Identity: truncated payload");
+    const std::size_t count = checked_count(payload, kIdentityMagic,
+                                            "Identity");
+    wire::Reader r(wire::payload_body(payload));
+    ByteView raw = r.rest();
+    if (raw.size() != wire::checked_mul(count, 4, "Identity stream")) {
+      throw PayloadError("Identity: payload size mismatch");
     }
     std::vector<float> out(count);
-    std::memcpy(out.data(), payload.data() + 8, count * 4);
+    if (count > 0) {
+      std::memcpy(out.data(), raw.data(), count * 4);
+    }
     return out;
   }
 

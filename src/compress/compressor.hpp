@@ -44,7 +44,11 @@ class GradientCompressor {
   virtual Bytes compress(std::span<const float> values,
                          tensor::Rng& rng) const = 0;
 
-  /// Decompresses a payload produced by this compressor.
+  /// Decompresses a payload produced by this compressor. Payloads are
+  /// wire-format v1 frames (see DESIGN.md "Payload format v1"): the header
+  /// (magic, version, CRC) and every embedded length/width field are
+  /// validated before any allocation; malformed or corrupted input throws
+  /// compso::PayloadError and never reads out of bounds.
   virtual std::vector<float> decompress(ByteView payload) const = 0;
 
   /// GPU execution shape (see GpuProfile).

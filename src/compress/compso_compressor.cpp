@@ -6,32 +6,31 @@
 //   Step 3   encode:    bitmap and packed codes each through the selected
 //                       lossless encoder (ANS by default, Table 2)
 //
-// Payload layout:
-//   [u64 count][u64 survivor_count][f64 step][u8 bit_width][u8 use_filter]
-//   [u64 bitmap_blob_size][bitmap blob][codes blob]
+// Payload layout (wire format v1, see DESIGN.md "Payload format v1"):
+//   [17-byte header: magic "CSO1" | version | element count | body CRC32]
+//   body: [f64 step][u8 bit_width][u8 flags]
+//         flags bit 0 set => the filter ran; only then the bitmap rides:
+//         [u64 survivor_count][u64 bitmap_blob_size][bitmap blob]
+//         [codes blob]  (always, to end of payload)
 
 #include "src/compress/compressor.hpp"
 #include "src/quant/filter.hpp"
 #include "src/quant/quantizer.hpp"
 #include "src/tensor/stats.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
 namespace compso::compress {
 namespace {
 
+constexpr std::uint32_t kMagic = 0x43534F31U;  // "CSO1"
+
 void append_f64(Bytes& out, double v) {
   std::uint64_t bits;
   std::memcpy(&bits, &v, 8);
   codec::detail::append_u64(out, bits);
-}
-
-double read_f64(ByteView in, std::size_t offset) {
-  const std::uint64_t bits = codec::detail::read_u64(in, offset);
-  double v;
-  std::memcpy(&v, &bits, 8);
-  return v;
 }
 
 class CompsoCompressor final : public GradientCompressor {
@@ -49,15 +48,15 @@ class CompsoCompressor final : public GradientCompressor {
                  tensor::Rng& rng) const override {
     const double abs_max = tensor::extrema(values).abs_max;
 
-    // Step 1: filter (skipped in conservative SR-only mode).
+    // Step 1: filter (skipped in conservative SR-only mode). When the
+    // filter is off there is nothing to record: no bitmap is built or
+    // shipped, and the flags bit tells the decoder so.
+    const bool filtered = params_.use_filter && params_.filter_bound > 0.0;
     quant::FilterResult filt;
     std::span<const float> survivors = values;
-    if (params_.use_filter && params_.filter_bound > 0.0) {
+    if (filtered) {
       filt = quant::apply_filter(values, params_.filter_bound, abs_max);
       survivors = filt.survivors;
-    } else {
-      filt.total = values.size();
-      filt.bitmap.assign((values.size() + 7) / 8, 0);
     }
 
     // Step 2-1: error-bounded SR on survivors.
@@ -66,41 +65,73 @@ class CompsoCompressor final : public GradientCompressor {
     const quant::QuantizedBlock block = q.quantize(survivors, rng, abs_max);
     const Bytes packed = quant::pack_codes(block.codes, block.bit_width);
 
-    // Step 3: lossless encoding of both streams.
-    const Bytes bitmap_blob = codec_->encode(filt.bitmap);
-    const Bytes codes_blob = codec_->encode(packed);
-
     Bytes out;
-    codec::detail::append_u64(out, values.size());
-    codec::detail::append_u64(out, survivors.size());
+    codec::wire::begin_payload(out, kMagic, values.size());
     append_f64(out, block.step);
     out.push_back(static_cast<std::uint8_t>(block.bit_width));
-    out.push_back(params_.use_filter ? 1 : 0);
-    codec::detail::append_u64(out, bitmap_blob.size());
-    out.insert(out.end(), bitmap_blob.begin(), bitmap_blob.end());
+    out.push_back(filtered ? 1 : 0);
+    if (filtered) {
+      // Step 3 (bitmap branch): lossless-encode the filter bitmap.
+      const Bytes bitmap_blob = codec_->encode(filt.bitmap);
+      codec::detail::append_u64(out, survivors.size());
+      codec::detail::append_u64(out, bitmap_blob.size());
+      out.insert(out.end(), bitmap_blob.begin(), bitmap_blob.end());
+    }
+    const Bytes codes_blob = codec_->encode(packed);
     out.insert(out.end(), codes_blob.begin(), codes_blob.end());
+    codec::wire::seal_payload(out);
     return out;
   }
 
   std::vector<float> decompress(ByteView payload) const override {
-    std::size_t pos = 0;
-    const std::uint64_t count = codec::detail::read_u64(payload, pos); pos += 8;
-    const std::uint64_t survivor_count = codec::detail::read_u64(payload, pos);
-    pos += 8;
-    const double step = read_f64(payload, pos); pos += 8;
-    if (pos + 2 > payload.size()) {
-      throw std::invalid_argument("COMPSO: truncated payload");
+    namespace wire = codec::wire;
+    const wire::PayloadHeader header =
+        wire::read_payload_header(payload, kMagic);
+    if (header.count > wire::kMaxElementCount) {
+      throw PayloadError("COMPSO: element count out of range");
     }
-    const unsigned bit_width = payload[pos++];
-    const bool used_filter = payload[pos++] != 0;
-    const std::uint64_t bitmap_blob_size = codec::detail::read_u64(payload, pos);
-    pos += 8;
-    if (pos + bitmap_blob_size > payload.size()) {
-      throw std::invalid_argument("COMPSO: truncated bitmap blob");
+    const auto count = static_cast<std::size_t>(header.count);
+    wire::Reader r(wire::payload_body(payload));
+
+    const double step = r.f64();
+    if (!std::isfinite(step)) {
+      throw PayloadError("COMPSO: non-finite quantization step");
     }
-    const Bytes bitmap = codec_->decode(payload.subspan(pos, bitmap_blob_size));
-    pos += bitmap_blob_size;
-    const Bytes packed = codec_->decode(payload.subspan(pos));
+    const unsigned bit_width = r.u8();
+    if (bit_width == 0 || bit_width > 64) {
+      throw PayloadError("COMPSO: bit width out of range");
+    }
+    const std::uint8_t flags = r.u8();
+    if ((flags & ~1U) != 0) throw PayloadError("COMPSO: unknown flags");
+    const bool filtered = (flags & 1U) != 0;
+
+    std::uint64_t survivor_count = header.count;
+    Bytes bitmap;
+    if (filtered) {
+      survivor_count = r.bounded_u64(header.count, "survivor_count");
+      const std::uint64_t bitmap_blob_size = r.u64();
+      bitmap = codec_->decode(r.blob(bitmap_blob_size));
+      if (bitmap.size() != (count + 7) / 8) {
+        throw PayloadError("COMPSO: bitmap size mismatch");
+      }
+      // The bitmap and the survivor count describe the same thing; if they
+      // disagree the payload is corrupt and scatter would misalign.
+      std::uint64_t unfiltered = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!quant::bitmap_get(bitmap, i)) ++unfiltered;
+      }
+      if (unfiltered != survivor_count) {
+        throw PayloadError("COMPSO: bitmap disagrees with survivor count");
+      }
+    }
+
+    const Bytes packed = codec_->decode(r.rest());
+    // pack_codes emits exactly ceil(n * width / 8) bytes; anything else
+    // means a corrupted stream (survivor_count <= 2^32 and width <= 64, so
+    // the product cannot overflow).
+    if (packed.size() != (survivor_count * bit_width + 7) / 8) {
+      throw PayloadError("COMPSO: packed code stream size mismatch");
+    }
 
     const auto codes = quant::unpack_codes(packed, bit_width, survivor_count);
     std::vector<float> survivors(survivor_count);
@@ -110,13 +141,9 @@ class CompsoCompressor final : public GradientCompressor {
     block.bit_width = bit_width;
     quant::ErrorBoundedQuantizer::dequantize(block, survivors);
 
+    if (!filtered) return survivors;
     std::vector<float> out(count);
-    if (used_filter) {
-      quant::scatter_survivors(bitmap, survivors, out);
-    } else {
-      out = std::move(survivors);
-      out.resize(count);
-    }
+    quant::scatter_survivors(bitmap, survivors, out);
     return out;
   }
 

@@ -1,0 +1,61 @@
+#include "src/compress/payload_fuzz.hpp"
+
+#include <algorithm>
+
+namespace compso::compress {
+
+codec::Bytes apply_mutation(codec::ByteView payload, Mutation kind,
+                            tensor::Rng& rng) {
+  codec::Bytes out(payload.begin(), payload.end());
+  switch (kind) {
+    case Mutation::kBitFlip: {
+      if (out.empty()) break;
+      const std::uint64_t flips = 1 + rng.uniform_index(8);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        const std::uint64_t bit = rng.uniform_index(out.size() * 8);
+        out[static_cast<std::size_t>(bit / 8)] ^=
+            static_cast<std::uint8_t>(1U << (bit % 8));
+      }
+      break;
+    }
+    case Mutation::kByteSet: {
+      if (out.empty()) break;
+      const std::uint64_t n = 1 + rng.uniform_index(16);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(rng.uniform_index(out.size()))] =
+            static_cast<std::uint8_t>(rng());
+      }
+      break;
+    }
+    case Mutation::kTruncate: {
+      if (out.empty()) break;
+      out.resize(static_cast<std::size_t>(rng.uniform_index(out.size())));
+      break;
+    }
+    case Mutation::kExtend: {
+      const std::uint64_t n = 1 + rng.uniform_index(64);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng()));
+      }
+      break;
+    }
+    case Mutation::kZeroRegion: {
+      if (out.empty()) break;
+      const auto start =
+          static_cast<std::size_t>(rng.uniform_index(out.size()));
+      const auto len = static_cast<std::size_t>(
+          1 + rng.uniform_index(out.size() - start));
+      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(start), len, 0);
+      break;
+    }
+  }
+  return out;
+}
+
+codec::Bytes mutate_payload(codec::ByteView payload, tensor::Rng& rng) {
+  const auto kind =
+      static_cast<Mutation>(rng.uniform_index(kMutationKinds));
+  return apply_mutation(payload, kind, rng);
+}
+
+}  // namespace compso::compress

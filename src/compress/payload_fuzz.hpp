@@ -1,0 +1,38 @@
+#pragma once
+// Deterministic payload mutation for the wire-format fuzz/property harness
+// (tests/test_payload_fuzz.cpp). Given a well-formed payload and an Rng,
+// `mutate_payload` produces a corrupted variant — bit flips, byte
+// overwrites, truncation, extension, zeroed regions — the kinds of damage
+// a transport or a hostile peer can introduce. The decode-side contract
+// under test: for ANY mutated payload, decompress/decode either throws
+// compso::PayloadError or returns a bit-exact copy of the reference
+// decode (a mutation that misses every meaningful byte, e.g. flips inside
+// a stored-mode pad). Silent corruption and out-of-bounds reads are bugs.
+
+#include "src/codec/codec.hpp"
+#include "src/tensor/rng.hpp"
+
+namespace compso::compress {
+
+enum class Mutation {
+  kBitFlip,     ///< flip 1..8 random bits anywhere in the payload.
+  kByteSet,     ///< overwrite 1..16 random bytes with random values.
+  kTruncate,    ///< drop a random-length tail (possibly the whole body).
+  kExtend,      ///< append 1..64 random bytes.
+  kZeroRegion,  ///< zero a random contiguous region.
+};
+
+constexpr int kMutationKinds = 5;
+
+/// Applies one randomly chosen mutation (drawn from `rng`) to a copy of
+/// `payload` and returns it. Never returns a byte-identical copy for a
+/// non-empty payload unless the chosen mutation is a no-op by construction
+/// (e.g. zeroing an already-zero region) — the harness treats "decodes
+/// bit-exactly" as success either way, so benign no-ops are harmless.
+codec::Bytes mutate_payload(codec::ByteView payload, tensor::Rng& rng);
+
+/// Applies the specific mutation `kind` (for targeted regression cases).
+codec::Bytes apply_mutation(codec::ByteView payload, Mutation kind,
+                            tensor::Rng& rng);
+
+}  // namespace compso::compress

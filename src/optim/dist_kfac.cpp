@@ -48,8 +48,17 @@ void DistKfac::exchange_covariances(std::vector<Tensor>& local,
   comm_.allgatherv(send, recv);
   Tensor avg(local[0]);
   avg.fill(0.0F);
+  // Decode from the *received* stream (sliced by the known send sizes), so
+  // transport corruption reaches the payload validation layer.
+  const compress::ByteView gathered(recv[0]);
+  std::size_t off = 0;
   for (std::size_t r = 0; r < world; ++r) {
-    const auto rec = factor_compressor_->decompress(send[r]);
+    if (send[r].size() > gathered.size() - off) {
+      throw PayloadError("DistKfac: gathered stream truncated");
+    }
+    const auto rec =
+        factor_compressor_->decompress(gathered.subspan(off, send[r].size()));
+    off += send[r].size();
     if (rec.size() != n) {
       throw std::logic_error("DistKfac: factor decompress size mismatch");
     }
@@ -149,7 +158,9 @@ void DistKfac::step(std::size_t iteration, double lr,
               ? compressor->compress(concat, rng)
               : [&] {
                   compress::Bytes raw(concat.size() * sizeof(float));
-                  std::memcpy(raw.data(), concat.data(), raw.size());
+                  if (!raw.empty()) {
+                    std::memcpy(raw.data(), concat.data(), raw.size());
+                  }
                   return raw;
                 }();
       auto& buf = send[r];
@@ -206,7 +217,9 @@ void DistKfac::step(std::size_t iteration, double lr,
         values = compressor->decompress(payload);
       } else {
         values.resize(psize / sizeof(float));
-        std::memcpy(values.data(), payload.data(), psize);
+        if (psize > 0) {
+          std::memcpy(values.data(), payload.data(), psize);
+        }
       }
       if (values.size() != group_elems) {
         throw std::logic_error("DistKfac: decompressed size mismatch");

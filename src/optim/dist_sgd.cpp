@@ -89,9 +89,18 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
       }
       std::vector<std::vector<std::uint8_t>> recv;
       comm_.allgatherv(send, recv);
-      // Every rank decodes the same concatenation; decode once.
+      // Every rank decodes the same concatenation; decode once — from the
+      // *received* stream (sliced by the known send sizes), so transport
+      // corruption actually reaches the payload validation layer.
+      const compress::ByteView gathered(recv[0]);
+      std::size_t off = 0;
       for (std::size_t r = 0; r < world; ++r) {
-        const auto rec = compressor->decompress(send[r]);
+        if (send[r].size() > gathered.size() - off) {
+          throw PayloadError("DistSgd: gathered stream truncated");
+        }
+        const auto rec =
+            compressor->decompress(gathered.subspan(off, send[r].size()));
+        off += send[r].size();
         if (rec.size() != n) {
           throw std::logic_error("DistSgd: decompressed size mismatch");
         }

@@ -19,6 +19,10 @@ CommLookupTable::CommLookupTable(const comm::Communicator& comm,
         static_cast<double>(i) / static_cast<double>(points - 1);
     const auto bytes =
         static_cast<std::size_t>(std::exp2(lo + frac * (hi - lo)));
+    // Narrow ranges round adjacent sample points to the same byte size;
+    // keep sizes_ strictly increasing or interpolation divides by
+    // log2(x1) - log2(x0) == 0 and returns NaN.
+    if (!sizes_.empty() && bytes <= sizes_.back()) continue;
     const double t = comm.allgather_time(bytes);
     sizes_.push_back(bytes);
     tput_.push_back(t > 0.0 ? static_cast<double>(bytes) / t : 1e18);

@@ -31,7 +31,12 @@ std::vector<std::uint8_t> BitWriter::take() {
   return out;
 }
 
-std::uint64_t BitReader::read(unsigned bits) noexcept {
+std::uint64_t BitReader::read(unsigned bits) {
+  if (bits > 64) {
+    // A width beyond 64 can only come from a corrupt payload; letting it
+    // through would shift `chunk << got` past the accumulator width (UB).
+    throw PayloadError("BitReader: bit width out of range");
+  }
   std::uint64_t out = 0;
   unsigned got = 0;
   while (got < bits && byte_pos_ < bytes_.size()) {
@@ -69,6 +74,15 @@ std::vector<std::uint8_t> pack_codes(std::span<const std::int64_t> codes,
 
 std::vector<std::int64_t> unpack_codes(std::span<const std::uint8_t> bytes,
                                        unsigned bits, std::size_t count) {
+  if (bits == 0 || bits > 64) {
+    throw PayloadError("unpack_codes: bit width out of range");
+  }
+  // Validate before the allocation: the blob must actually hold all
+  // `count` codes, or a corrupt count would silently decode the missing
+  // tail as zeros (and a hostile count would allocate unbounded memory).
+  if (count > bytes.size() * 8 / bits) {
+    throw PayloadError("unpack_codes: bit-packed stream truncated");
+  }
   BitReader r(bytes);
   std::vector<std::int64_t> out(count);
   for (auto& c : out) c = zigzag_decode(r.read(bits));

@@ -4,6 +4,8 @@
 // byte stream, instead of rounding the width up to 8/4-bit like fixed-rate
 // quantizers.
 
+#include "src/common/payload_error.hpp"
+
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -32,9 +34,11 @@ class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
-  /// Reads `bits` bits; returns them in the low bits of the result.
-  /// Reading past the end yields zero bits.
-  std::uint64_t read(unsigned bits) noexcept;
+  /// Reads `bits` bits (bits in [0, 64]); returns them in the low bits of
+  /// the result. Reading past the end yields zero bits; widths above 64
+  /// throw PayloadError (they can only come from corrupt wire data and
+  /// would otherwise shift past the accumulator width).
+  std::uint64_t read(unsigned bits);
   bool exhausted() const noexcept;
 
  private:
@@ -60,7 +64,10 @@ unsigned required_bits(std::span<const std::int64_t> codes) noexcept;
 /// Packs signed codes at the given width (zigzag + fixed-width).
 std::vector<std::uint8_t> pack_codes(std::span<const std::int64_t> codes,
                                      unsigned bits);
-/// Inverse of pack_codes; `count` codes are read.
+/// Inverse of pack_codes; `count` codes are read. Validates up front that
+/// `bits` is in [1, 64] and that `bytes` holds at least count * bits bits;
+/// throws PayloadError otherwise (a truncated stream must never silently
+/// decode missing codes as zeros).
 std::vector<std::int64_t> unpack_codes(std::span<const std::uint8_t> bytes,
                                        unsigned bits, std::size_t count);
 

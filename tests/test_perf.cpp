@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace pf = compso::perf;
 namespace cm = compso::comm;
 namespace cp = compso::compress;
@@ -51,6 +53,19 @@ TEST(LookupTable, BadRangeThrows) {
   const auto comm = plat1(4);
   EXPECT_THROW(pf::CommLookupTable(comm, 1024, 512), std::invalid_argument);
   EXPECT_THROW(pf::CommLookupTable(comm, 0, 1024), std::invalid_argument);
+}
+
+TEST(LookupTable, NarrowRangeHasNoDuplicateSamplePoints) {
+  // A narrow [min, max] with many points rounds adjacent log-spaced sample
+  // sizes to the same byte value; interpolation then divided by
+  // log2(x1) - log2(x0) == 0 and returned NaN.
+  const auto comm = plat1(16);
+  pf::CommLookupTable table(comm, 1024, 2048, 24);
+  for (std::size_t b = 1024; b <= 2048; b += 64) {
+    const double t = table.throughput(b);
+    EXPECT_TRUE(std::isfinite(t)) << b;
+    EXPECT_GT(t, 0.0) << b;
+  }
 }
 
 TEST(Profiler, AveragesObservations) {

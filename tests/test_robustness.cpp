@@ -4,6 +4,7 @@
 
 #include "src/codec/codec.hpp"
 #include "src/compress/compressor.hpp"
+#include "src/quant/bitpack.hpp"
 #include "src/tensor/synthetic.hpp"
 
 #include <gtest/gtest.h>
@@ -129,5 +130,102 @@ INSTANTIATE_TEST_SUITE_P(
         CompressorCase{"TopK", [] { return cp::make_topk(0.1); }},
         CompressorCase{"Identity", [] { return cp::make_identity(); }}),
     [](const auto& info) { return std::string(info.param.name); });
+
+// --- targeted regressions for the wire-format hardening ------------------
+
+namespace cq = compso::quant;
+
+TEST(BitpackHardening, WidthAbove64Throws) {
+  // bits > 64 used to shift the read accumulator past its width (UB); both
+  // the reader and the unpack entry point must reject it up front.
+  cc::Bytes bytes(64, 0xAB);
+  cq::BitReader r(bytes);
+  EXPECT_THROW((void)r.read(65), compso::PayloadError);
+  EXPECT_THROW((void)cq::unpack_codes(bytes, 65, 4), compso::PayloadError);
+  EXPECT_THROW((void)cq::unpack_codes(bytes, 0, 4), compso::PayloadError);
+}
+
+TEST(BitpackHardening, TruncatedStreamThrowsInsteadOfZeroPadding) {
+  // A stream that cannot hold count * bits bits used to decode the missing
+  // tail as silent zeros.
+  const std::vector<std::int64_t> codes{1, -2, 3, -4, 5, -6, 7, -8};
+  const auto packed = cq::pack_codes(codes, 7);
+  const auto ok = cq::unpack_codes(packed, 7, codes.size());
+  EXPECT_EQ(ok, codes);
+  cc::ByteView cut(packed.data(), packed.size() - 1);
+  EXPECT_THROW((void)cq::unpack_codes(cut, 7, codes.size()),
+               compso::PayloadError);
+}
+
+TEST(BitpackHardening, HostileCountRejectedBeforeAllocation) {
+  // A corrupt 8-byte count field used to drive the output allocation
+  // directly (up to 2^64 elements) before any consistency check.
+  cc::Bytes bytes(16, 0xFF);
+  EXPECT_THROW(
+      (void)cq::unpack_codes(bytes, 8, ~std::uint64_t{0} / 2),
+      compso::PayloadError);
+}
+
+TEST(CompressorHardening, CorruptBitWidthRejected) {
+  const auto c = cp::make_compso({});
+  ct::Rng rng(17);
+  const auto grad =
+      ct::synthetic_gradient(2000, ct::GradientProfile::kfac(), rng);
+  auto payload = c->compress(grad, rng);
+  // Body layout: [f64 step][u8 bit_width][u8 flags]...; the width byte sits
+  // right after the 17-byte header + 8-byte step.
+  payload[cc::wire::kHeaderSize + 8] = 200;
+  EXPECT_THROW((void)c->decompress(payload), compso::PayloadError);
+}
+
+TEST(CompressorHardening, CorruptCountRejected) {
+  const auto c = cp::make_compso({});
+  ct::Rng rng(18);
+  const auto grad =
+      ct::synthetic_gradient(2000, ct::GradientProfile::kfac(), rng);
+  auto payload = c->compress(grad, rng);
+  // The count lives at header offset 5; any change must trip the frame CRC
+  // before a count-driven allocation can happen.
+  for (int byte = 5; byte < 13; ++byte) {
+    auto mutated = payload;
+    mutated[static_cast<std::size_t>(byte)] ^= 0x40U;
+    EXPECT_THROW((void)c->decompress(mutated), compso::PayloadError) << byte;
+  }
+}
+
+TEST(CompressorHardening, WrongCompressorPayloadRejected) {
+  // Every compressor writes its own magic; feeding one compressor's frame
+  // to another must fail on the magic check, not on downstream parsing.
+  ct::Rng rng(19);
+  const auto grad =
+      ct::synthetic_gradient(500, ct::GradientProfile::kfac(), rng);
+  const auto compso = cp::make_compso({});
+  const auto qsgd = cp::make_qsgd(8);
+  const auto identity = cp::make_identity();
+  const auto payload = compso->compress(grad, rng);
+  EXPECT_THROW((void)qsgd->decompress(payload), compso::PayloadError);
+  EXPECT_THROW((void)identity->decompress(payload), compso::PayloadError);
+  const auto raw = identity->compress(grad, rng);
+  EXPECT_THROW((void)compso->decompress(raw), compso::PayloadError);
+}
+
+TEST(CompressorHardening, FilterDisabledShipsNoBitmap) {
+  // With the filter off the old payload still carried an encoded all-zero
+  // bitmap blob; now the flags bit says "no bitmap" and the survivor-count
+  // and bitmap fields disappear from the body entirely.
+  ct::Rng rng(20);
+  const auto grad =
+      ct::synthetic_gradient(4096, ct::GradientProfile::kfac(), rng);
+  const auto with = cp::make_compso({});
+  const auto without = cp::make_compso({.use_filter = false});
+  ct::Rng sr_a(21), sr_b(21);
+  const auto p_with = with->compress(grad, sr_a);
+  const auto p_without = without->compress(grad, sr_b);
+  // Body layout: [f64 step][u8 bit_width][u8 flags]; flags bit 0 = filter.
+  EXPECT_EQ(p_with[cc::wire::kHeaderSize + 9], 1);
+  EXPECT_EQ(p_without[cc::wire::kHeaderSize + 9], 0);
+  // The unfiltered payload must still round-trip to full size.
+  EXPECT_EQ(without->decompress(p_without).size(), grad.size());
+}
 
 }  // namespace
