@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: build and test the normal and sanitized configurations.
+#
+#   ./ci.sh            both configs, full test suite under each
+#   ./ci.sh fault      fault-tolerance suites only (ctest -L fault)
+#
+# The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
+# AddressSanitizer + UBSan, which is what gives the fault/recovery paths
+# their teeth: an out-of-bounds decode of a corrupted payload fails the
+# build's tests even if it happens not to crash.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+LABEL="${1:-}"
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  if [[ "$LABEL" == "fault" ]]; then
+    ctest --test-dir "$dir" -L fault --output-on-failure -j "$JOBS"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  fi
+}
+
+echo "=== config 1/2: normal ==="
+run_suite build-ci
+
+echo "=== config 2/2: AddressSanitizer + UBSan ==="
+run_suite build-asan -DCOMPSO_SANITIZE=ON
+
+echo "ci.sh: all green"

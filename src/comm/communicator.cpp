@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 namespace compso::comm {
+
+std::string RecoveryStats::to_string() const {
+  std::ostringstream os;
+  os << "faults[corrupt=" << corrupt_injected << " drop=" << drops_injected
+     << " trunc=" << truncations_injected << " straggle=" << straggler_events
+     << "] recovery[retry=" << decode_retries << " fail=" << decode_failures
+     << " fallback=" << fallback_steps << " degraded=" << degraded_layers
+     << " evict=" << evictions << " nan_skip=" << nonfinite_skips
+     << " tighten=" << bound_tightenings << " ckpt_save=" << checkpoint_saves
+     << " ckpt_restore=" << checkpoint_restores << "]";
+  return os.str();
+}
 
 double SimClocks::max_time() const noexcept {
   double m = 0.0;
@@ -28,8 +41,60 @@ LinkParams Communicator::ring_bottleneck() const noexcept {
   return LinkParams{0.0, 1.0};  // single rank: no communication
 }
 
+std::size_t Communicator::active_count() const noexcept {
+  std::size_t n = 0;
+  for (auto a : active_) n += a != 0 ? 1 : 0;
+  return n;
+}
+
+std::vector<std::size_t> Communicator::active_ranks() const {
+  std::vector<std::size_t> out;
+  out.reserve(active_.size());
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    if (active_[r] != 0) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Communicator::first_active_rank() const {
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    if (active_[r] != 0) return r;
+  }
+  throw std::logic_error("Communicator: every rank has been evicted");
+}
+
+void Communicator::evict(std::size_t rank) {
+  if (rank >= active_.size() || active_[rank] == 0) return;
+  if (active_count() <= 1) {
+    throw std::logic_error("Communicator: cannot evict the last rank");
+  }
+  active_[rank] = 0;
+  ++recovery_.evictions;
+}
+
+void Communicator::set_active_mask(const std::vector<std::uint8_t>& mask) {
+  if (mask.size() != active_.size()) {
+    throw std::invalid_argument("set_active_mask: size mismatch");
+  }
+  active_ = mask;
+}
+
+void Communicator::begin_iteration(std::size_t t) {
+  if (injector_ == nullptr) return;
+  injector_->begin_iteration(t);
+  for (const auto& e : injector_->take_all(FaultKind::kCrash)) {
+    evict(e.rank);
+  }
+  for (const auto& e : injector_->take_all(FaultKind::kStraggler)) {
+    if (is_active(e.rank)) {
+      clocks_.advance(e.rank, e.slowdown_s);
+      ++recovery_.straggler_events;
+    }
+  }
+}
+
 double Communicator::allreduce_time(std::size_t bytes) const noexcept {
-  const std::size_t p = world_size();
+  const std::size_t p = active_count();
   if (p <= 1 || bytes == 0) return 0.0;
   const LinkParams link = ring_bottleneck();
   const double pd = static_cast<double>(p);
@@ -39,7 +104,7 @@ double Communicator::allreduce_time(std::size_t bytes) const noexcept {
 
 double Communicator::allgather_time(std::size_t bytes_per_rank)
     const noexcept {
-  const std::size_t p = world_size();
+  const std::size_t p = active_count();
   if (p <= 1 || bytes_per_rank == 0) return 0.0;
   const LinkParams link = ring_bottleneck();
   const double pd = static_cast<double>(p);
@@ -49,7 +114,7 @@ double Communicator::allgather_time(std::size_t bytes_per_rank)
 
 double Communicator::allgatherv_time(
     std::span<const std::size_t> bytes_per_rank) const noexcept {
-  const std::size_t p = world_size();
+  const std::size_t p = active_count();
   if (p <= 1 || bytes_per_rank.empty()) return 0.0;
   const LinkParams link = ring_bottleneck();
   std::size_t total = 0;
@@ -66,7 +131,7 @@ double Communicator::allgatherv_time(
 }
 
 double Communicator::broadcast_time(std::size_t bytes) const noexcept {
-  const std::size_t p = world_size();
+  const std::size_t p = active_count();
   if (p <= 1 || bytes == 0) return 0.0;
   // Hierarchical binomial: tree over nodes on the interconnect, then a tree
   // over the node's GPUs on NVLink.
@@ -85,7 +150,7 @@ double Communicator::broadcast_time(std::size_t bytes) const noexcept {
 
 double Communicator::pipelined_broadcast_time(std::size_t bytes)
     const noexcept {
-  const std::size_t p = world_size();
+  const std::size_t p = active_count();
   if (p <= 1 || bytes == 0) return 0.0;
   const LinkParams link = ring_bottleneck();
   const auto rounds = static_cast<double>(std::bit_width(p - 1));
@@ -94,7 +159,7 @@ double Communicator::pipelined_broadcast_time(std::size_t bytes)
 }
 
 double Communicator::reduce_scatter_time(std::size_t bytes) const noexcept {
-  const std::size_t p = world_size();
+  const std::size_t p = active_count();
   if (p <= 1 || bytes == 0) return 0.0;
   const LinkParams link = ring_bottleneck();
   const double pd = static_cast<double>(p);
@@ -106,18 +171,23 @@ void Communicator::allreduce_sum(std::vector<std::span<float>> bufs) {
   if (bufs.size() != world_size()) {
     throw std::invalid_argument("allreduce_sum: need one buffer per rank");
   }
-  const std::size_t n = bufs.empty() ? 0 : bufs[0].size();
-  for (const auto& b : bufs) {
-    if (b.size() != n) {
+  const std::size_t lead = first_active_rank();
+  const std::size_t n = bufs[lead].size();
+  for (std::size_t r = 0; r < bufs.size(); ++r) {
+    if (is_active(r) && bufs[r].size() != n) {
       throw std::invalid_argument("allreduce_sum: buffer size mismatch");
     }
   }
-  // Functional: sum into rank 0's view, then replicate.
-  for (std::size_t r = 1; r < bufs.size(); ++r) {
-    for (std::size_t i = 0; i < n; ++i) bufs[0][i] += bufs[r][i];
+  // Functional: sum active ranks into the first active rank's view, then
+  // replicate to the other active ranks. Evicted ranks neither contribute
+  // nor receive (world-shrink semantics).
+  for (std::size_t r = lead + 1; r < bufs.size(); ++r) {
+    if (!is_active(r)) continue;
+    for (std::size_t i = 0; i < n; ++i) bufs[lead][i] += bufs[r][i];
   }
-  for (std::size_t r = 1; r < bufs.size(); ++r) {
-    std::copy(bufs[0].begin(), bufs[0].end(), bufs[r].begin());
+  for (std::size_t r = 0; r < bufs.size(); ++r) {
+    if (r == lead || !is_active(r)) continue;
+    std::copy(bufs[lead].begin(), bufs[lead].end(), bufs[r].begin());
   }
   const double dt = allreduce_time(n * sizeof(float));
   clocks_.sync_advance(dt);
@@ -132,11 +202,15 @@ void Communicator::allgather(const std::vector<std::vector<float>>& send,
   }
   std::vector<float> gathered;
   std::size_t max_chunk = 0;
-  for (const auto& s : send) {
-    gathered.insert(gathered.end(), s.begin(), s.end());
-    max_chunk = std::max(max_chunk, s.size());
+  for (std::size_t r = 0; r < send.size(); ++r) {
+    if (!is_active(r)) continue;
+    gathered.insert(gathered.end(), send[r].begin(), send[r].end());
+    max_chunk = std::max(max_chunk, send[r].size());
   }
-  recv.assign(world_size(), gathered);
+  recv.assign(world_size(), {});
+  for (std::size_t r = 0; r < world_size(); ++r) {
+    if (is_active(r)) recv[r] = gathered;
+  }
   const double dt = allgather_time(max_chunk * sizeof(float));
   clocks_.sync_advance(dt);
   stats_.allgather_s += dt;
@@ -153,12 +227,33 @@ void Communicator::allgatherv(
   std::vector<std::uint8_t> gathered;
   std::vector<std::size_t> sizes;
   sizes.reserve(send.size());
-  for (const auto& s : send) {
-    gathered.insert(gathered.end(), s.begin(), s.end());
-    sizes.push_back(s.size());
+  for (std::size_t r = 0; r < send.size(); ++r) {
+    if (!is_active(r)) continue;
+    std::vector<std::uint8_t> chunk = send[r];
+    if (injector_ != nullptr) {
+      // Per-entry transport faults, consumed one-shot so a retried
+      // collective in the same iteration sees clean data.
+      if (injector_->take(FaultKind::kCorruptPayload, r)) {
+        injector_->corrupt_payload(chunk);
+        ++recovery_.corrupt_injected;
+      }
+      if (injector_->take(FaultKind::kTruncateEntry, r)) {
+        injector_->truncate_payload(chunk);
+        ++recovery_.truncations_injected;
+      }
+      if (injector_->take(FaultKind::kDropEntry, r)) {
+        chunk.clear();
+        ++recovery_.drops_injected;
+      }
+    }
+    gathered.insert(gathered.end(), chunk.begin(), chunk.end());
+    sizes.push_back(send[r].size());
   }
   if (fault_) fault_(gathered);
-  recv.assign(world_size(), gathered);
+  recv.assign(world_size(), {});
+  for (std::size_t r = 0; r < world_size(); ++r) {
+    if (is_active(r)) recv[r] = gathered;
+  }
   const double dt = allgatherv_time(sizes);
   clocks_.sync_advance(dt);
   stats_.allgather_s += dt;
@@ -170,9 +265,12 @@ void Communicator::broadcast(std::vector<std::span<float>> bufs,
   if (bufs.size() != world_size() || root >= world_size()) {
     throw std::invalid_argument("broadcast: bad arguments");
   }
+  if (!is_active(root)) {
+    throw std::invalid_argument("broadcast: root has been evicted");
+  }
   const auto src = bufs[root];
   for (std::size_t r = 0; r < bufs.size(); ++r) {
-    if (r == root) continue;
+    if (r == root || !is_active(r)) continue;
     if (bufs[r].size() != src.size()) {
       throw std::invalid_argument("broadcast: buffer size mismatch");
     }
@@ -217,8 +315,26 @@ void Communicator::broadcast_bytes(
   if (bufs.size() != world_size() || root >= world_size()) {
     throw std::invalid_argument("broadcast_bytes: bad arguments");
   }
+  if (!is_active(root)) {
+    throw std::invalid_argument("broadcast_bytes: root has been evicted");
+  }
+  // Faults hit the delivered copy, never the root's own buffer — exactly a
+  // corrupting wire. The KFAC inverse-factor broadcast path goes through
+  // here, so it is fault-testable like the allgatherv path.
+  std::vector<std::uint8_t> delivered = bufs[root];
+  if (injector_ != nullptr) {
+    if (injector_->take(FaultKind::kCorruptPayload, root)) {
+      injector_->corrupt_payload(delivered);
+      ++recovery_.corrupt_injected;
+    }
+    if (injector_->take(FaultKind::kTruncateEntry, root)) {
+      injector_->truncate_payload(delivered);
+      ++recovery_.truncations_injected;
+    }
+  }
+  if (fault_) fault_(delivered);
   for (std::size_t r = 0; r < bufs.size(); ++r) {
-    if (r != root) bufs[r] = bufs[root];
+    if (r != root && is_active(r)) bufs[r] = delivered;
   }
   const double dt = broadcast_time(bufs[root].size());
   clocks_.sync_advance(dt);

@@ -14,12 +14,14 @@
 //  - reduce-scatter:   (p-1)/p * n bytes per rank
 // The bottleneck link is inter-node whenever the topology spans nodes.
 
+#include "src/comm/fault_injector.hpp"
 #include "src/comm/network_model.hpp"
 #include "src/comm/topology.hpp"
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace compso::comm {
@@ -56,6 +58,37 @@ struct CommStats {
   }
 };
 
+/// Counters for every fault observed and every recovery action taken,
+/// surfaced alongside CommStats. The comm layer fills the injection /
+/// eviction rows; the optimizers and the fault-tolerant trainer fill the
+/// policy rows (retries, fallbacks, skips) through Communicator::recovery().
+struct RecoveryStats {
+  // --- faults injected by the transport (FaultInjector hooks) ---
+  std::uint64_t corrupt_injected = 0;
+  std::uint64_t drops_injected = 0;
+  std::uint64_t truncations_injected = 0;
+  std::uint64_t straggler_events = 0;
+  // --- recovery actions ---
+  std::uint64_t decode_retries = 0;    ///< re-sent collectives after decode failure.
+  std::uint64_t decode_failures = 0;   ///< retries exhausted on a collective.
+  std::uint64_t fallback_steps = 0;    ///< layer-steps on the uncompressed path.
+  std::uint64_t degraded_layers = 0;   ///< layers permanently on fallback.
+  std::uint64_t evictions = 0;         ///< ranks removed after a crash.
+  std::uint64_t nonfinite_skips = 0;   ///< layer updates skipped on NaN/Inf.
+  std::uint64_t bound_tightenings = 0; ///< adaptive-schedule tightenings.
+  std::uint64_t checkpoint_saves = 0;
+  std::uint64_t checkpoint_restores = 0;
+
+  std::uint64_t faults_injected() const noexcept {
+    return corrupt_injected + drops_injected + truncations_injected +
+           straggler_events;
+  }
+  std::uint64_t recovery_actions() const noexcept {
+    return decode_retries + fallback_steps + evictions + nonfinite_skips;
+  }
+  std::string to_string() const;
+};
+
 class Communicator {
  public:
   /// Mutates the gathered byte stream of `allgatherv` in flight — the test
@@ -64,7 +97,8 @@ class Communicator {
   using PayloadFault = std::function<void(std::vector<std::uint8_t>&)>;
 
   Communicator(Topology topo, NetworkModel net)
-      : topo_(topo), net_(std::move(net)), clocks_(topo.world_size()) {}
+      : topo_(topo), net_(std::move(net)), clocks_(topo.world_size()),
+        active_(topo.world_size(), 1) {}
 
   const Topology& topology() const noexcept { return topo_; }
   const NetworkModel& network() const noexcept { return net_; }
@@ -74,6 +108,38 @@ class Communicator {
   CommStats& stats() noexcept { return stats_; }
   const CommStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
+  RecoveryStats& recovery() noexcept { return recovery_; }
+  const RecoveryStats& recovery() const noexcept { return recovery_; }
+
+  // --- rank liveness (world-shrink after a crash) ---
+  /// Ranks still participating in collectives. Evicted ranks keep their
+  /// buffer slots in every call (SPMD style) but contribute nothing and
+  /// receive nothing.
+  bool is_active(std::size_t rank) const noexcept {
+    return rank < active_.size() && active_[rank] != 0;
+  }
+  std::size_t active_count() const noexcept;
+  std::vector<std::size_t> active_ranks() const;
+  std::size_t first_active_rank() const;
+  /// Removes a rank from the collective group (idempotent); counts an
+  /// eviction in RecoveryStats on the first call per rank.
+  void evict(std::size_t rank);
+  /// Restores liveness state from a checkpoint (no stats side effects).
+  void set_active_mask(const std::vector<std::uint8_t>& mask);
+  const std::vector<std::uint8_t>& active_mask() const noexcept {
+    return active_;
+  }
+
+  // --- fault injection ---
+  /// Attaches a fault injector (nullptr detaches). Not owned.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
+  /// Starts training iteration `t`: arms the injector's events for it,
+  /// advances straggler clocks, and evicts freshly crashed ranks. Call once
+  /// per iteration before the iteration's collectives.
+  void begin_iteration(std::size_t t);
 
   // --- analytic timing queries (used by the perf-model lookup table) ---
   double allreduce_time(std::size_t bytes) const noexcept;
@@ -94,9 +160,14 @@ class Communicator {
   void allgather(const std::vector<std::vector<float>>& send,
                  std::vector<std::vector<float>>& recv);
   /// Variable-size byte allgather (compressed payloads differ per rank).
+  /// An attached FaultInjector may corrupt, truncate, or drop individual
+  /// ranks' entries in flight (one-shot events for the current iteration).
   void allgatherv(const std::vector<std::vector<std::uint8_t>>& send,
                   std::vector<std::vector<std::uint8_t>>& recv);
-  /// Installs (or clears, with nullptr) the allgatherv fault hook.
+  /// Installs (or clears, with nullptr) the byte-payload fault hook. The
+  /// hook sees the concatenated stream of `allgatherv` and the delivered
+  /// copy of `broadcast_bytes` — both byte-moving collectives are
+  /// fault-testable.
   void set_payload_fault(PayloadFault fault) { fault_ = std::move(fault); }
   /// Broadcast root's buffer to every rank (buffers must be same length).
   void broadcast(std::vector<std::span<float>> bufs, std::size_t root);
@@ -117,7 +188,10 @@ class Communicator {
   NetworkModel net_;
   SimClocks clocks_;
   CommStats stats_;
+  RecoveryStats recovery_;
   PayloadFault fault_;
+  FaultInjector* injector_ = nullptr;
+  std::vector<std::uint8_t> active_;  ///< 1 = participating, 0 = evicted.
 };
 
 }  // namespace compso::comm

@@ -1,0 +1,129 @@
+#include "src/comm/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace compso::comm {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCorruptPayload: return "corrupt-payload";
+    case FaultKind::kDropEntry: return "drop-entry";
+    case FaultKind::kTruncateEntry: return "truncate-entry";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kNanGradient: return "nan-gradient";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(std::size_t iteration, std::size_t rank) {
+  return add({iteration, rank, FaultKind::kCorruptPayload, 0.0});
+}
+
+FaultPlan& FaultPlan::drop(std::size_t iteration, std::size_t rank) {
+  return add({iteration, rank, FaultKind::kDropEntry, 0.0});
+}
+
+FaultPlan& FaultPlan::truncate(std::size_t iteration, std::size_t rank) {
+  return add({iteration, rank, FaultKind::kTruncateEntry, 0.0});
+}
+
+FaultPlan& FaultPlan::straggler(std::size_t iteration, std::size_t rank,
+                                double slowdown_s) {
+  return add({iteration, rank, FaultKind::kStraggler, slowdown_s});
+}
+
+FaultPlan& FaultPlan::crash(std::size_t iteration, std::size_t rank) {
+  return add({iteration, rank, FaultKind::kCrash, 0.0});
+}
+
+FaultPlan& FaultPlan::nan_gradient(std::size_t iteration, std::size_t rank) {
+  return add({iteration, rank, FaultKind::kNanGradient, 0.0});
+}
+
+FaultPlan FaultPlan::random(std::size_t count, std::size_t iterations,
+                            std::size_t world, std::uint64_t seed) {
+  FaultPlan plan;
+  if (iterations == 0 || world == 0) return plan;
+  tensor::Rng rng(seed);
+  constexpr FaultKind kTransient[] = {
+      FaultKind::kCorruptPayload, FaultKind::kDropEntry,
+      FaultKind::kTruncateEntry, FaultKind::kStraggler};
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.iteration = rng.uniform_index(iterations);
+    e.rank = rng.uniform_index(world);
+    e.kind = kTransient[rng.uniform_index(4)];
+    if (e.kind == FaultKind::kStraggler) {
+      e.slowdown_s = 1e-3 + 9e-3 * rng.uniform();  // 1..10 ms
+    }
+    plan.add(e);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : events_(plan.events()), used_(events_.size(), false), rng_(seed) {}
+
+bool FaultInjector::take(FaultKind kind, std::size_t rank) noexcept {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (!used_[i] && events_[i].iteration == iteration_ &&
+        events_[i].rank == rank && events_[i].kind == kind) {
+      used_[i] = true;
+      ++fired_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FaultEvent> FaultInjector::take_all(FaultKind kind) {
+  std::vector<FaultEvent> out;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (!used_[i] && events_[i].iteration == iteration_ &&
+        events_[i].kind == kind) {
+      used_[i] = true;
+      ++fired_;
+      out.push_back(events_[i]);
+    }
+  }
+  return out;
+}
+
+bool FaultInjector::pending(FaultKind kind) const noexcept {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (!used_[i] && events_[i].iteration == iteration_ &&
+        events_[i].kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::corrupt_payload(std::vector<std::uint8_t>& payload) {
+  if (payload.empty()) return;
+  if (mutator_) {
+    mutator_(payload, rng_);
+    return;
+  }
+  // Default: flip one random bit inside the leading 16 bytes — always lands
+  // in the wire-format header (magic / version / count / CRC region), so
+  // the decode side is guaranteed to see the damage.
+  const std::size_t span = std::min<std::size_t>(payload.size(), 16);
+  const std::size_t pos = rng_.uniform_index(span);
+  payload[pos] ^= static_cast<std::uint8_t>(1U << rng_.uniform_index(8));
+}
+
+void FaultInjector::truncate_payload(std::vector<std::uint8_t>& payload) {
+  if (payload.empty()) return;
+  // Keep a strict prefix: drop between 1 byte and the whole tail.
+  const std::size_t keep = rng_.uniform_index(payload.size());
+  payload.resize(keep);
+}
+
+}  // namespace compso::comm

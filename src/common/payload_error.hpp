@@ -22,4 +22,15 @@ class PayloadError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Thrown by the optimizers' post-decompression guard when a gradient
+/// buffer contains NaN or Inf and no recovery policy is installed to skip
+/// the step. A payload can be wire-valid (CRC-clean) and still carry
+/// non-finite values — e.g. an upstream arithmetic fault — so this is a
+/// distinct type from PayloadError: the data was delivered intact but is
+/// numerically unusable.
+class NonFiniteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 }  // namespace compso

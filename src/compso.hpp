@@ -10,12 +10,15 @@
 //   auto payload = c->compress(gradient, rng);
 
 #include "src/comm/communicator.hpp"
+#include "src/comm/fault_injector.hpp"
 #include "src/comm/network_model.hpp"
 #include "src/comm/topology.hpp"
 #include "src/compress/compressor.hpp"
 #include "src/core/adaptive_schedule.hpp"
 #include "src/core/bound_tuner.hpp"
+#include "src/core/checkpoint.hpp"
 #include "src/core/framework.hpp"
+#include "src/core/ft_trainer.hpp"
 #include "src/core/perf_sim.hpp"
 #include "src/core/trainer.hpp"
 #include "src/gpusim/device_model.hpp"

@@ -1,0 +1,260 @@
+#include "src/core/ft_trainer.hpp"
+
+#include "src/comm/network_model.hpp"
+#include "src/compress/payload_fuzz.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace compso::core {
+namespace {
+
+std::vector<nn::Model> build_replicas(const TrainerConfig& cfg) {
+  std::vector<nn::Model> replicas;
+  replicas.reserve(cfg.world);
+  for (std::size_t r = 0; r < cfg.world; ++r) {
+    tensor::Rng rng(cfg.seed);  // same seed -> identical initial weights
+    replicas.push_back(nn::make_mlp_classifier(cfg.features, cfg.hidden,
+                                               cfg.classes, cfg.depth, rng));
+  }
+  return replicas;
+}
+
+}  // namespace
+
+FaultTolerantTrainer::FaultTolerantTrainer(FtTrainerConfig config)
+    : cfg_(std::move(config)),
+      dataset_(cfg_.base.features, cfg_.base.classes, cfg_.base.noise,
+               cfg_.base.seed ^ 0xDA7A5E7ULL),
+      replicas_(build_replicas(cfg_.base)),
+      comm_(comm::Topology::with_gpus(cfg_.base.world),
+            comm::NetworkModel::platform1()),
+      lr_(cfg_.base_lr, cfg_.lr_decay, cfg_.lr_milestones),
+      schedule_(lr_, cfg_.total_iterations, cfg_.schedule),
+      data_rng_(cfg_.base.seed ^ 0xBA7C4ULL),
+      sr_rng_(cfg_.base.seed ^ 0x5121ULL) {
+  std::vector<nn::Model*> ptrs;
+  for (auto& m : replicas_) ptrs.push_back(&m);
+  if (cfg_.optimizer == OptimizerKind::kKfac) {
+    kfac_ = std::make_unique<optim::DistKfac>(cfg_.kfac, comm_, ptrs);
+    kfac_->set_recovery(cfg_.recovery);
+  } else {
+    sgd_ = std::make_unique<optim::DistSgd>(cfg_.sgd, comm_, ptrs);
+    sgd_->set_recovery(cfg_.recovery);
+  }
+}
+
+void FaultTolerantTrainer::set_fault_plan(comm::FaultPlan plan,
+                                          std::uint64_t seed) {
+  injector_ = std::make_unique<comm::FaultInjector>(std::move(plan), seed);
+  // Realistic whole-payload damage from the PR-1 fuzz mutator, instead of
+  // the comm layer's dependency-free header bit flip.
+  injector_->set_mutator(
+      [](std::vector<std::uint8_t>& payload, tensor::Rng& rng) {
+        payload = compress::mutate_payload(payload, rng);
+      });
+  comm_.set_fault_injector(injector_.get());
+}
+
+void FaultTolerantTrainer::poison_gradients(nn::Model& model) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (std::size_t li : model.trainable_layers()) {
+    auto& layer = model.layer(li);
+    if (auto* wg = layer.weight_grad(); wg != nullptr && !wg->empty()) {
+      (*wg)[0] = nan;
+    }
+    if (auto* bg = layer.bias_grad(); bg != nullptr && !bg->empty()) {
+      (*bg)[0] = nan;
+    }
+  }
+}
+
+double FaultTolerantTrainer::step() {
+  const std::size_t t = iteration_;
+  comm_.begin_iteration(t);  // consumes crash + straggler events for t.
+
+  double loss = 0.0;
+  for (std::size_t r = 0; r < cfg_.base.world; ++r) {
+    if (!comm_.is_active(r)) continue;
+    const auto batch = dataset_.sample(cfg_.base.batch_per_rank, data_rng_);
+    const auto logits = replicas_[r].forward(batch.x);
+    tensor::Tensor grad;
+    loss += nn::softmax_cross_entropy(logits, batch.labels, grad);
+    replicas_[r].backward(grad);
+    if (injector_ != nullptr &&
+        injector_->take(comm::FaultKind::kNanGradient, r)) {
+      poison_gradients(replicas_[r]);
+    }
+  }
+  loss /= static_cast<double>(comm_.active_count());
+
+  std::unique_ptr<compress::GradientCompressor> compressor;
+  if (cfg_.compress) {
+    auto params = schedule_.params_at(t);
+    if (tightened_) {
+      // Post-NaN conservative mode: no filtering, half the SR bound.
+      params.use_filter = false;
+      params.quant_bound *= 0.5;
+    }
+    compressor = compress::make_compso(params);
+  }
+
+  const auto skips_before = comm_.recovery().nonfinite_skips;
+  if (kfac_ != nullptr) {
+    kfac_->step(t, lr_.lr(t), compressor.get(), sr_rng_);
+  } else {
+    sgd_->step(lr_.lr(t), compressor.get(), sr_rng_);
+  }
+  if (comm_.recovery().nonfinite_skips > skips_before && !tightened_) {
+    tightened_ = true;
+    ++comm_.recovery().bound_tightenings;
+  }
+  ++iteration_;
+  return loss;
+}
+
+std::vector<double> FaultTolerantTrainer::run(std::size_t iterations) {
+  std::vector<double> losses;
+  losses.reserve(iterations);
+  for (std::size_t i = 0; i < iterations; ++i) losses.push_back(step());
+  return losses;
+}
+
+double FaultTolerantTrainer::evaluate() {
+  tensor::Rng rng(cfg_.base.seed ^ 0xE7A1ULL);
+  const auto batch = dataset_.sample(512, rng);
+  const auto logits = lead_replica().forward(batch.x);
+  return nn::accuracy(logits, batch.labels);
+}
+
+std::vector<float> FaultTolerantTrainer::parameters() {
+  std::vector<float> out;
+  auto& model = lead_replica();
+  for (std::size_t li : model.trainable_layers()) {
+    auto& layer = model.layer(li);
+    const auto w = layer.weight()->span();
+    const auto b = layer.bias()->span();
+    out.insert(out.end(), w.begin(), w.end());
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+ckpt::Bytes FaultTolerantTrainer::checkpoint() {
+  ckpt::Bytes body;
+  // --- config echo (validated on restore) ---
+  ckpt::put_u8(body, static_cast<std::uint8_t>(cfg_.optimizer));
+  ckpt::put_u64(body, cfg_.base.world);
+  ckpt::put_u64(body, cfg_.base.features);
+  ckpt::put_u64(body, cfg_.base.classes);
+  ckpt::put_u64(body, cfg_.base.hidden);
+  ckpt::put_u64(body, cfg_.base.depth);
+  // --- schedule cursor + policy state ---
+  ckpt::put_u64(body, iteration_);
+  ckpt::put_u8(body, tightened_ ? 1 : 0);
+  // --- rank liveness ---
+  const auto& mask = comm_.active_mask();
+  ckpt::put_u64(body, mask.size());
+  for (auto m : mask) ckpt::put_u8(body, m);
+  // --- recovery counters (reporting continuity across resume) ---
+  const auto& rc = comm_.recovery();
+  for (std::uint64_t c :
+       {rc.corrupt_injected, rc.drops_injected, rc.truncations_injected,
+        rc.straggler_events, rc.decode_retries, rc.decode_failures,
+        rc.fallback_steps, rc.degraded_layers, rc.evictions,
+        rc.nonfinite_skips, rc.bound_tightenings, rc.checkpoint_saves,
+        rc.checkpoint_restores}) {
+    ckpt::put_u64(body, c);
+  }
+  // --- model parameters (replicas are identical; save the lead) ---
+  auto& model = lead_replica();
+  const auto trainable = model.trainable_layers();
+  ckpt::put_u64(body, trainable.size());
+  for (std::size_t li : trainable) {
+    auto& layer = model.layer(li);
+    ckpt::put_tensor(body, *layer.weight());
+    ckpt::put_tensor(body, *layer.bias());
+  }
+  // --- optimizer state ---
+  if (kfac_ != nullptr) {
+    kfac_->save_state(body);
+  } else {
+    sgd_->save_state(body);
+  }
+  // --- RNG streams ---
+  ckpt::put_rng(body, data_rng_.save_state());
+  ckpt::put_rng(body, sr_rng_.save_state());
+
+  ++comm_.recovery().checkpoint_saves;
+  return ckpt::seal_frame(body);
+}
+
+void FaultTolerantTrainer::save_checkpoint(const std::string& path) {
+  ckpt::write_file(path, checkpoint());
+}
+
+void FaultTolerantTrainer::restore(ckpt::ByteView frame) {
+  const auto body = ckpt::open_frame(frame);
+  codec::wire::Reader reader(body);
+  if (reader.u8() != static_cast<std::uint8_t>(cfg_.optimizer)) {
+    throw PayloadError("checkpoint: optimizer kind mismatch");
+  }
+  for (std::size_t expect :
+       {cfg_.base.world, cfg_.base.features, cfg_.base.classes,
+        cfg_.base.hidden, cfg_.base.depth}) {
+    if (reader.u64() != expect) {
+      throw PayloadError("checkpoint: config mismatch");
+    }
+  }
+  iteration_ = reader.u64();
+  tightened_ = reader.u8() != 0;
+  const auto mask_len = reader.bounded_u64(1 << 20, "active mask");
+  if (mask_len != cfg_.base.world) {
+    throw PayloadError("checkpoint: active mask size mismatch");
+  }
+  std::vector<std::uint8_t> mask(mask_len);
+  for (auto& m : mask) m = reader.u8();
+  comm_.set_active_mask(mask);
+  auto& rc = comm_.recovery();
+  for (std::uint64_t* c :
+       {&rc.corrupt_injected, &rc.drops_injected, &rc.truncations_injected,
+        &rc.straggler_events, &rc.decode_retries, &rc.decode_failures,
+        &rc.fallback_steps, &rc.degraded_layers, &rc.evictions,
+        &rc.nonfinite_skips, &rc.bound_tightenings, &rc.checkpoint_saves,
+        &rc.checkpoint_restores}) {
+    *c = reader.u64();
+  }
+  const auto trainable = replicas_[0].trainable_layers();
+  const auto saved_layers = reader.bounded_u64(1 << 20, "trainable layers");
+  if (saved_layers != trainable.size()) {
+    throw PayloadError("checkpoint: trainable layer count mismatch");
+  }
+  for (std::size_t li : trainable) {
+    auto& ref = replicas_[0].layer(li);
+    const auto w = ckpt::get_tensor(reader, ref.weight()->shape(), "weight");
+    const auto b = ckpt::get_tensor(reader, ref.bias()->shape(), "bias");
+    // Restore into every replica (evicted ones stay inactive but benign).
+    for (auto& model : replicas_) {
+      *model.layer(li).weight() = w;
+      *model.layer(li).bias() = b;
+    }
+  }
+  if (kfac_ != nullptr) {
+    kfac_->load_state(reader);
+  } else {
+    sgd_->load_state(reader);
+  }
+  data_rng_.restore_state(ckpt::get_rng(reader));
+  sr_rng_.restore_state(ckpt::get_rng(reader));
+  if (reader.remaining() != 0) {
+    throw PayloadError("checkpoint: trailing bytes");
+  }
+  ++comm_.recovery().checkpoint_restores;
+}
+
+void FaultTolerantTrainer::load_checkpoint(const std::string& path) {
+  const auto frame = ckpt::read_file(path);
+  restore(frame);
+}
+
+}  // namespace compso::core

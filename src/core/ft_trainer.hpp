@@ -1,0 +1,104 @@
+#pragma once
+// Fault-tolerant training runtime (DESIGN.md §9): a persistent trainer that
+// owns the dataset, replicas, Communicator, optimizer, and RNG streams for
+// the whole run — unlike ClusterTrainer, which rebuilds them per call —
+// so it can
+//
+//  - drive a seeded FaultPlan through the Communicator (transport faults)
+//    and through the training loop itself (kNanGradient poisoning),
+//  - apply the recovery policies end to end: bounded decode retries,
+//    uncompressed fallback, rank eviction with gradient renormalization,
+//    non-finite step skips followed by an adaptive-schedule bound
+//    tightening (use_filter off, eb_q halved) for the rest of the run,
+//  - checkpoint and resume bit-exactly (model params, optimizer state
+//    including KFAC factors + eigendecompositions, LR/schedule cursor,
+//    RNG streams, rank liveness; see core/checkpoint.hpp).
+//
+// Every fault observed and every recovery action taken lands in the
+// Communicator's RecoveryStats, next to CommStats.
+
+#include "src/comm/communicator.hpp"
+#include "src/core/adaptive_schedule.hpp"
+#include "src/core/checkpoint.hpp"
+#include "src/core/trainer.hpp"
+#include "src/optim/recovery.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compso::core {
+
+enum class OptimizerKind : std::uint8_t { kSgd = 0, kKfac = 1 };
+
+struct FtTrainerConfig {
+  TrainerConfig base{};  ///< cluster / model / seed, as for ClusterTrainer.
+  OptimizerKind optimizer = OptimizerKind::kKfac;
+  optim::DistKfacConfig kfac{};
+  optim::DistSgdConfig sgd{};
+  optim::RecoveryPolicy recovery{};  ///< default: disabled (fail fast).
+  /// StepLR owned by the trainer, so a resumed run rebuilds the identical
+  /// schedule from config alone.
+  double base_lr = 0.05;
+  double lr_decay = 0.1;
+  std::vector<std::size_t> lr_milestones{};
+  /// When true, each iteration uses a COMPSO compressor configured by the
+  /// iteration-wise adaptive schedule (tightened after a non-finite event).
+  bool compress = true;
+  std::size_t total_iterations = 100;  ///< sizes the adaptive schedule.
+  AdaptiveScheduleParams schedule{};
+};
+
+class FaultTolerantTrainer {
+ public:
+  explicit FaultTolerantTrainer(FtTrainerConfig config);
+
+  /// Installs a fault plan (seeded injector wired with the payload-fuzz
+  /// mutator from the compress layer). Call before the affected iterations.
+  void set_fault_plan(comm::FaultPlan plan, std::uint64_t seed);
+
+  /// Runs one training iteration over the surviving ranks; returns their
+  /// mean loss. Consumes the iteration's scheduled faults.
+  double step();
+  /// Runs `iterations` steps; returns the per-iteration loss curve.
+  std::vector<double> run(std::size_t iterations);
+
+  /// Held-out accuracy of the first surviving replica.
+  double evaluate();
+  /// Flattened parameters of the first surviving replica (for drift /
+  /// bit-exactness checks in tests).
+  std::vector<float> parameters();
+
+  std::size_t iteration() const noexcept { return iteration_; }
+  bool bounds_tightened() const noexcept { return tightened_; }
+  comm::Communicator& comm() noexcept { return comm_; }
+  const comm::Communicator& comm() const noexcept { return comm_; }
+
+  /// Serializes the full training state as one checkpoint frame.
+  ckpt::Bytes checkpoint();
+  void save_checkpoint(const std::string& path);
+  /// Restores from a frame produced by checkpoint() under the same config;
+  /// throws PayloadError on damage or config mismatch.
+  void restore(ckpt::ByteView frame);
+  void load_checkpoint(const std::string& path);
+
+ private:
+  void poison_gradients(nn::Model& model);
+  nn::Model& lead_replica() { return replicas_[comm_.first_active_rank()]; }
+
+  FtTrainerConfig cfg_;
+  nn::ClusterDataset dataset_;
+  std::vector<nn::Model> replicas_;
+  comm::Communicator comm_;
+  optim::StepLr lr_;
+  AdaptiveSchedule schedule_;
+  std::unique_ptr<optim::DistSgd> sgd_;
+  std::unique_ptr<optim::DistKfac> kfac_;
+  std::unique_ptr<comm::FaultInjector> injector_;
+  tensor::Rng data_rng_;
+  tensor::Rng sr_rng_;
+  std::size_t iteration_ = 0;
+  bool tightened_ = false;  ///< adaptive bounds tightened after a NaN event.
+};
+
+}  // namespace compso::core

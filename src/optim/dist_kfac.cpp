@@ -2,10 +2,53 @@
 
 #include "src/tensor/matrix_ops.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
 namespace compso::optim {
+namespace {
+
+bool all_finite(std::span<const float> values) noexcept {
+  for (float v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  for (int b = 0; b < 4; ++b) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * b)));
+  }
+}
+
+void put_tensor(std::vector<std::uint8_t>& out, const Tensor& t) {
+  put_u64(out, t.size());
+  const std::size_t at = out.size();
+  out.resize(at + t.size() * sizeof(float));
+  if (!t.empty()) std::memcpy(out.data() + at, t.data(), t.size() * 4);
+}
+
+/// Reads `expected` floats into a tensor of the given shape.
+Tensor get_tensor(codec::wire::Reader& r, std::vector<std::size_t> shape) {
+  const auto n = r.bounded_u64(codec::wire::kMaxElementCount, "kfac tensor");
+  Tensor t(std::move(shape));
+  if (n != t.size()) {
+    throw PayloadError("DistKfac: checkpoint tensor size mismatch");
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = r.f32();
+  return t;
+}
+
+}  // namespace
 
 DistKfac::DistKfac(DistKfacConfig config, comm::Communicator& comm,
                    std::vector<nn::Model*> replicas)
@@ -27,117 +70,82 @@ DistKfac::DistKfac(DistKfacConfig config, comm::Communicator& comm,
 void DistKfac::exchange_covariances(std::vector<Tensor>& local,
                                     tensor::Rng& rng) {
   const std::size_t world = comm_.world_size();
+  const std::size_t active = comm_.active_count();
+  const std::size_t lead = comm_.first_active_rank();
   if (factor_compressor_ == nullptr) {
     std::vector<std::span<float>> views;
     views.reserve(world);
     for (auto& t : local) views.push_back(t.span());
     comm_.allreduce_sum(views);
-    local[0] *= 1.0F / static_cast<float>(world);
+    local[lead] *= 1.0F / static_cast<float>(active);
+    if (lead != 0) local[0] = local[lead];
     return;
   }
   // Compressed path (§7): each rank compresses its local covariance, the
   // payloads are all-gathered, every rank decompresses and averages.
-  const std::size_t n = local[0].size();
+  // Payloads are compressed once; a retry re-sends the same bytes.
+  const std::size_t n = local[lead].size();
   std::vector<std::vector<std::uint8_t>> send(world);
   for (std::size_t r = 0; r < world; ++r) {
+    if (!comm_.is_active(r)) continue;
     send[r] = factor_compressor_->compress(local[r].span(), rng);
     factor_orig_bytes_ += n * sizeof(float);
     factor_comp_bytes_ += send[r].size();
   }
-  std::vector<std::vector<std::uint8_t>> recv;
-  comm_.allgatherv(send, recv);
-  Tensor avg(local[0]);
-  avg.fill(0.0F);
-  // Decode from the *received* stream (sliced by the known send sizes), so
-  // transport corruption reaches the payload validation layer.
-  const compress::ByteView gathered(recv[0]);
-  std::size_t off = 0;
-  for (std::size_t r = 0; r < world; ++r) {
-    if (send[r].size() > gathered.size() - off) {
-      throw PayloadError("DistKfac: gathered stream truncated");
-    }
-    const auto rec =
-        factor_compressor_->decompress(gathered.subspan(off, send[r].size()));
-    off += send[r].size();
-    if (rec.size() != n) {
-      throw std::logic_error("DistKfac: factor decompress size mismatch");
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      avg[i] += rec[i] / static_cast<float>(world);
+  const std::size_t attempts =
+      policy_.enabled ? policy_.max_decode_retries + 1 : 1;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    std::vector<std::vector<std::uint8_t>> recv;
+    comm_.allgatherv(send, recv);
+    try {
+      Tensor avg(local[lead]);
+      avg.fill(0.0F);
+      // Decode from the *received* stream (sliced by the known send
+      // sizes), so transport corruption reaches the validation layer.
+      const compress::ByteView gathered(recv[lead]);
+      std::size_t off = 0;
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_active(r)) continue;
+        if (send[r].size() > gathered.size() - off) {
+          throw PayloadError("DistKfac: gathered stream truncated");
+        }
+        const auto rec = factor_compressor_->decompress(
+            gathered.subspan(off, send[r].size()));
+        off += send[r].size();
+        if (rec.size() != n) {
+          throw PayloadError("DistKfac: factor decompress size mismatch");
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          avg[i] += rec[i] / static_cast<float>(active);
+        }
+      }
+      local[0] = std::move(avg);
+      return;
+    } catch (const PayloadError&) {
+      if (!policy_.enabled) throw;
+      if (attempt + 1 < attempts) {
+        ++comm_.recovery().decode_retries;
+        continue;
+      }
+      ++comm_.recovery().decode_failures;
+      ++comm_.recovery().fallback_steps;
+      // Fallback: plain allreduce of the raw covariances.
+      std::vector<std::span<float>> views;
+      views.reserve(world);
+      for (auto& t : local) views.push_back(t.span());
+      comm_.allreduce_sum(views);
+      local[lead] *= 1.0F / static_cast<float>(active);
+      if (lead != 0) local[0] = local[lead];
+      return;
     }
   }
-  local[0] = std::move(avg);
 }
 
-void DistKfac::step(std::size_t iteration, double lr,
-                    const compress::GradientCompressor* compressor,
-                    tensor::Rng& rng) {
+std::vector<std::vector<std::uint8_t>> DistKfac::build_gather_payloads(
+    const std::vector<Tensor>& preconditioned,
+    const std::vector<std::vector<std::size_t>>& owned,
+    const compress::GradientCompressor* compressor, tensor::Rng& rng) {
   const std::size_t world = comm_.world_size();
-  factor_orig_bytes_ = 0;
-  factor_comp_bytes_ = 0;
-
-  // --- 1+2: covariance computation and factor allreduce (steps 1-2).
-  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
-    const std::size_t li = layer_indices_[s];
-    // Per-rank local covariances.
-    std::vector<Tensor> local_a(world), local_g(world);
-    for (std::size_t r = 0; r < world; ++r) {
-      auto& layer = replicas_[r]->layer(li);
-      const Tensor* a = layer.kfac_input();
-      const Tensor* g = layer.kfac_grad_output();
-      if (a == nullptr || g == nullptr || a->empty() || g->empty()) {
-        throw std::logic_error("DistKfac: run forward/backward first");
-      }
-      const auto batch = static_cast<float>(a->rows());
-      tensor::syrk_tn(*a, 1.0F / batch, 0.0F, local_a[r]);
-      tensor::syrk_tn(*g, batch, 0.0F, local_g[r]);
-    }
-    // Exchange and average the factors every rank must agree on.
-    exchange_covariances(local_a, rng);
-    exchange_covariances(local_g, rng);
-    // Blend into the shared running-average state. (All ranks hold the
-    // same state after the allreduce; the simulator stores it once.)
-    states_[s]->blend_factors(local_a[0], local_g[0], cfg_.stat_decay);
-  }
-
-  // --- 2b: gradient allreduce (data-parallel average of SGD gradients).
-  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
-    const std::size_t li = layer_indices_[s];
-    std::vector<Tensor> grads(world);
-    for (std::size_t r = 0; r < world; ++r) {
-      grads[r] = combined_gradient(replicas_[r]->layer(li));
-    }
-    std::vector<std::span<float>> views;
-    views.reserve(world);
-    for (auto& t : grads) views.push_back(t.span());
-    comm_.allreduce_sum(views);
-    grads[0] *= 1.0F / static_cast<float>(world);
-    // Stash the averaged gradient back into replica 0's layer grads via
-    // the momentum path below; keep it in a temp list.
-    momentum_workspace_.push_back(std::move(grads[0]));
-  }
-
-  // --- 3: eigendecomposition refresh on owner ranks (partitioned work).
-  const bool refresh =
-      iteration % cfg_.eigen_refresh_every == 0 || !states_[0]->has_eigen();
-  if (refresh) {
-    for (auto& st : states_) st->refresh_eigen();
-  }
-
-  // --- 4: owners precondition their layers; 5: allgather(v) to all ranks.
-  // Each owner aggregates up to m of its layers per compression call
-  // (§4.4's layer aggregation): the concatenated buffer is compressed
-  // once, serialized as [u64 n][u64 sid x n][u64 psize][payload].
-  std::vector<Tensor> preconditioned(layer_indices_.size());
-  orig_bytes_ = 0;
-  comp_bytes_ = 0;
-  std::vector<std::vector<std::size_t>> owned(world);
-  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
-    preconditioned[s] =
-        states_[s]->precondition(momentum_workspace_[s], cfg_.damping);
-    orig_bytes_ += preconditioned[s].size() * sizeof(float);
-    owned[owner_of(s)].push_back(s);
-  }
   const std::size_t m = std::max<std::size_t>(cfg_.aggregation, 1);
   auto append_u64 = [](std::vector<std::uint8_t>& buf, std::uint64_t v) {
     for (int b = 0; b < 8; ++b) {
@@ -173,78 +181,308 @@ void DistKfac::step(std::size_t iteration, double lr,
       comp_bytes_ += payload.size();
     }
   }
-  std::vector<std::vector<std::uint8_t>> recv;
-  comm_.allgatherv(send, recv);
+  return send;
+}
+
+void DistKfac::decode_gathered(
+    const std::vector<std::uint8_t>& buf, std::vector<Tensor>& preconditioned,
+    const compress::GradientCompressor* compressor) const {
+  std::size_t pos = 0;
+  auto read_u64 = [&](std::size_t at) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<std::uint64_t>(buf[at + static_cast<std::size_t>(b)])
+           << (8 * b);
+    }
+    return v;
+  };
+  std::vector<std::uint8_t> seen(preconditioned.size(), 0);
+  while (pos + 8 <= buf.size()) {
+    const std::uint64_t n = read_u64(pos);
+    pos += 8;
+    if (n > preconditioned.size() || pos + 8 * n + 8 > buf.size()) {
+      throw PayloadError("DistKfac: corrupt allgather framing");
+    }
+    std::vector<std::size_t> sids(n);
+    std::size_t group_elems = 0;
+    for (std::uint64_t j = 0; j < n; ++j) {
+      sids[j] = read_u64(pos);
+      pos += 8;
+      if (sids[j] >= preconditioned.size() || seen[sids[j]] != 0) {
+        throw PayloadError("DistKfac: bad layer id in payload");
+      }
+      seen[sids[j]] = 1;
+      group_elems += preconditioned[sids[j]].size();
+    }
+    const std::uint64_t psize = read_u64(pos);
+    pos += 8;
+    if (psize > buf.size() || pos + psize > buf.size()) {
+      throw PayloadError("DistKfac: corrupt allgather payload");
+    }
+    const std::span<const std::uint8_t> payload(buf.data() + pos, psize);
+    pos += psize;
+    std::vector<float> values;
+    if (compressor != nullptr) {
+      values = compressor->decompress(payload);
+    } else {
+      if (psize % sizeof(float) != 0) {
+        throw PayloadError("DistKfac: raw payload not float-aligned");
+      }
+      values.resize(psize / sizeof(float));
+      if (psize > 0) {
+        std::memcpy(values.data(), payload.data(), psize);
+      }
+    }
+    if (values.size() != group_elems) {
+      throw PayloadError("DistKfac: decompressed size mismatch");
+    }
+    std::size_t off = 0;
+    for (std::size_t sid : sids) {
+      Tensor& k = preconditioned[sid];
+      std::copy(values.begin() + static_cast<std::ptrdiff_t>(off),
+                values.begin() + static_cast<std::ptrdiff_t>(off + k.size()),
+                k.data());
+      off += k.size();
+    }
+  }
+  if (pos != buf.size()) {
+    throw PayloadError("DistKfac: trailing bytes in gathered stream");
+  }
+  // A dropped allgatherv entry leaves a well-formed shorter stream; the
+  // coverage check is what turns "my owner's group never arrived" into a
+  // decode failure the retry policy can act on.
+  for (std::size_t s = 0; s < seen.size(); ++s) {
+    if (seen[s] == 0) {
+      throw PayloadError("DistKfac: missing layer group in gathered stream");
+    }
+  }
+}
+
+void DistKfac::step(std::size_t iteration, double lr,
+                    const compress::GradientCompressor* compressor,
+                    tensor::Rng& rng) {
+  const std::size_t world = comm_.world_size();
+  const std::size_t active = comm_.active_count();
+  const std::size_t lead = comm_.first_active_rank();
+  factor_orig_bytes_ = 0;
+  factor_comp_bytes_ = 0;
+
+  // --- 1+2: covariance computation and factor allreduce (steps 1-2).
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    const std::size_t li = layer_indices_[s];
+    // Per-rank local covariances (evicted ranks contribute zero tensors of
+    // the right shape so the collective's slot layout stays intact).
+    std::vector<Tensor> local_a(world), local_g(world);
+    std::size_t shape_a = 0, shape_g = 0;
+    for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_active(r)) continue;
+      auto& layer = replicas_[r]->layer(li);
+      const Tensor* a = layer.kfac_input();
+      const Tensor* g = layer.kfac_grad_output();
+      if (a == nullptr || g == nullptr || a->empty() || g->empty()) {
+        throw std::logic_error("DistKfac: run forward/backward first");
+      }
+      const auto batch = static_cast<float>(a->rows());
+      tensor::syrk_tn(*a, 1.0F / batch, 0.0F, local_a[r]);
+      tensor::syrk_tn(*g, batch, 0.0F, local_g[r]);
+      shape_a = local_a[r].rows();
+      shape_g = local_g[r].rows();
+    }
+    for (std::size_t r = 0; r < world; ++r) {
+      if (comm_.is_active(r)) continue;
+      local_a[r] = Tensor({shape_a, shape_a});
+      local_g[r] = Tensor({shape_g, shape_g});
+    }
+    // Exchange and average the factors every rank must agree on.
+    exchange_covariances(local_a, rng);
+    exchange_covariances(local_g, rng);
+    // Blend into the shared running-average state. (All ranks hold the
+    // same state after the allreduce; the simulator stores it once.)
+    states_[s]->blend_factors(local_a[0], local_g[0], cfg_.stat_decay);
+  }
+
+  // --- 2b: gradient allreduce (data-parallel average of SGD gradients).
+  momentum_workspace_.clear();
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    const std::size_t li = layer_indices_[s];
+    std::vector<Tensor> grads(world);
+    const auto shape = momentum_[s].shape();
+    for (std::size_t r = 0; r < world; ++r) {
+      grads[r] = comm_.is_active(r)
+                     ? combined_gradient(replicas_[r]->layer(li))
+                     : Tensor(shape);
+    }
+    std::vector<std::span<float>> views;
+    views.reserve(world);
+    for (auto& t : grads) views.push_back(t.span());
+    comm_.allreduce_sum(views);
+    grads[lead] *= 1.0F / static_cast<float>(active);
+    // Stash the averaged gradient back into replica 0's layer grads via
+    // the momentum path below; keep it in a temp list.
+    momentum_workspace_.push_back(std::move(grads[lead]));
+  }
+
+  // --- 3: eigendecomposition refresh on owner ranks (partitioned work).
+  const bool refresh =
+      iteration % cfg_.eigen_refresh_every == 0 || !states_[0]->has_eigen();
+  if (refresh) {
+    for (auto& st : states_) st->refresh_eigen();
+  }
+
+  // --- 4: owners precondition their layers; 5: allgather(v) to all ranks.
+  // Each owner aggregates up to m of its layers per compression call
+  // (§4.4's layer aggregation): the concatenated buffer is compressed
+  // once, serialized as [u64 n][u64 sid x n][u64 psize][payload].
+  std::vector<Tensor> preconditioned(layer_indices_.size());
+  std::vector<std::uint8_t> skip(layer_indices_.size(), 0);
+  orig_bytes_ = 0;
+  comp_bytes_ = 0;
+  std::vector<std::vector<std::size_t>> owned(world);
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    preconditioned[s] =
+        states_[s]->precondition(momentum_workspace_[s], cfg_.damping);
+    // A non-finite preconditioned gradient must not enter the compressor
+    // (NaN through quantization is undefined). Zero the slot so the gather
+    // framing stays intact, and skip its update below.
+    if (!all_finite(preconditioned[s].span())) {
+      if (policy_.enabled && policy_.skip_nonfinite_steps) {
+        skip[s] = 1;
+        ++comm_.recovery().nonfinite_skips;
+        preconditioned[s].fill(0.0F);
+      } else {
+        throw NonFiniteError("DistKfac: non-finite preconditioned gradient");
+      }
+    }
+    orig_bytes_ += preconditioned[s].size() * sizeof(float);
+    owned[owner_of(s)].push_back(s);
+  }
+  const compress::GradientCompressor* gather_comp =
+      gather_degraded_ != 0 ? nullptr : compressor;
+  auto send = build_gather_payloads(preconditioned, owned, gather_comp, rng);
 
   // --- decode on every rank (identical bytes -> identical updates).
-  // Decode once from recv[0] and apply to all replicas.
-  {
-    const auto& buf = recv[0];
-    std::size_t pos = 0;
-    auto read_u64 = [&](std::size_t at) {
-      std::uint64_t v = 0;
-      for (int b = 0; b < 8; ++b) {
-        v |= static_cast<std::uint64_t>(buf[at + static_cast<std::size_t>(b)])
-             << (8 * b);
+  // Decode once from the first active rank's stream and apply everywhere.
+  // On decode failure: bounded re-send of the same payloads, then an
+  // uncompressed re-send (fallback); repeated failing steps degrade the
+  // gather to the uncompressed path for the rest of the run.
+  const std::size_t attempts =
+      policy_.enabled ? policy_.max_decode_retries + 1 : 1;
+  bool decoded = false;
+  for (std::size_t attempt = 0; attempt < attempts && !decoded; ++attempt) {
+    std::vector<std::vector<std::uint8_t>> recv;
+    comm_.allgatherv(send, recv);
+    try {
+      decode_gathered(recv[lead], preconditioned, gather_comp);
+      decoded = true;
+      gather_failures_ = 0;
+    } catch (const PayloadError&) {
+      if (!policy_.enabled) throw;
+      if (attempt + 1 < attempts) {
+        ++comm_.recovery().decode_retries;
+        continue;
       }
-      return v;
-    };
-    while (pos + 8 <= buf.size()) {
-      const std::uint64_t n = read_u64(pos);
-      pos += 8;
-      if (pos + 8 * n + 8 > buf.size()) {
-        throw std::logic_error("DistKfac: corrupt allgather payload");
-      }
-      std::vector<std::size_t> sids(n);
-      std::size_t group_elems = 0;
-      for (std::uint64_t j = 0; j < n; ++j) {
-        sids[j] = read_u64(pos);
-        pos += 8;
-        if (sids[j] >= preconditioned.size()) {
-          throw std::logic_error("DistKfac: bad layer id in payload");
-        }
-        group_elems += preconditioned[sids[j]].size();
-      }
-      const std::uint64_t psize = read_u64(pos);
-      pos += 8;
-      if (pos + psize > buf.size()) {
-        throw std::logic_error("DistKfac: corrupt allgather payload");
-      }
-      const std::span<const std::uint8_t> payload(buf.data() + pos, psize);
-      pos += psize;
-      std::vector<float> values;
-      if (compressor != nullptr) {
-        values = compressor->decompress(payload);
-      } else {
-        values.resize(psize / sizeof(float));
-        if (psize > 0) {
-          std::memcpy(values.data(), payload.data(), psize);
-        }
-      }
-      if (values.size() != group_elems) {
-        throw std::logic_error("DistKfac: decompressed size mismatch");
-      }
-      std::size_t off = 0;
-      for (std::size_t sid : sids) {
-        Tensor& k = preconditioned[sid];
-        std::copy(values.begin() + static_cast<std::ptrdiff_t>(off),
-                  values.begin() + static_cast<std::ptrdiff_t>(off + k.size()),
-                  k.data());
-        off += k.size();
+      ++comm_.recovery().decode_failures;
+      ++comm_.recovery().fallback_steps;
+      if (++gather_failures_ >= policy_.fallback_after &&
+          gather_degraded_ == 0) {
+        gather_degraded_ = 1;
+        ++comm_.recovery().degraded_layers;
       }
     }
   }
+  if (!decoded) {
+    // Uncompressed fallback exchange: raw payloads cannot fail decode
+    // (framing damage would surface as PayloadError on the retried
+    // collective, but injector events are one-shot, so this is clean).
+    comp_bytes_ = 0;
+    send = build_gather_payloads(preconditioned, owned, nullptr, rng);
+    std::vector<std::vector<std::uint8_t>> recv;
+    comm_.allgatherv(send, recv);
+    decode_gathered(recv[lead], preconditioned, nullptr);
+  }
 
-  // --- momentum + weight update, identically on every replica.
+  // --- momentum + weight update, identically on every surviving replica.
   for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    if (skip[s]) continue;  // non-finite slot, zeroed pre-gather.
+    // Non-finite guard: skip the layer (momentum untouched) rather than
+    // poisoning every replica's weights.
+    if (!all_finite(preconditioned[s].span())) {
+      if (policy_.enabled && policy_.skip_nonfinite_steps) {
+        ++comm_.recovery().nonfinite_skips;
+        continue;
+      }
+      throw NonFiniteError("DistKfac: non-finite preconditioned gradient");
+    }
     momentum_[s].axpby(static_cast<float>(cfg_.momentum), 1.0F,
                        preconditioned[s]);
     for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_active(r)) continue;
       apply_combined_update(replicas_[r]->layer(layer_indices_[s]),
                             momentum_[s], lr);
     }
   }
   momentum_workspace_.clear();
+}
+
+void DistKfac::save_state(std::vector<std::uint8_t>& out) const {
+  put_u64(out, layer_indices_.size());
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    put_tensor(out, momentum_[s]);
+    const auto& st = *states_[s];
+    put_tensor(out, st.factor_a());
+    put_tensor(out, st.factor_g());
+    out.push_back(st.has_eigen() ? 1 : 0);
+    if (st.has_eigen()) {
+      put_tensor(out, st.eigen_a().eigenvectors);
+      put_u64(out, st.eigen_a().eigenvalues.size());
+      for (float v : st.eigen_a().eigenvalues) put_f32(out, v);
+      put_tensor(out, st.eigen_g().eigenvectors);
+      put_u64(out, st.eigen_g().eigenvalues.size());
+      for (float v : st.eigen_g().eigenvalues) put_f32(out, v);
+    }
+    put_u64(out, st.updates());
+  }
+  out.push_back(gather_degraded_);
+  put_u64(out, gather_failures_);
+}
+
+void DistKfac::load_state(codec::wire::Reader& reader) {
+  const auto slots = reader.bounded_u64(1 << 20, "kfac layer slots");
+  if (slots != layer_indices_.size()) {
+    throw PayloadError("DistKfac: checkpoint layer count mismatch");
+  }
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    auto& st = *states_[s];
+    const std::size_t out = st.factor_g().rows();
+    const std::size_t in_aug = st.factor_a().rows();
+    momentum_[s] = get_tensor(reader, {out, in_aug});
+    Tensor a = get_tensor(reader, {in_aug, in_aug});
+    Tensor g = get_tensor(reader, {out, out});
+    const bool has_eigen = reader.u8() != 0;
+    tensor::EigenDecomposition eig_a, eig_g;
+    if (has_eigen) {
+      eig_a.eigenvectors = get_tensor(reader, {in_aug, in_aug});
+      const auto na = reader.bounded_u64(1 << 20, "kfac eigenvalues");
+      if (na != in_aug) {
+        throw PayloadError("DistKfac: checkpoint eigenvalue count mismatch");
+      }
+      eig_a.eigenvalues.resize(na);
+      for (auto& v : eig_a.eigenvalues) v = reader.f32();
+      eig_g.eigenvectors = get_tensor(reader, {out, out});
+      const auto ng = reader.bounded_u64(1 << 20, "kfac eigenvalues");
+      if (ng != out) {
+        throw PayloadError("DistKfac: checkpoint eigenvalue count mismatch");
+      }
+      eig_g.eigenvalues.resize(ng);
+      for (auto& v : eig_g.eigenvalues) v = reader.f32();
+    }
+    const auto updates = reader.bounded_u64(~std::uint32_t{0}, "kfac updates");
+    st.restore(std::move(a), std::move(g), std::move(eig_a), std::move(eig_g),
+               has_eigen, updates);
+  }
+  gather_degraded_ = reader.u8();
+  gather_failures_ = static_cast<std::uint32_t>(
+      reader.bounded_u64(~std::uint32_t{0}, "kfac gather failures"));
 }
 
 }  // namespace compso::optim

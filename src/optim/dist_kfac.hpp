@@ -16,10 +16,12 @@
 // the Communicator (so compression error reaches the weights exactly as on
 // a real cluster) and every collective advances the simulated clocks.
 
+#include "src/codec/wire.hpp"
 #include "src/comm/communicator.hpp"
 #include "src/compress/compressor.hpp"
 #include "src/nn/model.hpp"
 #include "src/optim/kfac.hpp"
+#include "src/optim/recovery.hpp"
 
 #include <memory>
 #include <vector>
@@ -76,13 +78,32 @@ class DistKfac {
   }
 
   std::size_t layer_count() const noexcept { return layer_indices_.size(); }
-  /// Owner rank of trainable layer slot `i` (round-robin, KAISA style).
-  std::size_t owner_of(std::size_t i) const noexcept {
-    return i % comm_.world_size();
+  /// Owner rank of trainable layer slot `i`: round-robin (KAISA style) over
+  /// the *surviving* ranks, so ownership re-partitions automatically when
+  /// the Communicator evicts a crashed rank.
+  std::size_t owner_of(std::size_t i) const {
+    return comm_.active_ranks()[i % comm_.active_count()];
   }
+
+  /// Recovery policy (see recovery.hpp): bounded re-send retries on decode
+  /// failure, fallback to the uncompressed exchange, non-finite step skip.
+  /// The preconditioned-gradient gather is one collective for all layers,
+  /// so fallback/degradation applies to the whole exchange rather than to
+  /// a single layer.
+  void set_recovery(const RecoveryPolicy& policy) noexcept {
+    policy_ = policy;
+  }
+  const RecoveryPolicy& recovery_policy() const noexcept { return policy_; }
+  bool gather_degraded() const noexcept { return gather_degraded_ != 0; }
+
+  /// Serializes momentum, KFAC factors + eigendecompositions, and recovery
+  /// counters for checkpointing; restore with load_state.
+  void save_state(std::vector<std::uint8_t>& out) const;
+  void load_state(codec::wire::Reader& reader);
 
  private:
   DistKfacConfig cfg_;
+  RecoveryPolicy policy_;
   comm::Communicator& comm_;
   std::vector<nn::Model*> replicas_;
   std::vector<std::size_t> layer_indices_;  ///< trainable layer positions.
@@ -94,11 +115,26 @@ class DistKfac {
   const compress::GradientCompressor* factor_compressor_ = nullptr;
   std::uint64_t factor_orig_bytes_ = 0;
   std::uint64_t factor_comp_bytes_ = 0;
+  std::uint8_t gather_degraded_ = 0;     ///< gather permanently uncompressed.
+  std::uint32_t gather_failures_ = 0;    ///< consecutive failed steps.
 
   /// Exchanges per-rank covariance contributions: plain allreduce, or the
   /// compressed allgatherv path when a factor compressor is set. On
-  /// return, `local[0]` holds the rank average.
+  /// return, the first active entry of `local` holds the rank average.
   void exchange_covariances(std::vector<Tensor>& local, tensor::Rng& rng);
+
+  /// Builds the per-owner send buffers for the preconditioned-gradient
+  /// allgatherv ([u64 n][u64 sid x n][u64 psize][payload] groups).
+  std::vector<std::vector<std::uint8_t>> build_gather_payloads(
+      const std::vector<Tensor>& preconditioned,
+      const std::vector<std::vector<std::size_t>>& owned,
+      const compress::GradientCompressor* compressor, tensor::Rng& rng);
+
+  /// Decodes one gathered stream into `preconditioned` (throws
+  /// PayloadError on any framing or payload damage).
+  void decode_gathered(const std::vector<std::uint8_t>& buf,
+                       std::vector<Tensor>& preconditioned,
+                       const compress::GradientCompressor* compressor) const;
 };
 
 }  // namespace compso::optim

@@ -1,5 +1,6 @@
 #include "src/optim/dist_sgd.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -29,6 +30,34 @@ void apply_flat_update(nn::Layer& layer, std::span<const float> update,
   }
 }
 
+bool all_finite(std::span<const float> values) noexcept {
+  for (float v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+void put_f32_vec(std::vector<std::uint8_t>& out,
+                 const std::vector<float>& v) {
+  put_u64(out, v.size());
+  const std::size_t at = out.size();
+  out.resize(at + v.size() * sizeof(float));
+  if (!v.empty()) std::memcpy(out.data() + at, v.data(), v.size() * 4);
+}
+
+std::vector<float> get_f32_vec(codec::wire::Reader& r) {
+  const auto n = r.bounded_u64(codec::wire::kMaxElementCount, "sgd vec size");
+  std::vector<float> v(n);
+  for (auto& x : v) x = r.f32();
+  return v;
+}
+
 }  // namespace
 
 DistSgd::DistSgd(DistSgdConfig config, comm::Communicator& comm,
@@ -41,84 +70,191 @@ DistSgd::DistSgd(DistSgdConfig config, comm::Communicator& comm,
   velocity_.resize(layer_indices_.size());
   residual_.assign(comm_.world_size(),
                    std::vector<std::vector<float>>(layer_indices_.size()));
+  degraded_.assign(layer_indices_.size(), 0);
+  consecutive_failures_.assign(layer_indices_.size(), 0);
+}
+
+bool DistSgd::compressed_average(
+    std::size_t slot, const std::vector<std::vector<float>>& grads,
+    const compress::GradientCompressor& compressor, tensor::Rng& rng,
+    std::vector<float>& averaged) {
+  const std::size_t world = comm_.world_size();
+  const std::size_t active = comm_.active_count();
+  const std::size_t n = averaged.size();
+
+  // Compress once per active rank (with optional error feedback); retries
+  // re-send these exact payloads, so the Rng stream — and therefore the
+  // training trajectory — is identical to a fault-free run.
+  std::vector<std::vector<std::uint8_t>> send(world);
+  for (std::size_t r = 0; r < world; ++r) {
+    if (!comm_.is_active(r)) continue;
+    auto& res = residual_[r][slot];
+    std::vector<float> to_send = grads[r];
+    if (cfg_.error_feedback) {
+      if (res.size() != n) res.assign(n, 0.0F);
+      for (std::size_t i = 0; i < n; ++i) to_send[i] += res[i];
+    }
+    send[r] = compressor.compress(to_send, rng);
+    if (cfg_.error_feedback) {
+      const auto rec = compressor.decompress(send[r]);
+      for (std::size_t i = 0; i < n; ++i) res[i] = to_send[i] - rec[i];
+    }
+    comp_bytes_ += send[r].size();
+  }
+
+  const std::size_t attempts =
+      policy_.enabled ? policy_.max_decode_retries + 1 : 1;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    std::vector<std::vector<std::uint8_t>> recv;
+    comm_.allgatherv(send, recv);
+    try {
+      // Every rank decodes the same concatenation; decode once — from the
+      // *received* stream (sliced by the known send sizes), so transport
+      // corruption actually reaches the payload validation layer.
+      std::vector<float> sum(n, 0.0F);
+      const compress::ByteView gathered(recv[comm_.first_active_rank()]);
+      std::size_t off = 0;
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_active(r)) continue;
+        if (send[r].size() > gathered.size() - off) {
+          throw PayloadError("DistSgd: gathered stream truncated");
+        }
+        const auto rec =
+            compressor.decompress(gathered.subspan(off, send[r].size()));
+        off += send[r].size();
+        if (rec.size() != n) {
+          throw PayloadError("DistSgd: decompressed size mismatch");
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          sum[i] += rec[i] / static_cast<float>(active);
+        }
+      }
+      averaged = std::move(sum);
+      consecutive_failures_[slot] = 0;
+      return true;
+    } catch (const PayloadError&) {
+      if (!policy_.enabled) throw;
+      if (attempt + 1 < attempts) {
+        ++comm_.recovery().decode_retries;
+        continue;  // re-send the same payloads through a fresh collective
+      }
+      ++comm_.recovery().decode_failures;
+      if (++consecutive_failures_[slot] >= policy_.fallback_after &&
+          degraded_[slot] == 0) {
+        degraded_[slot] = 1;
+        ++comm_.recovery().degraded_layers;
+      }
+      return false;
+    }
+  }
+  return false;
 }
 
 void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
                    tensor::Rng& rng) {
   const std::size_t world = comm_.world_size();
+  const std::size_t active = comm_.active_count();
   orig_bytes_ = 0;
   comp_bytes_ = 0;
 
   for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
     const std::size_t li = layer_indices_[s];
     std::vector<std::vector<float>> grads(world);
+    std::size_t n = 0;
     for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_active(r)) continue;
       grads[r] = flat_gradient(replicas_[r]->layer(li));
+      n = grads[r].size();
     }
-    const std::size_t n = grads[0].size();
-    orig_bytes_ += world * n * sizeof(float);
+    orig_bytes_ += active * n * sizeof(float);
 
     std::vector<float> averaged(n, 0.0F);
-    if (compressor == nullptr) {
-      // Plain ring allreduce of the raw gradients.
+    // A non-finite local gradient must not enter the compressor (NaN through
+    // quantization is undefined); route it through the raw allreduce so the
+    // post-average guard below sees it as NaN and handles it as policy says.
+    bool grads_finite = true;
+    for (std::size_t r = 0; r < world && grads_finite; ++r) {
+      if (comm_.is_active(r)) grads_finite = all_finite(grads[r]);
+    }
+    const bool use_compressor =
+        compressor != nullptr && degraded_[s] == 0 && grads_finite;
+    bool averaged_ok = false;
+    if (use_compressor) {
+      averaged_ok = compressed_average(s, grads, *compressor, rng, averaged);
+      if (!averaged_ok) ++comm_.recovery().fallback_steps;
+    }
+    if (!averaged_ok) {
+      // Plain ring allreduce of the raw gradients — the primary path when
+      // no compressor is attached, and the recovery fallback when decode
+      // retries were exhausted (grads are untouched by the compressed
+      // attempt, so the fallback reduces the exact local gradients).
       std::vector<std::span<float>> views;
       views.reserve(world);
       for (auto& g : grads) views.push_back(g);
       comm_.allreduce_sum(views);
+      const std::size_t lead = comm_.first_active_rank();
       for (std::size_t i = 0; i < n; ++i) {
-        averaged[i] = grads[0][i] / static_cast<float>(world);
+        averaged[i] = grads[lead][i] / static_cast<float>(active);
       }
-      comp_bytes_ += world * n * sizeof(float);
-    } else {
-      // Compress (with optional error feedback), allgatherv, decompress,
-      // average.
-      std::vector<std::vector<std::uint8_t>> send(world);
-      for (std::size_t r = 0; r < world; ++r) {
-        auto& res = residual_[r][s];
-        std::vector<float> to_send = grads[r];
-        if (cfg_.error_feedback) {
-          if (res.size() != n) res.assign(n, 0.0F);
-          for (std::size_t i = 0; i < n; ++i) to_send[i] += res[i];
-        }
-        send[r] = compressor->compress(to_send, rng);
-        if (cfg_.error_feedback) {
-          const auto rec = compressor->decompress(send[r]);
-          for (std::size_t i = 0; i < n; ++i) res[i] = to_send[i] - rec[i];
-        }
-        comp_bytes_ += send[r].size();
-      }
-      std::vector<std::vector<std::uint8_t>> recv;
-      comm_.allgatherv(send, recv);
-      // Every rank decodes the same concatenation; decode once — from the
-      // *received* stream (sliced by the known send sizes), so transport
-      // corruption actually reaches the payload validation layer.
-      const compress::ByteView gathered(recv[0]);
-      std::size_t off = 0;
-      for (std::size_t r = 0; r < world; ++r) {
-        if (send[r].size() > gathered.size() - off) {
-          throw PayloadError("DistSgd: gathered stream truncated");
-        }
-        const auto rec =
-            compressor->decompress(gathered.subspan(off, send[r].size()));
-        off += send[r].size();
-        if (rec.size() != n) {
-          throw std::logic_error("DistSgd: decompressed size mismatch");
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-          averaged[i] += rec[i] / static_cast<float>(world);
-        }
-      }
+      comp_bytes_ += active * n * sizeof(float);
     }
 
-    // Momentum + identical update on every replica.
+    // Non-finite guard: a CRC-clean payload can still carry NaN/Inf (an
+    // upstream arithmetic fault); never let it reach the weights silently.
+    if (!all_finite(averaged)) {
+      if (policy_.enabled && policy_.skip_nonfinite_steps) {
+        ++comm_.recovery().nonfinite_skips;
+        continue;  // skip this layer's update; momentum untouched
+      }
+      throw NonFiniteError("DistSgd: non-finite averaged gradient");
+    }
+
+    // Momentum + identical update on every surviving replica.
     auto& vel = velocity_[s];
     if (vel.size() != n) vel.assign(n, 0.0F);
     for (std::size_t i = 0; i < n; ++i) {
       vel[i] = static_cast<float>(cfg_.momentum) * vel[i] + averaged[i];
     }
     for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_active(r)) continue;
       apply_flat_update(replicas_[r]->layer(li), vel, lr);
     }
+  }
+}
+
+void DistSgd::save_state(std::vector<std::uint8_t>& out) const {
+  put_u64(out, velocity_.size());
+  for (const auto& v : velocity_) put_f32_vec(out, v);
+  put_u64(out, residual_.size());
+  for (const auto& per_rank : residual_) {
+    put_u64(out, per_rank.size());
+    for (const auto& v : per_rank) put_f32_vec(out, v);
+  }
+  for (auto d : degraded_) out.push_back(d);
+  for (auto c : consecutive_failures_) put_u64(out, c);
+}
+
+void DistSgd::load_state(codec::wire::Reader& reader) {
+  const auto slots = reader.bounded_u64(1 << 20, "sgd velocity slots");
+  if (slots != velocity_.size()) {
+    throw PayloadError("DistSgd: checkpoint layer count mismatch");
+  }
+  for (auto& v : velocity_) v = get_f32_vec(reader);
+  const auto ranks = reader.bounded_u64(1 << 20, "sgd residual ranks");
+  if (ranks != residual_.size()) {
+    throw PayloadError("DistSgd: checkpoint world size mismatch");
+  }
+  for (auto& per_rank : residual_) {
+    const auto m = reader.bounded_u64(1 << 20, "sgd residual slots");
+    if (m != per_rank.size()) {
+      throw PayloadError("DistSgd: checkpoint residual shape mismatch");
+    }
+    for (auto& v : per_rank) v = get_f32_vec(reader);
+  }
+  for (auto& d : degraded_) d = reader.u8();
+  for (auto& c : consecutive_failures_) {
+    c = static_cast<std::uint32_t>(
+        reader.bounded_u64(~std::uint32_t{0}, "sgd failure counter"));
   }
 }
 

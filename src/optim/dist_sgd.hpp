@@ -5,10 +5,20 @@
 // decompresses and averages. Optional per-rank error feedback compensates
 // the compression error locally (the classic EF-SGD mechanism §6 mentions;
 // COMPSO itself does not use EF, but CocktailSGD does).
+//
+// Fault tolerance (see recovery.hpp / DESIGN.md §9): with a RecoveryPolicy
+// enabled the step survives corrupted or missing allgatherv entries via
+// bounded re-send retries, falls back to the uncompressed allreduce after
+// repeated failures (degrading the layer permanently past the threshold),
+// skips updates whose averaged gradient went non-finite, and averages over
+// the surviving ranks only when the Communicator has evicted a crashed
+// rank (gradient-average renormalization).
 
+#include "src/codec/wire.hpp"
 #include "src/comm/communicator.hpp"
 #include "src/compress/compressor.hpp"
 #include "src/nn/model.hpp"
+#include "src/optim/recovery.hpp"
 
 #include <vector>
 
@@ -28,19 +38,44 @@ class DistSgd {
   void step(double lr, const compress::GradientCompressor* compressor,
             tensor::Rng& rng);
 
+  void set_recovery(const RecoveryPolicy& policy) noexcept {
+    policy_ = policy;
+  }
+  const RecoveryPolicy& recovery_policy() const noexcept { return policy_; }
+  /// True if layer slot `s` has been degraded to the uncompressed path.
+  bool layer_degraded(std::size_t s) const noexcept {
+    return s < degraded_.size() && degraded_[s] != 0;
+  }
+
   std::uint64_t last_original_bytes() const noexcept { return orig_bytes_; }
   std::uint64_t last_compressed_bytes() const noexcept { return comp_bytes_; }
 
+  /// Serializes the full optimizer state (velocity, EF residuals, recovery
+  /// counters) for checkpointing; restore with load_state. The byte layout
+  /// is internal to the checkpoint format (core/checkpoint.hpp).
+  void save_state(std::vector<std::uint8_t>& out) const;
+  void load_state(codec::wire::Reader& reader);
+
  private:
   DistSgdConfig cfg_;
+  RecoveryPolicy policy_;
   comm::Communicator& comm_;
   std::vector<nn::Model*> replicas_;
   std::vector<std::size_t> layer_indices_;
   // velocity[layer] over flattened [W|b]; residual[rank][layer] for EF.
   std::vector<std::vector<float>> velocity_;
   std::vector<std::vector<std::vector<float>>> residual_;
+  std::vector<std::uint8_t> degraded_;        ///< per layer slot.
+  std::vector<std::uint32_t> consecutive_failures_;  ///< per layer slot.
   std::uint64_t orig_bytes_ = 0;
   std::uint64_t comp_bytes_ = 0;
+
+  /// Compressed exchange for one layer; returns false when every retry
+  /// failed and the caller must use the uncompressed fallback.
+  bool compressed_average(std::size_t slot,
+                          const std::vector<std::vector<float>>& grads,
+                          const compress::GradientCompressor& compressor,
+                          tensor::Rng& rng, std::vector<float>& averaged);
 };
 
 }  // namespace compso::optim

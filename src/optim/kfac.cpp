@@ -76,6 +76,21 @@ Tensor KfacLayerState::precondition(const Tensor& combined_grad,
   return k;
 }
 
+void KfacLayerState::restore(Tensor a, Tensor g,
+                             tensor::EigenDecomposition eig_a,
+                             tensor::EigenDecomposition eig_g, bool has_eigen,
+                             std::size_t updates) {
+  if (a.size() != a_.size() || g.size() != g_.size()) {
+    throw std::invalid_argument("KfacLayerState::restore: shape mismatch");
+  }
+  a_ = std::move(a);
+  g_ = std::move(g);
+  eig_a_ = std::move(eig_a);
+  eig_g_ = std::move(eig_g);
+  has_eigen_ = has_eigen;
+  updates_ = updates;
+}
+
 Tensor combined_gradient(nn::Layer& layer) {
   auto* wg = layer.weight_grad();
   auto* bg = layer.bias_grad();

@@ -48,6 +48,15 @@ class KfacLayerState {
   bool has_eigen() const noexcept { return has_eigen_; }
   std::size_t updates() const noexcept { return updates_; }
 
+  /// Checkpoint support: the eigendecompositions belong to the factors as
+  /// of the *last refresh*, not the current factors, so a bit-exact resume
+  /// must restore them verbatim rather than recompute from a_/g_.
+  const tensor::EigenDecomposition& eigen_a() const noexcept { return eig_a_; }
+  const tensor::EigenDecomposition& eigen_g() const noexcept { return eig_g_; }
+  void restore(Tensor a, Tensor g, tensor::EigenDecomposition eig_a,
+               tensor::EigenDecomposition eig_g, bool has_eigen,
+               std::size_t updates);
+
  private:
   Tensor a_;  ///< (in+1, in+1)
   Tensor g_;  ///< (out, out)

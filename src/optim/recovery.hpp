@@ -1,0 +1,37 @@
+#pragma once
+// Recovery policy shared by the distributed optimizers.
+//
+// The policy decides what happens when a collective delivers damaged or
+// numerically unusable data (see DESIGN.md §9 for the full fault → action
+// matrix):
+//
+//  - decode failure (PayloadError)  -> bounded retry: re-send the same
+//    payloads through a fresh collective up to `max_decode_retries` times.
+//  - retries exhausted              -> fall back to the uncompressed
+//    allreduce path for that layer-step; after `fallback_after`
+//    consecutive failing steps the layer is degraded (permanently
+//    uncompressed) so a rotten link cannot stall training forever.
+//  - NaN/Inf after decompression    -> skip that layer's update this step
+//    (params and momentum untouched) instead of poisoning the weights.
+//
+// With `enabled == false` the optimizers keep their fail-fast behaviour:
+// PayloadError propagates, and the non-finite guard throws NonFiniteError.
+// All counters land in comm::RecoveryStats (Communicator::recovery()).
+
+#include <cstddef>
+
+namespace compso::optim {
+
+struct RecoveryPolicy {
+  bool enabled = false;
+  /// Re-sends of a collective whose payload failed to decode.
+  std::size_t max_decode_retries = 2;
+  /// Consecutive failed steps on a layer before it is permanently degraded
+  /// to the uncompressed path.
+  std::size_t fallback_after = 3;
+  /// Skip a layer's update when its averaged gradient is non-finite
+  /// (instead of throwing NonFiniteError).
+  bool skip_nonfinite_steps = true;
+};
+
+}  // namespace compso::optim

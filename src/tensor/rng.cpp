@@ -1,5 +1,6 @@
 #include "src/tensor/rng.hpp"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -85,6 +86,20 @@ void Rng::fill_normal(std::span<float> out, float mean,
 
 void Rng::fill_uniform(std::span<float> out, float lo, float hi) noexcept {
   for (auto& v : out) v = uniform(lo, hi);
+}
+
+RngState Rng::save_state() const noexcept {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[static_cast<std::size_t>(i)] = state_[i];
+  st.cached_normal_bits = std::bit_cast<std::uint32_t>(cached_normal_);
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::restore_state(const RngState& state) noexcept {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[static_cast<std::size_t>(i)];
+  cached_normal_ = std::bit_cast<float>(state.cached_normal_bits);
+  has_cached_normal_ = state.has_cached_normal;
 }
 
 Rng Rng::split(std::uint64_t stream) const noexcept {

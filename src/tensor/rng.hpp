@@ -5,10 +5,20 @@
 // datasets, random sampling in CocktailSGD) draw from Rng so experiments are
 // reproducible bit-for-bit from a seed.
 
+#include <array>
 #include <cstdint>
 #include <span>
 
 namespace compso::tensor {
+
+/// Complete serializable state of an Rng — the xoshiro256** words plus the
+/// Box-Muller cache — so a restored generator continues the exact stream
+/// (checkpoint/resume must be bit-exact).
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  std::uint32_t cached_normal_bits = 0;  ///< float payload, bit-preserved.
+  bool has_cached_normal = false;
+};
 
 /// xoshiro256** generator seeded via splitmix64. Satisfies
 /// std::uniform_random_bit_generator so it plugs into <random> if needed,
@@ -47,6 +57,10 @@ class Rng {
 
   /// Derive an independent child generator (stable for a given stream id).
   Rng split(std::uint64_t stream) const noexcept;
+
+  /// Snapshot / restore the full generator state (checkpoint support).
+  RngState save_state() const noexcept;
+  void restore_state(const RngState& state) noexcept;
 
  private:
   std::uint64_t state_[4];

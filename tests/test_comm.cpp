@@ -207,6 +207,72 @@ TEST(Clocks, StatsAccumulate) {
   EXPECT_EQ(comm.stats().allreduce_s, 0.0);
 }
 
+TEST(Clocks, SyncAdvanceEndsTogether) {
+  cm::SimClocks clocks(3);
+  clocks.advance(1, 2.0);
+  clocks.sync_advance(0.5);
+  // A synchronizing step starts at the latest clock and ends together.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(clocks.at(r), 2.5);
+  }
+}
+
+TEST(Clocks, StragglerEventDelaysCollectiveForAll) {
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  cm::FaultInjector injector(cm::FaultPlan{}.straggler(0, 2, 5.0), 7);
+  comm.set_fault_injector(&injector);
+  comm.begin_iteration(0);
+  EXPECT_DOUBLE_EQ(comm.clocks().at(2), 5.0);
+  EXPECT_EQ(comm.recovery().straggler_events, 1U);
+
+  std::vector<std::vector<float>> bufs(4, std::vector<float>(10, 1.0F));
+  std::vector<std::span<float>> views;
+  for (auto& b : bufs) views.push_back(b);
+  comm.allreduce_sum(views);
+  // The collective starts at the straggler's clock; everyone ends together
+  // beyond it.
+  const double t0 = comm.clocks().at(0);
+  EXPECT_GT(t0, 5.0);
+  for (std::size_t r = 1; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(comm.clocks().at(r), t0);
+  }
+  // One-shot: the next iteration sees no residual slowdown event.
+  comm.begin_iteration(1);
+  EXPECT_EQ(comm.recovery().straggler_events, 1U);
+}
+
+TEST(Faults, BroadcastBytesHitByPayloadFaultHook) {
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  comm.set_payload_fault([](std::vector<std::uint8_t>& bytes) {
+    if (!bytes.empty()) bytes[0] ^= 0xFF;
+  });
+  std::vector<std::vector<std::uint8_t>> bufs(4);
+  bufs[1] = {0x10, 0x20, 0x30};
+  comm.broadcast_bytes(bufs, 1);
+  // The root keeps its pristine copy; receivers get the damaged stream.
+  EXPECT_EQ(bufs[1], (std::vector<std::uint8_t>{0x10, 0x20, 0x30}));
+  for (std::size_t r : {0UL, 2UL, 3UL}) {
+    EXPECT_EQ(bufs[r], (std::vector<std::uint8_t>{0xEF, 0x20, 0x30}));
+  }
+}
+
+TEST(Faults, BroadcastBytesHitByInjector) {
+  cm::Communicator comm(cm::Topology::with_gpus(3),
+                        cm::NetworkModel::platform1());
+  cm::FaultInjector injector(cm::FaultPlan{}.corrupt(0, 1), 11);
+  comm.set_fault_injector(&injector);
+  comm.begin_iteration(0);
+  std::vector<std::vector<std::uint8_t>> bufs(3);
+  bufs[1].assign(32, 0xAB);
+  comm.broadcast_bytes(bufs, 1);
+  EXPECT_EQ(comm.recovery().corrupt_injected, 1U);
+  EXPECT_EQ(bufs[1], std::vector<std::uint8_t>(32, 0xAB));
+  EXPECT_NE(bufs[0], bufs[1]);  // delivered copy is damaged
+  EXPECT_EQ(bufs[0], bufs[2]);  // but identically so for every receiver
+}
+
 TEST(Validation, MismatchedBuffersThrow) {
   cm::Communicator comm(cm::Topology::with_gpus(2),
                         cm::NetworkModel::platform1());

@@ -1,0 +1,271 @@
+// Fault injection and recovery: deterministic FaultPlans, transport-level
+// damage in the collectives, rank eviction (world-shrink), and the
+// end-to-end recovery policies of the fault-tolerant trainer — bounded
+// decode retries (bit-exact vs a fault-free run), uncompressed fallback /
+// layer degradation, non-finite step skips with adaptive-bound tightening,
+// and the crash drill from the ISSUE acceptance criteria.
+
+#include "src/compso.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cm = compso::comm;
+namespace core = compso::core;
+
+namespace {
+
+core::FtTrainerConfig small_config(core::OptimizerKind kind) {
+  core::FtTrainerConfig cfg;
+  cfg.base = {.world = 4,
+              .batch_per_rank = 8,
+              .features = 12,
+              .classes = 4,
+              .hidden = 12,
+              .depth = 2,
+              .noise = 0.7F,
+              .seed = 4242};
+  cfg.optimizer = kind;
+  cfg.kfac.eigen_refresh_every = 5;
+  cfg.recovery = {.enabled = true,
+                  .max_decode_retries = 2,
+                  .fallback_after = 3,
+                  .skip_nonfinite_steps = true};
+  cfg.base_lr = 0.05;
+  cfg.total_iterations = 40;
+  return cfg;
+}
+
+double relative_l2(const std::vector<float>& a, const std::vector<float>& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num / (den + 1e-12));
+}
+
+TEST(FaultPlan, RandomIsDeterministicAndInRange) {
+  const auto a = cm::FaultPlan::random(16, 10, 4, 99);
+  const auto b = cm::FaultPlan::random(16, 10, 4, 99);
+  ASSERT_EQ(a.events().size(), 16U);
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].iteration, b.events()[i].iteration);
+    EXPECT_EQ(a.events()[i].rank, b.events()[i].rank);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_LT(a.events()[i].iteration, 10U);
+    EXPECT_LT(a.events()[i].rank, 4U);
+    EXPECT_NE(a.events()[i].kind, cm::FaultKind::kCrash);  // transient only
+  }
+}
+
+TEST(FaultInjector, EventsAreOneShot) {
+  cm::FaultInjector injector(cm::FaultPlan{}.corrupt(3, 1), 1);
+  injector.begin_iteration(3);
+  EXPECT_TRUE(injector.pending(cm::FaultKind::kCorruptPayload));
+  EXPECT_FALSE(injector.take(cm::FaultKind::kCorruptPayload, 0));
+  EXPECT_TRUE(injector.take(cm::FaultKind::kCorruptPayload, 1));
+  EXPECT_FALSE(injector.take(cm::FaultKind::kCorruptPayload, 1));
+  EXPECT_EQ(injector.fired_count(), 1U);
+}
+
+TEST(FaultInjector, DropRemovesEntryFromGatheredStream) {
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  cm::FaultInjector injector(cm::FaultPlan{}.drop(0, 2), 5);
+  comm.set_fault_injector(&injector);
+  comm.begin_iteration(0);
+  std::vector<std::vector<std::uint8_t>> send(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    send[r].assign(4, static_cast<std::uint8_t>(r));
+  }
+  std::vector<std::vector<std::uint8_t>> recv;
+  comm.allgatherv(send, recv);
+  EXPECT_EQ(comm.recovery().drops_injected, 1U);
+  ASSERT_EQ(recv[0].size(), 12U);  // 3 surviving entries of 4 bytes
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NE(recv[0][i], 2U);  // rank 2's bytes vanished in flight
+  }
+  // A retry of the same collective sees clean data (one-shot event).
+  comm.allgatherv(send, recv);
+  EXPECT_EQ(recv[0].size(), 16U);
+  EXPECT_EQ(comm.recovery().drops_injected, 1U);
+}
+
+TEST(FaultInjector, TruncateShortensOneEntry) {
+  cm::Communicator comm(cm::Topology::with_gpus(3),
+                        cm::NetworkModel::platform1());
+  cm::FaultInjector injector(cm::FaultPlan{}.truncate(1, 0), 5);
+  comm.set_fault_injector(&injector);
+  comm.begin_iteration(1);
+  std::vector<std::vector<std::uint8_t>> send(3);
+  for (auto& s : send) s.assign(8, 0x7F);
+  std::vector<std::vector<std::uint8_t>> recv;
+  comm.allgatherv(send, recv);
+  EXPECT_EQ(comm.recovery().truncations_injected, 1U);
+  EXPECT_LT(recv[0].size(), 24U);
+  EXPECT_GE(recv[0].size(), 16U);  // only rank 0's entry lost bytes
+}
+
+TEST(Eviction, CollectivesRunOverSurvivors) {
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  comm.evict(1);
+  comm.evict(1);  // idempotent
+  EXPECT_EQ(comm.recovery().evictions, 1U);
+  EXPECT_EQ(comm.active_count(), 3U);
+  EXPECT_EQ(comm.active_ranks(), (std::vector<std::size_t>{0, 2, 3}));
+
+  std::vector<std::vector<float>> bufs(4, std::vector<float>(2, 1.0F));
+  bufs[1] = {100.0F, 100.0F};  // dead rank's buffer must not contribute
+  std::vector<std::span<float>> views;
+  for (auto& b : bufs) views.push_back(b);
+  comm.allreduce_sum(views);
+  for (std::size_t r : comm.active_ranks()) {
+    EXPECT_FLOAT_EQ(bufs[r][0], 3.0F);
+  }
+  EXPECT_FLOAT_EQ(bufs[1][0], 100.0F);  // dead rank receives nothing
+}
+
+TEST(Eviction, LastRankCannotBeEvicted) {
+  cm::Communicator comm(cm::Topology::with_gpus(2),
+                        cm::NetworkModel::platform1());
+  comm.evict(0);
+  EXPECT_THROW(comm.evict(1), std::logic_error);
+}
+
+TEST(Eviction, CrashEventEvictsAtIterationStart) {
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  cm::FaultInjector injector(cm::FaultPlan{}.crash(2, 3), 5);
+  comm.set_fault_injector(&injector);
+  comm.begin_iteration(1);
+  EXPECT_TRUE(comm.is_active(3));
+  comm.begin_iteration(2);
+  EXPECT_FALSE(comm.is_active(3));
+  EXPECT_EQ(comm.recovery().evictions, 1U);
+}
+
+// Transient transport faults are absorbed by the bounded re-send retry:
+// the same compressed payloads go through a fresh collective, so the run's
+// arithmetic — and therefore its final parameters — is bit-exact vs a
+// fault-free run. Stragglers only move simulated clocks.
+TEST(Recovery, TransientFaultsAreBitExactAfterRetry) {
+  for (const auto kind : {core::OptimizerKind::kKfac,
+                          core::OptimizerKind::kSgd}) {
+    core::FaultTolerantTrainer clean(small_config(kind));
+    clean.run(12);
+
+    core::FaultTolerantTrainer faulty(small_config(kind));
+    faulty.set_fault_plan(cm::FaultPlan{}
+                              .corrupt(3, 0)
+                              .truncate(5, 1)
+                              .drop(7, 0)
+                              .straggler(4, 2, 2.5),
+                          77);
+    faulty.run(12);
+
+    const auto& rc = faulty.comm().recovery();
+    EXPECT_EQ(rc.corrupt_injected, 1U);
+    EXPECT_EQ(rc.truncations_injected, 1U);
+    EXPECT_EQ(rc.drops_injected, 1U);
+    EXPECT_EQ(rc.straggler_events, 1U);
+    EXPECT_GE(rc.decode_retries, 3U);
+    EXPECT_EQ(rc.decode_failures, 0U);
+    EXPECT_EQ(rc.nonfinite_skips, 0U);
+    EXPECT_EQ(faulty.parameters(), clean.parameters());
+    // The straggler's stall is visible in the simulated clock.
+    EXPECT_GT(faulty.comm().clocks().max_time(),
+              clean.comm().clocks().max_time() + 2.0);
+  }
+}
+
+TEST(Recovery, RetriesExhaustedFallsBackAndDegrades) {
+  auto cfg = small_config(core::OptimizerKind::kSgd);
+  cfg.recovery.max_decode_retries = 0;  // a single failure exhausts retries
+  cfg.recovery.fallback_after = 1;      // ... and degrades immediately
+  core::FaultTolerantTrainer trainer(cfg);
+  trainer.set_fault_plan(cm::FaultPlan{}.corrupt(2, 1), 31);
+  trainer.run(6);
+  const auto& rc = trainer.comm().recovery();
+  EXPECT_EQ(rc.decode_failures, 1U);
+  EXPECT_GE(rc.fallback_steps, 1U);
+  EXPECT_EQ(rc.degraded_layers, 1U);
+  for (const float p : trainer.parameters()) {
+    ASSERT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST(Recovery, NanGradientSkipsStepAndTightensBounds) {
+  for (const auto kind : {core::OptimizerKind::kKfac,
+                          core::OptimizerKind::kSgd}) {
+    core::FaultTolerantTrainer trainer(small_config(kind));
+    trainer.set_fault_plan(cm::FaultPlan{}.nan_gradient(2, 1), 13);
+    trainer.run(8);
+    const auto& rc = trainer.comm().recovery();
+    EXPECT_GE(rc.nonfinite_skips, 1U);
+    EXPECT_EQ(rc.bound_tightenings, 1U);
+    EXPECT_TRUE(trainer.bounds_tightened());
+    for (const float p : trainer.parameters()) {
+      ASSERT_TRUE(std::isfinite(p));
+    }
+  }
+}
+
+TEST(Recovery, PolicyDisabledFailsFast) {
+  auto cfg = small_config(core::OptimizerKind::kKfac);
+  cfg.recovery.enabled = false;
+  {
+    core::FaultTolerantTrainer trainer(cfg);
+    trainer.set_fault_plan(cm::FaultPlan{}.corrupt(1, 0), 3);
+    EXPECT_THROW(trainer.run(4), compso::PayloadError);
+  }
+  {
+    core::FaultTolerantTrainer trainer(cfg);
+    trainer.set_fault_plan(cm::FaultPlan{}.nan_gradient(1, 0), 3);
+    EXPECT_THROW(trainer.run(4), compso::NonFiniteError);
+  }
+}
+
+// The ISSUE acceptance drill: corruption + straggler + one crash, end to
+// end. The run completes without throwing, RecoveryStats records each
+// event, and the final parameters stay within a loose bound of the
+// fault-free run (the post-crash average is over 3 of 4 ranks).
+TEST(Recovery, EndToEndFaultDrill) {
+  auto cfg = small_config(core::OptimizerKind::kKfac);
+  core::FaultTolerantTrainer clean(cfg);
+  clean.run(16);
+
+  core::FaultTolerantTrainer faulty(cfg);
+  faulty.set_fault_plan(cm::FaultPlan{}
+                            .corrupt(3, 0)
+                            .straggler(5, 1, 4.0)
+                            .crash(9, 3),
+                        2024);
+  std::vector<double> losses;
+  ASSERT_NO_THROW(losses = faulty.run(16));
+  ASSERT_EQ(losses.size(), 16U);
+  for (const double l : losses) {
+    ASSERT_TRUE(std::isfinite(l));
+  }
+
+  const auto& rc = faulty.comm().recovery();
+  EXPECT_EQ(rc.corrupt_injected, 1U);
+  EXPECT_EQ(rc.straggler_events, 1U);
+  EXPECT_EQ(rc.evictions, 1U);
+  EXPECT_GE(rc.faults_injected(), 2U);
+  EXPECT_GE(rc.recovery_actions(), 2U);
+  EXPECT_EQ(faulty.comm().active_count(), 3U);
+  EXPECT_FALSE(rc.to_string().empty());
+
+  // 7 of 16 iterations ran on the shrunken world: trajectories diverge,
+  // but stay in the same basin.
+  const auto a = faulty.parameters();
+  const auto b = clean.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_LT(relative_l2(a, b), 0.5);
+  EXPECT_GT(faulty.evaluate(), 0.5);
+}
+
+}  // namespace
