@@ -1,0 +1,139 @@
+// Fused vs. unfused COMPSO compressor throughput (single thread, host).
+//
+// Measures the fused single-pass pipeline (make_compso: blockwise extrema
+// + filter/quantize/pack in one streaming pass, scratch reuse) against
+// the retained multi-pass reference (make_compso_reference) on synthetic
+// KFAC-profile gradients, verifies the payloads are bit-identical, prints
+// a table, and writes BENCH_compress.json (for the Fig. 8 host-throughput
+// mapping — see EXPERIMENTS.md). Usage:
+//
+//   micro_compressor_throughput [output.json]   (default BENCH_compress.json)
+
+#include "src/compress/compressor.hpp"
+#include "src/perf/perf_model.hpp"
+#include "src/tensor/synthetic.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace compso;
+
+namespace {
+
+struct Row {
+  std::size_t elems;
+  perf::HostThroughput fused;
+  perf::HostThroughput unfused;
+  bool payloads_identical;
+};
+
+double gbps(double bytes_per_s) { return bytes_per_s / 1e9; }
+
+/// Combined one-way pipeline throughput: bytes of gradient moved through
+/// compress + decompress per second (harmonic combination, the number a
+/// training step actually experiences on its critical path).
+double roundtrip_bytes_per_s(const perf::HostThroughput& t) {
+  if (t.compress_bytes_per_s <= 0.0 || t.decompress_bytes_per_s <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 /
+         (1.0 / t.compress_bytes_per_s + 1.0 / t.decompress_bytes_per_s);
+}
+
+bool payloads_match(const compress::GradientCompressor& a,
+                    const compress::GradientCompressor& b,
+                    std::span<const float> values, std::uint64_t seed) {
+  tensor::Rng ra(seed), rb(seed);
+  return a.compress(values, ra) == b.compress(values, rb);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_compress.json";
+  const auto fused = compress::make_compso({});
+  const auto unfused = compress::make_compso_reference({});
+
+  // 2^16 .. 2^20 floats = 256 KiB .. 4 MiB gradients; the paper's layer
+  // sizes for BERT-large/GPT-neo live in this range, and the acceptance
+  // criterion reads the >= 1 MiB rows.
+  const std::vector<std::size_t> sizes = {1UL << 16, 1UL << 18, 1UL << 20};
+  constexpr std::uint64_t kSeed = 20240806;
+  std::vector<Row> rows;
+
+  std::printf(
+      "%10s | %21s | %21s | %9s | %s\n"
+      "%10s | %10s %10s | %10s %10s | %9s |\n",
+      "elems", "fused GB/s", "unfused GB/s", "roundtrip", "payloads",
+      "", "comp", "decomp", "comp", "decomp", "speedup");
+  std::printf(
+      "-----------+-----------------------+-----------------------+-----------"
+      "+---------\n");
+
+  for (std::size_t n : sizes) {
+    tensor::Rng grad_rng(kSeed ^ n);
+    const auto grad =
+        tensor::synthetic_gradient(n, tensor::GradientProfile::kfac(),
+                                   grad_rng);
+    Row row;
+    row.elems = n;
+    row.payloads_identical = payloads_match(*fused, *unfused, grad, kSeed);
+    row.fused = perf::measure_host_throughput(*fused, grad, kSeed, 12);
+    row.unfused = perf::measure_host_throughput(*unfused, grad, kSeed, 12);
+    rows.push_back(row);
+
+    const double speedup =
+        roundtrip_bytes_per_s(row.fused) / roundtrip_bytes_per_s(row.unfused);
+    std::printf("%10zu | %10.3f %10.3f | %10.3f %10.3f | %8.2fx | %s\n", n,
+                gbps(row.fused.compress_bytes_per_s),
+                gbps(row.fused.decompress_bytes_per_s),
+                gbps(row.unfused.compress_bytes_per_s),
+                gbps(row.unfused.decompress_bytes_per_s), speedup,
+                row.payloads_identical ? "identical" : "MISMATCH");
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_compressor_throughput\",\n");
+  std::fprintf(f, "  \"units\": \"GB/s of FP32 gradient input\",\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"elements\": %zu, \"input_bytes\": %zu,\n"
+        "     \"fused\": {\"compress_gbps\": %.4f, \"decompress_gbps\": %.4f,"
+        " \"roundtrip_gbps\": %.4f, \"ratio\": %.3f},\n"
+        "     \"unfused\": {\"compress_gbps\": %.4f, \"decompress_gbps\":"
+        " %.4f, \"roundtrip_gbps\": %.4f, \"ratio\": %.3f},\n"
+        "     \"roundtrip_speedup\": %.3f, \"payloads_identical\": %s}%s\n",
+        r.elems, r.fused.input_bytes, gbps(r.fused.compress_bytes_per_s),
+        gbps(r.fused.decompress_bytes_per_s),
+        gbps(roundtrip_bytes_per_s(r.fused)), r.fused.compression_ratio,
+        gbps(r.unfused.compress_bytes_per_s),
+        gbps(r.unfused.decompress_bytes_per_s),
+        gbps(roundtrip_bytes_per_s(r.unfused)), r.unfused.compression_ratio,
+        roundtrip_bytes_per_s(r.fused) / roundtrip_bytes_per_s(r.unfused),
+        r.payloads_identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Self-check: payload identity must hold at every size (the fused
+  // kernel is only a win if it is also exactly the same compressor).
+  for (const Row& r : rows) {
+    if (!r.payloads_identical) {
+      std::fprintf(stderr, "FAIL: payload mismatch at %zu elements\n",
+                   r.elems);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # CI entry point: build and test the normal and sanitized configurations.
 #
-#   ./ci.sh            both configs, full test suite under each
+#   ./ci.sh            all configs, full test suite under each
 #   ./ci.sh fault      fault-tolerance suites only (ctest -L fault)
 #
 # The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
 # AddressSanitizer + UBSan, which is what gives the fault/recovery paths
 # their teeth: an out-of-bounds decode of a corrupted payload fails the
 # build's tests even if it happens not to crash.
+#
+# The TSan config (-DCOMPSO_TSAN=ON) runs everything under
+# ThreadSanitizer — that is what keeps the parallel compression engine
+# (thread pool + engine batches in DistSgd/DistKfac) honest. ASan and
+# TSan cannot share a binary, hence the separate build directory.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,10 +30,13 @@ run_suite() {
   fi
 }
 
-echo "=== config 1/2: normal ==="
+echo "=== config 1/3: normal ==="
 run_suite build-ci
 
-echo "=== config 2/2: AddressSanitizer + UBSan ==="
+echo "=== config 2/3: AddressSanitizer + UBSan ==="
 run_suite build-asan -DCOMPSO_SANITIZE=ON
+
+echo "=== config 3/3: ThreadSanitizer ==="
+run_suite build-tsan -DCOMPSO_TSAN=ON
 
 echo "ci.sh: all green"

@@ -84,6 +84,10 @@ void write_header(Bytes& out, std::uint32_t magic, std::uint64_t size) {
 
 void seal_frame(Bytes& out) { wire::seal_payload(out); }
 
+void seal_frame_at(Bytes& out, std::size_t frame_begin) {
+  wire::seal_payload_at(out, frame_begin);
+}
+
 std::uint64_t read_header(ByteView in, std::uint32_t expected_magic) {
   return wire::read_payload_header(in, expected_magic).count;
 }

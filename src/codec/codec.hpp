@@ -43,6 +43,34 @@ class Codec {
   virtual Bytes encode(ByteView input) const = 0;
   virtual Bytes decode(ByteView input) const = 0;
   virtual CodecCostProfile cost_profile() const noexcept = 0;
+
+  /// Appends the encoded stream to `out` (identical bytes to encode()).
+  /// Codecs that can emit in place override this to skip the temporary
+  /// buffer + copy; the default delegates to encode(). Implementations
+  /// must be const-thread-safe like encode().
+  virtual void encode_into(ByteView input, Bytes& out) const {
+    const Bytes frame = encode(input);
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+
+  /// Replaces `out` with the decoded stream (identical bytes to
+  /// decode()). Codecs override this to reuse the caller's buffer across
+  /// steady-state calls instead of allocating a fresh vector per decode;
+  /// the default delegates to decode(). Must be const-thread-safe.
+  virtual void decode_into(ByteView input, Bytes& out) const {
+    out = decode(input);
+  }
+
+  /// Decodes two independent streams (identical results to two
+  /// decode_into calls; `out_a` and `out_b` must be distinct buffers).
+  /// Codecs whose decode is a latency-bound serial chain override this
+  /// to interleave the two streams and recover ILP. Must be
+  /// const-thread-safe.
+  virtual void decode_pair_into(ByteView input_a, Bytes& out_a,
+                                ByteView input_b, Bytes& out_b) const {
+    decode_into(input_a, out_a);
+    decode_into(input_b, out_b);
+  }
 };
 
 /// The nvCOMP-parallel codec set of Table 2.
@@ -80,6 +108,8 @@ constexpr std::size_t kHeaderSize = wire::kHeaderSize;
 void write_header(Bytes& out, std::uint32_t magic, std::uint64_t size);
 /// Patches the body CRC into the header; the last step of every encode.
 void seal_frame(Bytes& out);
+/// seal_frame for a frame appended at `frame_begin` inside a larger buffer.
+void seal_frame_at(Bytes& out, std::size_t frame_begin);
 std::uint64_t read_header(ByteView in, std::uint32_t expected_magic);
 void append_u32(Bytes& out, std::uint32_t v);
 void append_u64(Bytes& out, std::uint64_t v);

@@ -1,22 +1,35 @@
 #include "src/codec/wire.hpp"
 
 #include <array>
+#include <bit>
 #include <cstring>
 #include <string>
 
 namespace compso::codec::wire {
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() noexcept {
-  std::array<std::uint32_t, 256> table{};
+// Tables for slicing-by-8 CRC32: table[0] is the classic byte table; each
+// table[j][i] advances byte i through j additional zero bytes, so eight
+// lookups fold eight message bytes into the CRC per iteration with the
+// identical polynomial (and therefore identical checksums) as the
+// byte-at-a-time loop.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() noexcept {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (std::size_t j = 1; j < 8; ++j) {
+      c = t[0][c & 0xFFU] ^ (c >> 8);
+      t[j][i] = c;
+    }
+  }
+  return t;
 }
 
 void put_u32(Bytes& out, std::uint32_t v) {
@@ -54,9 +67,25 @@ std::uint64_t get_u64(ByteView in, std::size_t offset) noexcept {
 namespace {
 
 std::uint32_t crc32_update(std::uint32_t crc, ByteView data) noexcept {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  for (std::uint8_t b : data) {
-    crc = table[(crc ^ b) & 0xFFU] ^ (crc >> 8);
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      make_crc_tables();
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  if constexpr (std::endian::native == std::endian::little) {
+    for (; n >= 8; p += 8, n -= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= crc;
+      crc = tables[7][lo & 0xFFU] ^ tables[6][(lo >> 8) & 0xFFU] ^
+            tables[5][(lo >> 16) & 0xFFU] ^ tables[4][lo >> 24] ^
+            tables[3][hi & 0xFFU] ^ tables[2][(hi >> 8) & 0xFFU] ^
+            tables[1][(hi >> 16) & 0xFFU] ^ tables[0][hi >> 24];
+    }
+  }
+  for (; n > 0; ++p, --n) {
+    crc = tables[0][(crc ^ *p) & 0xFFU] ^ (crc >> 8);
   }
   return crc;
 }
@@ -85,10 +114,13 @@ void begin_payload(Bytes& out, std::uint32_t magic, std::uint64_t count) {
   put_u32(out, 0);  // CRC placeholder, patched by seal_payload.
 }
 
-void seal_payload(Bytes& out) {
-  const std::uint32_t crc = frame_crc(out);
+void seal_payload(Bytes& out) { seal_payload_at(out, 0); }
+
+void seal_payload_at(Bytes& out, std::size_t frame_begin) {
+  const ByteView frame(out.data() + frame_begin, out.size() - frame_begin);
+  const std::uint32_t crc = frame_crc(frame);
   for (int i = 0; i < 4; ++i) {
-    out[13 + static_cast<std::size_t>(i)] =
+    out[frame_begin + 13 + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(crc >> (8 * i));
   }
 }

@@ -54,6 +54,12 @@ void begin_payload(Bytes& out, std::uint32_t magic, std::uint64_t count);
 /// header. Must be the last step of every encode.
 void seal_payload(Bytes& out);
 
+/// seal_payload for a frame that starts at `frame_begin` instead of 0 —
+/// used when a codec stream is appended in place inside a larger payload
+/// (the fused compressor's zero-copy blob assembly). The frame spans
+/// [frame_begin, out.size()).
+void seal_payload_at(Bytes& out, std::size_t frame_begin);
+
 /// Parses and fully validates a header: size, magic, version, and body CRC.
 /// Throws PayloadError on any mismatch.
 PayloadHeader read_payload_header(ByteView payload,

@@ -227,8 +227,20 @@ void Communicator::allgatherv(
   std::vector<std::uint8_t> gathered;
   std::vector<std::size_t> sizes;
   sizes.reserve(send.size());
+  std::size_t total_bytes = 0;
+  for (std::size_t r = 0; r < send.size(); ++r) {
+    if (is_active(r)) total_bytes += send[r].size();
+  }
+  gathered.reserve(total_bytes);  // one allocation for the whole stream.
   for (std::size_t r = 0; r < send.size(); ++r) {
     if (!is_active(r)) continue;
+    if (injector_ == nullptr) {
+      // Fast path: no per-entry fault hooks, so append without the
+      // intermediate chunk copy.
+      gathered.insert(gathered.end(), send[r].begin(), send[r].end());
+      sizes.push_back(send[r].size());
+      continue;
+    }
     std::vector<std::uint8_t> chunk = send[r];
     if (injector_ != nullptr) {
       // Per-entry transport faults, consumed one-shot so a retried

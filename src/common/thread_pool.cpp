@@ -1,0 +1,131 @@
+#include "src/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+
+namespace compso::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  if (stop_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("ThreadPool: submit after shutdown");
+  }
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  Queue& q = *queues_[next_.fetch_add(1, std::memory_order_relaxed) %
+                      queues_.size()];
+  {
+    std::lock_guard<std::mutex> lk(q.m);
+    q.d.push_back(std::move(task));
+  }
+  {
+    // The counter moves under wake_m_ so a worker evaluating the wait
+    // predicate cannot miss the increment and sleep through the notify.
+    std::lock_guard<std::mutex> lk(wake_m_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+  return fut;
+}
+
+bool ThreadPool::try_pop(std::size_t id, std::packaged_task<void()>& task) {
+  Queue& q = *queues_[id];
+  std::lock_guard<std::mutex> lk(q.m);
+  if (q.d.empty()) return false;
+  task = std::move(q.d.front());
+  q.d.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t id, std::packaged_task<void()>& task) {
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(id + k) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.m);
+    if (q.d.empty()) continue;
+    task = std::move(q.d.back());  // steal the cold end
+    q.d.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  for (;;) {
+    std::packaged_task<void()> task;
+    if (try_pop(id, task) || try_steal(id, task)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      task();  // packaged_task captures exceptions into the future
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lk(wake_m_);
+    wake_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t helpers = std::min(size(), n) - 1;
+  std::atomic<std::size_t> cursor{0};
+  auto drain = [&cursor, n, &fn] {
+    for (std::size_t i; (i = cursor.fetch_add(1)) < n;) fn(i);
+  };
+  std::vector<std::future<void>> futs;
+  futs.reserve(helpers);
+  for (std::size_t t = 0; t < helpers; ++t) futs.push_back(submit(drain));
+  std::exception_ptr first;
+  try {
+    drain();  // caller participates
+  } catch (...) {
+    first = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(wake_m_);
+    if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  // Drain anything a racing submit slipped in after the workers left.
+  for (auto& qp : queues_) {
+    std::lock_guard<std::mutex> lk(qp->m);
+    while (!qp->d.empty()) {
+      qp->d.front()();  // runs inline; future sees result or exception
+      qp->d.pop_front();
+    }
+  }
+}
+
+}  // namespace compso::common

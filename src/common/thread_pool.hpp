@@ -1,0 +1,68 @@
+#pragma once
+// Small work-stealing thread pool for the parallel compression engine
+// (DESIGN.md §10). Each worker owns a deque: submissions are distributed
+// round-robin, a worker pops from the front of its own deque and steals
+// from the back of a sibling's when it runs dry — cheap load balancing for
+// the uneven per-layer compression costs without a global hot queue.
+//
+// Tasks are type-erased void() jobs; exceptions thrown inside a task are
+// captured in the returned future and rethrow at get(). shutdown() (also
+// run by the destructor) drains every queued task before joining, so no
+// future is ever abandoned. Submitting concurrently with shutdown() is a
+// caller error (the late task may be dropped); submitting after shutdown()
+// throws.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace compso::common {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueues `fn`; the future rethrows any exception `fn` threw.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs fn(0..n-1) across the pool with the caller participating;
+  /// returns after every index ran and rethrows the first exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Stops accepting work, drains the queues, joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+ private:
+  struct Queue {
+    std::mutex m;
+    std::deque<std::packaged_task<void()>> d;
+  };
+
+  bool try_pop(std::size_t id, std::packaged_task<void()>& task);
+  bool try_steal(std::size_t id, std::packaged_task<void()>& task);
+  void worker_loop(std::size_t id);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_m_;
+  std::condition_variable wake_cv_;
+  std::atomic<long long> pending_{0};  ///< queued-but-not-started tasks.
+  std::atomic<std::size_t> next_{0};   ///< round-robin submission cursor.
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace compso::common

@@ -1,0 +1,102 @@
+#include "src/compress/compression_engine.hpp"
+
+#include "src/common/thread_pool.hpp"
+
+#include <utility>
+
+namespace compso::compress {
+
+CompressionEngine::CompressionEngine(std::size_t threads) {
+  if (threads > 0) pool_ = std::make_unique<common::ThreadPool>(threads);
+}
+
+CompressionEngine::~CompressionEngine() {
+  // The pool destructor drains every queued job, so outstanding tickets
+  // complete (their results are simply never observed).
+}
+
+std::size_t CompressionEngine::thread_count() const noexcept {
+  return pool_ ? pool_->size() : 0;
+}
+
+CompressionEngine::Ticket CompressionEngine::submit(
+    std::function<void()> job) {
+  const Ticket t = tickets_++;
+  if (pool_) {
+    futures_.push_back(pool_->submit(std::move(job)));
+  } else {
+    // Serial mode runs inline but defers the exception to wait(), so call
+    // sites behave identically in both modes.
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    inline_errors_.push_back(err);
+  }
+  return t;
+}
+
+void CompressionEngine::wait(Ticket ticket) {
+  if (pool_) {
+    if (ticket < futures_.size() && futures_[ticket].valid()) {
+      futures_[ticket].get();
+    }
+    return;
+  }
+  if (ticket < inline_errors_.size() && inline_errors_[ticket]) {
+    const std::exception_ptr err = std::exchange(inline_errors_[ticket], {});
+    std::rethrow_exception(err);
+  }
+}
+
+void CompressionEngine::wait_all() {
+  std::exception_ptr first;
+  if (pool_) {
+    for (auto& f : futures_) {
+      if (!f.valid()) continue;
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    futures_.clear();
+  } else {
+    for (auto& err : inline_errors_) {
+      if (err && !first) first = std::exchange(err, {});
+    }
+    inline_errors_.clear();
+  }
+  tickets_ = 0;
+  if (first) std::rethrow_exception(first);
+}
+
+void CompressionEngine::run_batch(std::vector<std::function<void()>>&& jobs) {
+  std::exception_ptr first;
+  if (pool_) {
+    std::vector<std::future<void>> batch;
+    batch.reserve(jobs.size());
+    for (auto& job : jobs) batch.push_back(pool_->submit(std::move(job)));
+    for (auto& f : batch) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+  } else {
+    for (auto& job : jobs) {
+      try {
+        job();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+  }
+  jobs.clear();
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace compso::compress

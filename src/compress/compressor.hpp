@@ -51,6 +51,22 @@ class GradientCompressor {
   /// compso::PayloadError and never reads out of bounds.
   virtual std::vector<float> decompress(ByteView payload) const = 0;
 
+  /// compress() into a caller-owned buffer: `out` is cleared and refilled
+  /// with the identical payload bytes, reusing its capacity. The fused
+  /// COMPSO path overrides this to make steady-state compression
+  /// allocation-free; the default delegates to compress().
+  virtual void compress_into(std::span<const float> values, tensor::Rng& rng,
+                             Bytes& out) const {
+    out = compress(values, rng);
+  }
+
+  /// decompress() into a caller-owned buffer (same values; capacity
+  /// reused). Default delegates to decompress().
+  virtual void decompress_into(ByteView payload,
+                               std::vector<float>& out) const {
+    out = decompress(payload);
+  }
+
   /// GPU execution shape (see GpuProfile).
   virtual GpuProfile gpu_profile() const noexcept = 0;
 
@@ -76,6 +92,13 @@ struct CompsoParams {
 };
 
 std::unique_ptr<GradientCompressor> make_compso(const CompsoParams& params);
+
+/// The pre-fusion multi-pass COMPSO pipeline (name "COMPSO-unfused"),
+/// kept as the bit-exactness oracle for tests and the baseline for the
+/// compressor throughput benches. For any fixed Rng state it produces
+/// byte-identical payloads to make_compso's fused path.
+std::unique_ptr<GradientCompressor> make_compso_reference(
+    const CompsoParams& params);
 
 /// QSGD: fixed n-bit SR quantization + Elias gamma coding.
 std::unique_ptr<GradientCompressor> make_qsgd(unsigned bits);

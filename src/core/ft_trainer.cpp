@@ -31,6 +31,7 @@ FaultTolerantTrainer::FaultTolerantTrainer(FtTrainerConfig config)
             comm::NetworkModel::platform1()),
       lr_(cfg_.base_lr, cfg_.lr_decay, cfg_.lr_milestones),
       schedule_(lr_, cfg_.total_iterations, cfg_.schedule),
+      engine_(cfg_.engine_threads),
       data_rng_(cfg_.base.seed ^ 0xBA7C4ULL),
       sr_rng_(cfg_.base.seed ^ 0x5121ULL) {
   std::vector<nn::Model*> ptrs;
@@ -38,9 +39,11 @@ FaultTolerantTrainer::FaultTolerantTrainer(FtTrainerConfig config)
   if (cfg_.optimizer == OptimizerKind::kKfac) {
     kfac_ = std::make_unique<optim::DistKfac>(cfg_.kfac, comm_, ptrs);
     kfac_->set_recovery(cfg_.recovery);
+    kfac_->set_engine(&engine_);
   } else {
     sgd_ = std::make_unique<optim::DistSgd>(cfg_.sgd, comm_, ptrs);
     sgd_->set_recovery(cfg_.recovery);
+    sgd_->set_engine(&engine_);
   }
 }
 

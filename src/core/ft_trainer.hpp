@@ -18,6 +18,7 @@
 // Communicator's RecoveryStats, next to CommStats.
 
 #include "src/comm/communicator.hpp"
+#include "src/compress/compression_engine.hpp"
 #include "src/core/adaptive_schedule.hpp"
 #include "src/core/checkpoint.hpp"
 #include "src/core/trainer.hpp"
@@ -47,6 +48,11 @@ struct FtTrainerConfig {
   bool compress = true;
   std::size_t total_iterations = 100;  ///< sizes the adaptive schedule.
   AdaptiveScheduleParams schedule{};
+  /// Worker threads for the parallel compression engine. 0 = serial
+  /// (compress inline on the training thread). Any value produces
+  /// bit-identical training trajectories and checkpoints — parallelism
+  /// only changes wall-clock time.
+  std::size_t engine_threads = 0;
 };
 
 class FaultTolerantTrainer {
@@ -92,6 +98,7 @@ class FaultTolerantTrainer {
   comm::Communicator comm_;
   optim::StepLr lr_;
   AdaptiveSchedule schedule_;
+  compress::CompressionEngine engine_;  ///< shared by whichever optimizer.
   std::unique_ptr<optim::DistSgd> sgd_;
   std::unique_ptr<optim::DistKfac> kfac_;
   std::unique_ptr<comm::FaultInjector> injector_;

@@ -67,12 +67,12 @@ DistKfac::DistKfac(DistKfacConfig config, comm::Communicator& comm,
   }
 }
 
-void DistKfac::exchange_covariances(std::vector<Tensor>& local,
-                                    tensor::Rng& rng) {
+void DistKfac::exchange_covariances(
+    std::vector<Tensor>& local, const std::vector<compress::Bytes>* send) {
   const std::size_t world = comm_.world_size();
   const std::size_t active = comm_.active_count();
   const std::size_t lead = comm_.first_active_rank();
-  if (factor_compressor_ == nullptr) {
+  if (send == nullptr) {
     std::vector<std::span<float>> views;
     views.reserve(world);
     for (auto& t : local) views.push_back(t.span());
@@ -81,40 +81,48 @@ void DistKfac::exchange_covariances(std::vector<Tensor>& local,
     if (lead != 0) local[0] = local[lead];
     return;
   }
-  // Compressed path (§7): each rank compresses its local covariance, the
-  // payloads are all-gathered, every rank decompresses and averages.
-  // Payloads are compressed once; a retry re-sends the same bytes.
+  // Compressed path (§7): the per-rank payloads arrive pre-compressed
+  // (the engine compressed them while earlier layers were exchanging);
+  // a retry re-sends the same bytes.
   const std::size_t n = local[lead].size();
-  std::vector<std::vector<std::uint8_t>> send(world);
-  for (std::size_t r = 0; r < world; ++r) {
-    if (!comm_.is_active(r)) continue;
-    send[r] = factor_compressor_->compress(local[r].span(), rng);
-    factor_orig_bytes_ += n * sizeof(float);
-    factor_comp_bytes_ += send[r].size();
-  }
   const std::size_t attempts =
       policy_.enabled ? policy_.max_decode_retries + 1 : 1;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     std::vector<std::vector<std::uint8_t>> recv;
-    comm_.allgatherv(send, recv);
+    comm_.allgatherv(*send, recv);
     try {
-      Tensor avg(local[lead]);
-      avg.fill(0.0F);
       // Decode from the *received* stream (sliced by the known send
       // sizes), so transport corruption reaches the validation layer.
+      // Per-rank decodes run as one engine batch; the average is
+      // accumulated on this thread in rank order (deterministic float
+      // sum).
       const compress::ByteView gathered(recv[lead]);
+      decode_bufs_.resize(world);
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(active);
       std::size_t off = 0;
       for (std::size_t r = 0; r < world; ++r) {
         if (!comm_.is_active(r)) continue;
-        if (send[r].size() > gathered.size() - off) {
+        if ((*send)[r].size() > gathered.size() - off) {
           throw PayloadError("DistKfac: gathered stream truncated");
         }
-        const auto rec = factor_compressor_->decompress(
-            gathered.subspan(off, send[r].size()));
-        off += send[r].size();
-        if (rec.size() != n) {
-          throw PayloadError("DistKfac: factor decompress size mismatch");
-        }
+        const compress::ByteView slice =
+            gathered.subspan(off, (*send)[r].size());
+        off += (*send)[r].size();
+        jobs.push_back([this, slice, r, n] {
+          auto& buf = decode_bufs_[r];
+          factor_compressor_->decompress_into(slice, buf);
+          if (buf.size() != n) {
+            throw PayloadError("DistKfac: factor decompress size mismatch");
+          }
+        });
+      }
+      engine().run_batch(std::move(jobs));
+      Tensor avg(local[lead]);
+      avg.fill(0.0F);
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_active(r)) continue;
+        const auto& rec = decode_bufs_[r];
         for (std::size_t i = 0; i < n; ++i) {
           avg[i] += rec[i] / static_cast<float>(active);
         }
@@ -129,7 +137,8 @@ void DistKfac::exchange_covariances(std::vector<Tensor>& local,
       }
       ++comm_.recovery().decode_failures;
       ++comm_.recovery().fallback_steps;
-      // Fallback: plain allreduce of the raw covariances.
+      // Fallback: plain allreduce of the raw covariances (untouched by
+      // the compressed attempt).
       std::vector<std::span<float>> views;
       views.reserve(world);
       for (auto& t : local) views.push_back(t.span());
@@ -144,7 +153,8 @@ void DistKfac::exchange_covariances(std::vector<Tensor>& local,
 std::vector<std::vector<std::uint8_t>> DistKfac::build_gather_payloads(
     const std::vector<Tensor>& preconditioned,
     const std::vector<std::vector<std::size_t>>& owned,
-    const compress::GradientCompressor* compressor, tensor::Rng& rng) {
+    const compress::GradientCompressor* compressor,
+    std::uint64_t step_seed) {
   const std::size_t world = comm_.world_size();
   const std::size_t m = std::max<std::size_t>(cfg_.aggregation, 1);
   auto append_u64 = [](std::vector<std::uint8_t>& buf, std::uint64_t v) {
@@ -152,41 +162,80 @@ std::vector<std::vector<std::uint8_t>> DistKfac::build_gather_payloads(
       buf.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
     }
   };
-  std::vector<std::vector<std::uint8_t>> send(world);
+
+  // Pass 1 (serial): carve the owned layers into aggregation groups and
+  // concatenate each group's preconditioned gradients into its reusable
+  // buffer.
+  struct Group {
+    std::size_t rank;
+    std::size_t first;  ///< index into owned[rank]
+    std::size_t count;
+  };
+  std::vector<Group> groups;
   for (std::size_t r = 0; r < world; ++r) {
     for (std::size_t i = 0; i < owned[r].size(); i += m) {
-      const std::size_t group_end = std::min(i + m, owned[r].size());
-      std::vector<float> concat;
-      for (std::size_t j = i; j < group_end; ++j) {
-        const auto& k = preconditioned[owned[r][j]];
-        concat.insert(concat.end(), k.span().begin(), k.span().end());
-      }
-      const auto payload =
-          compressor != nullptr
-              ? compressor->compress(concat, rng)
-              : [&] {
-                  compress::Bytes raw(concat.size() * sizeof(float));
-                  if (!raw.empty()) {
-                    std::memcpy(raw.data(), concat.data(), raw.size());
-                  }
-                  return raw;
-                }();
-      auto& buf = send[r];
-      append_u64(buf, group_end - i);
-      for (std::size_t j = i; j < group_end; ++j) {
-        append_u64(buf, owned[r][j]);
-      }
-      append_u64(buf, payload.size());
-      buf.insert(buf.end(), payload.begin(), payload.end());
-      comp_bytes_ += payload.size();
+      groups.push_back({r, i, std::min(i + m, owned[r].size()) - i});
     }
+  }
+  if (group_concat_.size() < groups.size()) group_concat_.resize(groups.size());
+  if (group_payloads_.size() < groups.size()) {
+    group_payloads_.resize(groups.size());
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    auto& concat = group_concat_[g];
+    concat.clear();
+    for (std::size_t j = 0; j < groups[g].count; ++j) {
+      const auto& k =
+          preconditioned[owned[groups[g].rank][groups[g].first + j]];
+      concat.insert(concat.end(), k.span().begin(), k.span().end());
+    }
+  }
+
+  // Pass 2: compress every group as one engine batch (parallel across
+  // groups when a pool is attached). Stream ids are claimed serially
+  // before the batch runs, so they depend only on group order.
+  if (compressor != nullptr) {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const std::uint64_t tid = task_counter_++;
+      jobs.push_back([this, compressor, step_seed, tid, g] {
+        tensor::Rng task_rng =
+            compress::CompressionEngine::task_rng(step_seed, tid);
+        compressor->compress_into(group_concat_[g], task_rng,
+                                  group_payloads_[g]);
+      });
+    }
+    engine().run_batch(std::move(jobs));
+  } else {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& concat = group_concat_[g];
+      auto& raw = group_payloads_[g];
+      raw.resize(concat.size() * sizeof(float));
+      if (!raw.empty()) std::memcpy(raw.data(), concat.data(), raw.size());
+    }
+  }
+
+  // Pass 3 (serial): frame the payloads into the per-rank send buffers.
+  std::vector<std::vector<std::uint8_t>> send(world);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const Group& grp = groups[g];
+    const auto& payload = group_payloads_[g];
+    auto& buf = send[grp.rank];
+    append_u64(buf, grp.count);
+    for (std::size_t j = 0; j < grp.count; ++j) {
+      append_u64(buf, owned[grp.rank][grp.first + j]);
+    }
+    append_u64(buf, payload.size());
+    buf.insert(buf.end(), payload.begin(), payload.end());
+    comp_bytes_ += payload.size();
   }
   return send;
 }
 
 void DistKfac::decode_gathered(
     const std::vector<std::uint8_t>& buf, std::vector<Tensor>& preconditioned,
-    const compress::GradientCompressor* compressor) const {
+    const compress::GradientCompressor* compressor) {
   std::size_t pos = 0;
   auto read_u64 = [&](std::size_t at) {
     std::uint64_t v = 0;
@@ -196,6 +245,14 @@ void DistKfac::decode_gathered(
     }
     return v;
   };
+  // Pass 1 (serial): parse and validate every group's framing before any
+  // payload is touched — hostile framing never reaches the decoder pool.
+  struct Group {
+    std::vector<std::size_t> sids;
+    std::span<const std::uint8_t> payload;
+    std::size_t elems = 0;
+  };
+  std::vector<Group> groups;
   std::vector<std::uint8_t> seen(preconditioned.size(), 0);
   while (pos + 8 <= buf.size()) {
     const std::uint64_t n = read_u64(pos);
@@ -203,50 +260,70 @@ void DistKfac::decode_gathered(
     if (n > preconditioned.size() || pos + 8 * n + 8 > buf.size()) {
       throw PayloadError("DistKfac: corrupt allgather framing");
     }
-    std::vector<std::size_t> sids(n);
-    std::size_t group_elems = 0;
+    Group grp;
+    grp.sids.resize(n);
     for (std::uint64_t j = 0; j < n; ++j) {
-      sids[j] = read_u64(pos);
+      grp.sids[j] = read_u64(pos);
       pos += 8;
-      if (sids[j] >= preconditioned.size() || seen[sids[j]] != 0) {
+      if (grp.sids[j] >= preconditioned.size() || seen[grp.sids[j]] != 0) {
         throw PayloadError("DistKfac: bad layer id in payload");
       }
-      seen[sids[j]] = 1;
-      group_elems += preconditioned[sids[j]].size();
+      seen[grp.sids[j]] = 1;
+      grp.elems += preconditioned[grp.sids[j]].size();
     }
     const std::uint64_t psize = read_u64(pos);
     pos += 8;
     if (psize > buf.size() || pos + psize > buf.size()) {
       throw PayloadError("DistKfac: corrupt allgather payload");
     }
-    const std::span<const std::uint8_t> payload(buf.data() + pos, psize);
+    grp.payload = std::span<const std::uint8_t>(buf.data() + pos, psize);
     pos += psize;
-    std::vector<float> values;
-    if (compressor != nullptr) {
-      values = compressor->decompress(payload);
-    } else {
-      if (psize % sizeof(float) != 0) {
+    groups.push_back(std::move(grp));
+  }
+  if (pos != buf.size()) {
+    throw PayloadError("DistKfac: trailing bytes in gathered stream");
+  }
+  // Pass 2: decompress every group as one engine batch. Any payload
+  // damage throws PayloadError from the batch barrier.
+  if (group_values_.size() < groups.size()) {
+    group_values_.resize(groups.size());
+  }
+  if (compressor != nullptr) {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      jobs.push_back([this, compressor, payload = groups[g].payload, g] {
+        compressor->decompress_into(payload, group_values_[g]);
+      });
+    }
+    engine().run_batch(std::move(jobs));
+  } else {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto payload = groups[g].payload;
+      if (payload.size() % sizeof(float) != 0) {
         throw PayloadError("DistKfac: raw payload not float-aligned");
       }
-      values.resize(psize / sizeof(float));
-      if (psize > 0) {
-        std::memcpy(values.data(), payload.data(), psize);
+      auto& values = group_values_[g];
+      values.resize(payload.size() / sizeof(float));
+      if (!payload.empty()) {
+        std::memcpy(values.data(), payload.data(), payload.size());
       }
     }
-    if (values.size() != group_elems) {
+  }
+  // Pass 3 (serial): size checks + scatter into the layer tensors.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& values = group_values_[g];
+    if (values.size() != groups[g].elems) {
       throw PayloadError("DistKfac: decompressed size mismatch");
     }
     std::size_t off = 0;
-    for (std::size_t sid : sids) {
+    for (std::size_t sid : groups[g].sids) {
       Tensor& k = preconditioned[sid];
       std::copy(values.begin() + static_cast<std::ptrdiff_t>(off),
                 values.begin() + static_cast<std::ptrdiff_t>(off + k.size()),
                 k.data());
       off += k.size();
     }
-  }
-  if (pos != buf.size()) {
-    throw PayloadError("DistKfac: trailing bytes in gathered stream");
   }
   // A dropped allgatherv entry leaves a well-formed shorter stream; the
   // coverage check is what turns "my owner's group never arrived" into a
@@ -264,15 +341,32 @@ void DistKfac::step(std::size_t iteration, double lr,
   const std::size_t world = comm_.world_size();
   const std::size_t active = comm_.active_count();
   const std::size_t lead = comm_.first_active_rank();
+  const std::size_t slots = layer_indices_.size();
   factor_orig_bytes_ = 0;
   factor_comp_bytes_ = 0;
+  auto& eng = engine();
+  eng.wait_all();  // reap any tickets left by a previous failed step.
+  task_counter_ = 0;
+  // Exactly one main-stream draw per step when any compressor is
+  // attached; every compression job derives its own Rng from this seed
+  // and a submission-ordered task id, so the main stream's draw count is
+  // independent of faults, retries, degradation, and engine threading.
+  const std::uint64_t step_seed =
+      (compressor != nullptr || factor_compressor_ != nullptr) ? rng() : 0;
 
-  // --- 1+2: covariance computation and factor allreduce (steps 1-2).
-  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+  // --- 1: local covariances for every layer upfront (evicted ranks
+  // contribute zero tensors of the right shape so the collective's slot
+  // layout stays intact).
+  if (cov_a_.size() < slots) {
+    cov_a_.resize(slots);
+    cov_g_.resize(slots);
+  }
+  for (std::size_t s = 0; s < slots; ++s) {
     const std::size_t li = layer_indices_[s];
-    // Per-rank local covariances (evicted ranks contribute zero tensors of
-    // the right shape so the collective's slot layout stays intact).
-    std::vector<Tensor> local_a(world), local_g(world);
+    auto& local_a = cov_a_[s];
+    auto& local_g = cov_g_[s];
+    local_a.resize(world);
+    local_g.resize(world);
     std::size_t shape_a = 0, shape_g = 0;
     for (std::size_t r = 0; r < world; ++r) {
       if (!comm_.is_active(r)) continue;
@@ -290,15 +384,85 @@ void DistKfac::step(std::size_t iteration, double lr,
     }
     for (std::size_t r = 0; r < world; ++r) {
       if (comm_.is_active(r)) continue;
+      // allreduce_sum overwrites every view with the sum, so inactive
+      // slots must be re-zeroed every step even when the tensor is
+      // reused.
       local_a[r] = Tensor({shape_a, shape_a});
       local_g[r] = Tensor({shape_g, shape_g});
     }
-    // Exchange and average the factors every rank must agree on.
-    exchange_covariances(local_a, rng);
-    exchange_covariances(local_g, rng);
-    // Blend into the shared running-average state. (All ranks hold the
-    // same state after the allreduce; the simulator stores it once.)
-    states_[s]->blend_factors(local_a[0], local_g[0], cfg_.stat_decay);
+  }
+
+  // --- 2: factor exchange. With a factor compressor attached, all
+  // layers' payloads are submitted to the engine before the first
+  // collective starts, so layer s+1 compresses while layer s exchanges
+  // (§4.4 overlap). Task ids are claimed here, in slot order, a before
+  // g, active ranks ascending — the deterministic stream schedule.
+  std::vector<std::vector<compress::CompressionEngine::Ticket>> cov_tickets(
+      slots);
+  if (factor_compressor_ != nullptr) {
+    if (factor_send_a_.size() < slots) {
+      factor_send_a_.resize(slots);
+      factor_send_g_.resize(slots);
+    }
+    for (std::size_t s = 0; s < slots; ++s) {
+      factor_send_a_[s].resize(world);
+      factor_send_g_[s].resize(world);
+      for (std::size_t r = 0; r < world; ++r) {
+        factor_send_a_[s][r].clear();
+        factor_send_g_[s][r].clear();
+      }
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_active(r)) continue;
+        const std::uint64_t tid = task_counter_++;
+        cov_tickets[s].push_back(eng.submit([this, s, r, step_seed, tid] {
+          tensor::Rng task_rng =
+              compress::CompressionEngine::task_rng(step_seed, tid);
+          factor_compressor_->compress_into(cov_a_[s][r].span(), task_rng,
+                                            factor_send_a_[s][r]);
+        }));
+      }
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_active(r)) continue;
+        const std::uint64_t tid = task_counter_++;
+        cov_tickets[s].push_back(eng.submit([this, s, r, step_seed, tid] {
+          tensor::Rng task_rng =
+              compress::CompressionEngine::task_rng(step_seed, tid);
+          factor_compressor_->compress_into(cov_g_[s][r].span(), task_rng,
+                                            factor_send_g_[s][r]);
+        }));
+      }
+    }
+  }
+  try {
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (factor_compressor_ != nullptr) {
+        for (auto t : cov_tickets[s]) eng.wait(t);
+        for (std::size_t r = 0; r < world; ++r) {
+          if (!comm_.is_active(r)) continue;
+          factor_orig_bytes_ +=
+              (cov_a_[s][r].size() + cov_g_[s][r].size()) * sizeof(float);
+          factor_comp_bytes_ +=
+              factor_send_a_[s][r].size() + factor_send_g_[s][r].size();
+        }
+        exchange_covariances(cov_a_[s], &factor_send_a_[s]);
+        exchange_covariances(cov_g_[s], &factor_send_g_[s]);
+      } else {
+        exchange_covariances(cov_a_[s], nullptr);
+        exchange_covariances(cov_g_[s], nullptr);
+      }
+      // Blend into the shared running-average state. (All ranks hold the
+      // same state after the exchange; the simulator stores it once.)
+      states_[s]->blend_factors(cov_a_[s][0], cov_g_[s][0], cfg_.stat_decay);
+    }
+  } catch (...) {
+    // Outstanding tickets for later slots capture `this`; reap them
+    // before the exception can unwind past our owner. Their own errors
+    // must not mask the original exception.
+    try {
+      eng.wait_all();
+    } catch (...) {
+    }
+    throw;
   }
 
   // --- 2b: gradient allreduce (data-parallel average of SGD gradients).
@@ -358,7 +522,8 @@ void DistKfac::step(std::size_t iteration, double lr,
   }
   const compress::GradientCompressor* gather_comp =
       gather_degraded_ != 0 ? nullptr : compressor;
-  auto send = build_gather_payloads(preconditioned, owned, gather_comp, rng);
+  auto send =
+      build_gather_payloads(preconditioned, owned, gather_comp, step_seed);
 
   // --- decode on every rank (identical bytes -> identical updates).
   // Decode once from the first active rank's stream and apply everywhere.
@@ -395,7 +560,7 @@ void DistKfac::step(std::size_t iteration, double lr,
     // (framing damage would surface as PayloadError on the retried
     // collective, but injector events are one-shot, so this is clean).
     comp_bytes_ = 0;
-    send = build_gather_payloads(preconditioned, owned, nullptr, rng);
+    send = build_gather_payloads(preconditioned, owned, nullptr, step_seed);
     std::vector<std::vector<std::uint8_t>> recv;
     comm_.allgatherv(send, recv);
     decode_gathered(recv[lead], preconditioned, nullptr);

@@ -18,6 +18,7 @@
 
 #include "src/codec/wire.hpp"
 #include "src/comm/communicator.hpp"
+#include "src/compress/compression_engine.hpp"
 #include "src/compress/compressor.hpp"
 #include "src/nn/model.hpp"
 #include "src/optim/kfac.hpp"
@@ -63,6 +64,16 @@ class DistKfac {
   /// allgather (for compression-ratio reporting).
   std::uint64_t last_original_bytes() const noexcept { return orig_bytes_; }
   std::uint64_t last_compressed_bytes() const noexcept { return comp_bytes_; }
+
+  /// Attaches a parallel compression engine: factor and gather-group
+  /// compression jobs run on its pool while this thread drives the
+  /// collectives (compute/communication overlap, §4.4). Pass nullptr for
+  /// the built-in serial engine. Output is bit-identical either way: each
+  /// job draws from a counter-derived Rng stream, never from the step
+  /// generator.
+  void set_engine(compress::CompressionEngine* engine) noexcept {
+    engine_ = engine;
+  }
 
   /// Enables factor (A/G) compression for the covariance exchange (§7
   /// future work). Pass nullptr to disable (default: plain allreduce).
@@ -118,23 +129,51 @@ class DistKfac {
   std::uint8_t gather_degraded_ = 0;     ///< gather permanently uncompressed.
   std::uint32_t gather_failures_ = 0;    ///< consecutive failed steps.
 
-  /// Exchanges per-rank covariance contributions: plain allreduce, or the
-  /// compressed allgatherv path when a factor compressor is set. On
-  /// return, the first active entry of `local` holds the rank average.
-  void exchange_covariances(std::vector<Tensor>& local, tensor::Rng& rng);
+  compress::CompressionEngine* engine_ = nullptr;
+  compress::CompressionEngine serial_engine_{0};  ///< inline fallback.
+  /// Per-step task counter: every compression job's Rng stream id,
+  /// assigned in deterministic submission order (see step()).
+  std::uint64_t task_counter_ = 0;
+  // Per-step workspaces (persistent so steady-state steps reuse
+  // capacity): covariances + factor payloads indexed [slot][rank], decode
+  // buffers indexed [rank], gather-group buffers indexed [group].
+  std::vector<std::vector<Tensor>> cov_a_;
+  std::vector<std::vector<Tensor>> cov_g_;
+  std::vector<std::vector<compress::Bytes>> factor_send_a_;
+  std::vector<std::vector<compress::Bytes>> factor_send_g_;
+  std::vector<std::vector<float>> decode_bufs_;
+  std::vector<std::vector<float>> group_concat_;
+  std::vector<compress::Bytes> group_payloads_;
+  std::vector<std::vector<float>> group_values_;
+
+  compress::CompressionEngine& engine() noexcept {
+    return engine_ ? *engine_ : serial_engine_;
+  }
+
+  /// Exchanges per-rank covariance contributions: plain allreduce when
+  /// `send` is null, else the compressed allgatherv path using the
+  /// pre-compressed per-rank payloads. On return, the first active entry
+  /// of `local` holds the rank average.
+  void exchange_covariances(std::vector<Tensor>& local,
+                            const std::vector<compress::Bytes>* send);
 
   /// Builds the per-owner send buffers for the preconditioned-gradient
-  /// allgatherv ([u64 n][u64 sid x n][u64 psize][payload] groups).
+  /// allgatherv ([u64 n][u64 sid x n][u64 psize][payload] groups). Group
+  /// compressions run as one engine batch, each on its own
+  /// counter-derived Rng stream.
   std::vector<std::vector<std::uint8_t>> build_gather_payloads(
       const std::vector<Tensor>& preconditioned,
       const std::vector<std::vector<std::size_t>>& owned,
-      const compress::GradientCompressor* compressor, tensor::Rng& rng);
+      const compress::GradientCompressor* compressor,
+      std::uint64_t step_seed);
 
   /// Decodes one gathered stream into `preconditioned` (throws
-  /// PayloadError on any framing or payload damage).
+  /// PayloadError on any framing or payload damage). Framing is parsed
+  /// and validated serially; group decompressions run as one engine
+  /// batch.
   void decode_gathered(const std::vector<std::uint8_t>& buf,
                        std::vector<Tensor>& preconditioned,
-                       const compress::GradientCompressor* compressor) const;
+                       const compress::GradientCompressor* compressor);
 };
 
 }  // namespace compso::optim

@@ -7,15 +7,14 @@
 namespace compso::optim {
 namespace {
 
-/// Flattens a layer's [W | b] gradient into one vector.
-std::vector<float> flat_gradient(nn::Layer& layer) {
+/// Flattens a layer's [W | b] gradient into a reusable vector.
+void flat_gradient_into(nn::Layer& layer, std::vector<float>& out) {
   auto* wg = layer.weight_grad();
   auto* bg = layer.bias_grad();
-  std::vector<float> out(wg->size() + bg->size());
+  out.resize(wg->size() + bg->size());
   std::copy(wg->span().begin(), wg->span().end(), out.begin());
   std::copy(bg->span().begin(), bg->span().end(),
             out.begin() + static_cast<std::ptrdiff_t>(wg->size()));
-  return out;
 }
 
 void apply_flat_update(nn::Layer& layer, std::span<const float> update,
@@ -75,32 +74,11 @@ DistSgd::DistSgd(DistSgdConfig config, comm::Communicator& comm,
 }
 
 bool DistSgd::compressed_average(
-    std::size_t slot, const std::vector<std::vector<float>>& grads,
-    const compress::GradientCompressor& compressor, tensor::Rng& rng,
+    std::size_t slot, std::size_t n, const std::vector<compress::Bytes>& send,
+    const compress::GradientCompressor& compressor,
     std::vector<float>& averaged) {
   const std::size_t world = comm_.world_size();
   const std::size_t active = comm_.active_count();
-  const std::size_t n = averaged.size();
-
-  // Compress once per active rank (with optional error feedback); retries
-  // re-send these exact payloads, so the Rng stream — and therefore the
-  // training trajectory — is identical to a fault-free run.
-  std::vector<std::vector<std::uint8_t>> send(world);
-  for (std::size_t r = 0; r < world; ++r) {
-    if (!comm_.is_active(r)) continue;
-    auto& res = residual_[r][slot];
-    std::vector<float> to_send = grads[r];
-    if (cfg_.error_feedback) {
-      if (res.size() != n) res.assign(n, 0.0F);
-      for (std::size_t i = 0; i < n; ++i) to_send[i] += res[i];
-    }
-    send[r] = compressor.compress(to_send, rng);
-    if (cfg_.error_feedback) {
-      const auto rec = compressor.decompress(send[r]);
-      for (std::size_t i = 0; i < n; ++i) res[i] = to_send[i] - rec[i];
-    }
-    comp_bytes_ += send[r].size();
-  }
 
   const std::size_t attempts =
       policy_.enabled ? policy_.max_decode_retries + 1 : 1;
@@ -110,26 +88,38 @@ bool DistSgd::compressed_average(
     try {
       // Every rank decodes the same concatenation; decode once — from the
       // *received* stream (sliced by the known send sizes), so transport
-      // corruption actually reaches the payload validation layer.
-      std::vector<float> sum(n, 0.0F);
+      // corruption actually reaches the payload validation layer. The
+      // per-rank decodes are independent, so they run as one engine batch
+      // (parallel when a pool is attached); accumulation stays on this
+      // thread in rank order, keeping the float sum deterministic.
       const compress::ByteView gathered(recv[comm_.first_active_rank()]);
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(active);
       std::size_t off = 0;
       for (std::size_t r = 0; r < world; ++r) {
         if (!comm_.is_active(r)) continue;
         if (send[r].size() > gathered.size() - off) {
           throw PayloadError("DistSgd: gathered stream truncated");
         }
-        const auto rec =
-            compressor.decompress(gathered.subspan(off, send[r].size()));
+        const compress::ByteView slice = gathered.subspan(off, send[r].size());
         off += send[r].size();
-        if (rec.size() != n) {
-          throw PayloadError("DistSgd: decompressed size mismatch");
-        }
+        jobs.push_back([this, &compressor, slice, r, n] {
+          auto& buf = decode_bufs_[r];
+          compressor.decompress_into(slice, buf);
+          if (buf.size() != n) {
+            throw PayloadError("DistSgd: decompressed size mismatch");
+          }
+        });
+      }
+      engine().run_batch(std::move(jobs));
+      averaged.assign(n, 0.0F);
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_active(r)) continue;
+        const auto& rec = decode_bufs_[r];
         for (std::size_t i = 0; i < n; ++i) {
-          sum[i] += rec[i] / static_cast<float>(active);
+          averaged[i] += rec[i] / static_cast<float>(active);
         }
       }
-      averaged = std::move(sum);
       consecutive_failures_[slot] = 0;
       return true;
     } catch (const PayloadError&) {
@@ -154,47 +144,116 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
                    tensor::Rng& rng) {
   const std::size_t world = comm_.world_size();
   const std::size_t active = comm_.active_count();
+  const std::size_t slots = layer_indices_.size();
   orig_bytes_ = 0;
   comp_bytes_ = 0;
+  compress::CompressionEngine& eng = engine();
+  eng.wait_all();  // reap any jobs a previous exceptional step left behind
 
-  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+  // One draw from the step generator seeds every compression job's
+  // private stream (CompressionEngine::task_rng). The draw count per step
+  // is therefore fixed (1 with a compressor, 0 without) no matter which
+  // layers end up degraded, non-finite or evicted — which is what keeps
+  // checkpoint/resume and fault/clean runs bit-exact, and what makes the
+  // parallel engine's output identical to the serial one.
+  const std::uint64_t step_seed = compressor != nullptr ? rng() : 0;
+
+  step_grads_.resize(slots);
+  send_payloads_.resize(slots);
+  decode_bufs_.resize(world);
+
+  // Phase 1: snapshot every layer's [W|b] gradient and decide its path.
+  std::vector<std::size_t> layer_n(slots, 0);
+  std::vector<std::uint8_t> use_comp(slots, 0);
+  for (std::size_t s = 0; s < slots; ++s) {
     const std::size_t li = layer_indices_[s];
-    std::vector<std::vector<float>> grads(world);
-    std::size_t n = 0;
+    step_grads_[s].resize(world);
+    send_payloads_[s].resize(world);
+    bool grads_finite = true;
     for (std::size_t r = 0; r < world; ++r) {
       if (!comm_.is_active(r)) continue;
-      grads[r] = flat_gradient(replicas_[r]->layer(li));
-      n = grads[r].size();
+      flat_gradient_into(replicas_[r]->layer(li), step_grads_[s][r]);
+      layer_n[s] = step_grads_[s][r].size();
+      // A non-finite local gradient must not enter the compressor (NaN
+      // through quantization is undefined); route it through the raw
+      // allreduce so the post-average guard below sees it as NaN and
+      // handles it as policy says.
+      grads_finite = grads_finite && all_finite(step_grads_[s][r]);
     }
-    orig_bytes_ += active * n * sizeof(float);
+    orig_bytes_ += active * layer_n[s] * sizeof(float);
+    use_comp[s] =
+        compressor != nullptr && degraded_[s] == 0 && grads_finite ? 1 : 0;
+  }
 
-    std::vector<float> averaged(n, 0.0F);
-    // A non-finite local gradient must not enter the compressor (NaN through
-    // quantization is undefined); route it through the raw allreduce so the
-    // post-average guard below sees it as NaN and handles it as policy says.
-    bool grads_finite = true;
-    for (std::size_t r = 0; r < world && grads_finite; ++r) {
-      if (comm_.is_active(r)) grads_finite = all_finite(grads[r]);
+  // Phase 2: submit every layer's compression jobs up front. While the
+  // loop below drives layer s's collective + decode on this thread, the
+  // engine's workers compress layers s+1..N — the host-side analogue of
+  // the paper's compression/communication overlap. Task ids are
+  // slot * world + rank: fixed by (slot, rank) alone, so eviction or
+  // degradation of one layer never shifts another task's Rng stream.
+  std::vector<std::vector<compress::CompressionEngine::Ticket>> tickets(
+      slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (!use_comp[s]) continue;
+    tickets[s].assign(world, 0);
+    for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_active(r)) continue;
+      const std::size_t n = layer_n[s];
+      tickets[s][r] = eng.submit([this, compressor, step_seed, s, r, n,
+                                  world] {
+        tensor::Rng task_rng = compress::CompressionEngine::task_rng(
+            step_seed, static_cast<std::uint64_t>(s) * world + r);
+        auto& res = residual_[r][s];
+        const std::vector<float>& grad = step_grads_[s][r];
+        // Compress once (with optional error feedback); retries re-send
+        // these exact payloads, so the training trajectory is identical
+        // to a fault-free run.
+        thread_local std::vector<float> to_send;
+        thread_local std::vector<float> rec;
+        to_send = grad;
+        if (cfg_.error_feedback) {
+          if (res.size() != n) res.assign(n, 0.0F);
+          for (std::size_t i = 0; i < n; ++i) to_send[i] += res[i];
+        }
+        compressor->compress_into(to_send, task_rng, send_payloads_[s][r]);
+        if (cfg_.error_feedback) {
+          compressor->decompress_into(send_payloads_[s][r], rec);
+          for (std::size_t i = 0; i < n; ++i) res[i] = to_send[i] - rec[i];
+        }
+      });
     }
-    const bool use_compressor =
-        compressor != nullptr && degraded_[s] == 0 && grads_finite;
+  }
+
+  // Phase 3: per layer in order — finish its compression, exchange,
+  // decode, update.
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::size_t li = layer_indices_[s];
+    const std::size_t n = layer_n[s];
+    std::vector<float> averaged(n, 0.0F);
     bool averaged_ok = false;
-    if (use_compressor) {
-      averaged_ok = compressed_average(s, grads, *compressor, rng, averaged);
+    if (use_comp[s]) {
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_active(r)) continue;
+        eng.wait(tickets[s][r]);
+        comp_bytes_ += send_payloads_[s][r].size();
+      }
+      averaged_ok =
+          compressed_average(s, n, send_payloads_[s], *compressor, averaged);
       if (!averaged_ok) ++comm_.recovery().fallback_steps;
     }
     if (!averaged_ok) {
       // Plain ring allreduce of the raw gradients — the primary path when
       // no compressor is attached, and the recovery fallback when decode
-      // retries were exhausted (grads are untouched by the compressed
-      // attempt, so the fallback reduces the exact local gradients).
+      // retries were exhausted (the snapshots are untouched by the
+      // compressed attempt, so the fallback reduces the exact local
+      // gradients).
       std::vector<std::span<float>> views;
       views.reserve(world);
-      for (auto& g : grads) views.push_back(g);
+      for (auto& g : step_grads_[s]) views.push_back(g);
       comm_.allreduce_sum(views);
       const std::size_t lead = comm_.first_active_rank();
       for (std::size_t i = 0; i < n; ++i) {
-        averaged[i] = grads[lead][i] / static_cast<float>(active);
+        averaged[i] = step_grads_[s][lead][i] / static_cast<float>(active);
       }
       comp_bytes_ += active * n * sizeof(float);
     }
@@ -206,10 +265,17 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
         ++comm_.recovery().nonfinite_skips;
         continue;  // skip this layer's update; momentum untouched
       }
+      try {
+        eng.wait_all();  // don't leave jobs running over thrown state
+      } catch (...) {
+        // the NonFiniteError below is the step's primary failure
+      }
       throw NonFiniteError("DistSgd: non-finite averaged gradient");
     }
 
-    // Momentum + identical update on every surviving replica.
+    // Momentum + identical update on every surviving replica. Weight
+    // updates never touch gradient buffers, so in-flight compression of
+    // later layers (reading its own snapshots) is unaffected.
     auto& vel = velocity_[s];
     if (vel.size() != n) vel.assign(n, 0.0F);
     for (std::size_t i = 0; i < n; ++i) {
@@ -220,6 +286,7 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
       apply_flat_update(replicas_[r]->layer(li), vel, lr);
     }
   }
+  eng.wait_all();  // all tickets were waited above; this recycles the table
 }
 
 void DistSgd::save_state(std::vector<std::uint8_t>& out) const {

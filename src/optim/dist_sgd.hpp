@@ -16,6 +16,7 @@
 
 #include "src/codec/wire.hpp"
 #include "src/comm/communicator.hpp"
+#include "src/compress/compression_engine.hpp"
 #include "src/compress/compressor.hpp"
 #include "src/nn/model.hpp"
 #include "src/optim/recovery.hpp"
@@ -37,6 +38,16 @@ class DistSgd {
   /// One step after every rank ran forward/backward on its local batch.
   void step(double lr, const compress::GradientCompressor* compressor,
             tensor::Rng& rng);
+
+  /// Attaches a parallel compression engine: layer compression jobs run on
+  /// its pool while the optimizer thread drives layer i's collective and
+  /// decode (compute/communication overlap, §4.4). Pass nullptr to return
+  /// to the built-in serial engine. Output is bit-identical either way —
+  /// every compression job draws from its own counter-derived Rng stream
+  /// (CompressionEngine::task_rng), never from the shared step generator.
+  void set_engine(compress::CompressionEngine* engine) noexcept {
+    engine_ = engine;
+  }
 
   void set_recovery(const RecoveryPolicy& policy) noexcept {
     policy_ = policy;
@@ -70,12 +81,26 @@ class DistSgd {
   std::uint64_t orig_bytes_ = 0;
   std::uint64_t comp_bytes_ = 0;
 
-  /// Compressed exchange for one layer; returns false when every retry
-  /// failed and the caller must use the uncompressed fallback.
-  bool compressed_average(std::size_t slot,
-                          const std::vector<std::vector<float>>& grads,
+  compress::CompressionEngine* engine_ = nullptr;
+  compress::CompressionEngine serial_engine_{0};  ///< inline fallback.
+  // Per-step workspaces (persistent so steady-state steps reuse capacity):
+  // gradient snapshots and payloads indexed [slot][rank], decode buffers
+  // indexed [rank].
+  std::vector<std::vector<std::vector<float>>> step_grads_;
+  std::vector<std::vector<compress::Bytes>> send_payloads_;
+  std::vector<std::vector<float>> decode_bufs_;
+
+  compress::CompressionEngine& engine() noexcept {
+    return engine_ ? *engine_ : serial_engine_;
+  }
+
+  /// Exchange + decode of one layer's pre-compressed payloads; returns
+  /// false when every retry failed and the caller must use the
+  /// uncompressed fallback.
+  bool compressed_average(std::size_t slot, std::size_t n,
+                          const std::vector<compress::Bytes>& send,
                           const compress::GradientCompressor& compressor,
-                          tensor::Rng& rng, std::vector<float>& averaged);
+                          std::vector<float>& averaged);
 };
 
 }  // namespace compso::optim

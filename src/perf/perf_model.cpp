@@ -1,6 +1,7 @@
 #include "src/perf/perf_model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -176,6 +177,51 @@ std::vector<EncoderScore> score_encoders(
             [](const EncoderScore& a, const EncoderScore& b) {
               return a.est_total_time < b.est_total_time;
             });
+  return out;
+}
+
+HostThroughput measure_host_throughput(
+    const compress::GradientCompressor& compressor,
+    std::span<const float> values, std::uint64_t seed,
+    std::size_t repetitions) {
+  HostThroughput out;
+  out.repetitions = std::max<std::size_t>(repetitions, 1);
+  out.input_bytes = values.size() * sizeof(float);
+
+  compress::Bytes payload;
+  std::vector<float> decoded;
+  // Warm-up pass: page in the input and size the scratch buffers so the
+  // timed loop sees steady-state (allocation-free) behavior.
+  {
+    tensor::Rng rng(seed);
+    compressor.compress_into(values, rng, payload);
+    compressor.decompress_into(payload, decoded);
+  }
+  out.payload_bytes = payload.size();
+  out.compression_ratio =
+      payload.empty() ? 1.0
+                      : static_cast<double>(out.input_bytes) /
+                            static_cast<double>(payload.size());
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  for (std::size_t i = 0; i < out.repetitions; ++i) {
+    tensor::Rng rng(seed);  // identical stream -> identical payload.
+    compressor.compress_into(values, rng, payload);
+  }
+  const auto t1 = clock::now();
+  for (std::size_t i = 0; i < out.repetitions; ++i) {
+    compressor.decompress_into(payload, decoded);
+  }
+  const auto t2 = clock::now();
+
+  const double comp_s = std::chrono::duration<double>(t1 - t0).count();
+  const double decomp_s = std::chrono::duration<double>(t2 - t1).count();
+  const double reps = static_cast<double>(out.repetitions);
+  const double in_b = static_cast<double>(out.input_bytes);
+  const double dec_b = static_cast<double>(decoded.size() * sizeof(float));
+  out.compress_bytes_per_s = comp_s > 0.0 ? reps * in_b / comp_s : 1e18;
+  out.decompress_bytes_per_s = decomp_s > 0.0 ? reps * dec_b / decomp_s : 1e18;
   return out;
 }
 

@@ -120,4 +120,27 @@ std::vector<EncoderScore> score_encoders(
     const CommLookupTable& table,
     std::span<const codec::CodecKind> candidates = codec::kAllCodecKinds);
 
+/// Measured single-thread host throughput of a compressor on one input
+/// (wall-clock, not the gpusim model). This is the T_o / T_c pair Eq. 5
+/// wants when the decision is made for the host implementation itself —
+/// e.g. by bench/micro_compressor_throughput, which reports fused vs.
+/// unfused pipelines with exactly these numbers.
+struct HostThroughput {
+  double compress_bytes_per_s = 0.0;    ///< input bytes / compress second.
+  double decompress_bytes_per_s = 0.0;  ///< output bytes / decompress second.
+  double compression_ratio = 1.0;       ///< input bytes / payload bytes.
+  std::size_t input_bytes = 0;
+  std::size_t payload_bytes = 0;
+  std::size_t repetitions = 0;
+};
+
+/// Times `compressor` on `values` for `repetitions` compress and
+/// decompress calls (scratch-reusing *_into entry points, steady-state
+/// behavior). The Rng is re-seeded per repetition so every payload is
+/// bit-identical; throughputs are averages over all repetitions.
+HostThroughput measure_host_throughput(
+    const compress::GradientCompressor& compressor,
+    std::span<const float> values, std::uint64_t seed,
+    std::size_t repetitions = 8);
+
 }  // namespace compso::perf

@@ -25,9 +25,17 @@ void BitWriter::write(std::uint64_t value, unsigned bits) {
   }
 }
 
+void BitWriter::reserve(std::size_t bits) {
+  bytes_.reserve(bytes_.size() + (bits + 7) / 8);
+}
+
 std::vector<std::uint8_t> BitWriter::take() {
-  std::vector<std::uint8_t> out = bytes_;
-  if (acc_bits_ > 0) out.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+  if (acc_bits_ > 0) bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+  std::vector<std::uint8_t> out = std::move(bytes_);
+  bytes_.clear();
+  acc_ = 0;
+  acc_bits_ = 0;
+  bit_count_ = 0;
   return out;
 }
 
@@ -68,6 +76,7 @@ unsigned required_bits(std::span<const std::int64_t> codes) noexcept {
 std::vector<std::uint8_t> pack_codes(std::span<const std::int64_t> codes,
                                      unsigned bits) {
   BitWriter w;
+  w.reserve(codes.size() * bits);  // exact final size, no re-growth
   for (std::int64_t c : codes) w.write(zigzag_encode(c), bits);
   return w.take();
 }

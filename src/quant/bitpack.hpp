@@ -15,10 +15,14 @@ namespace compso::quant {
 /// Append-only bit stream writer (LSB-first within each byte).
 class BitWriter {
  public:
+  /// Pre-sizes the byte buffer for `bits` further bits (no reallocation
+  /// while writing up to that many).
+  void reserve(std::size_t bits);
   /// Writes the low `bits` bits of `value` (bits in [1, 64]).
   void write(std::uint64_t value, unsigned bits);
-  /// Flushes and returns the byte buffer (writer remains usable: the
-  /// returned copy reflects all writes so far).
+  /// Flushes and MOVES the byte buffer out; the writer resets to empty.
+  /// (Historically this copied, leaving the writer usable — every caller
+  /// took exactly once, so the copy was pure waste on the hot path.)
   std::vector<std::uint8_t> take();
   std::size_t bit_count() const noexcept { return bit_count_; }
 

@@ -2,6 +2,7 @@
 
 #include "src/tensor/stats.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -27,6 +28,23 @@ FilterResult apply_filter(std::span<const float> values,
     }
   }
   return out;
+}
+
+std::size_t bitmap_count_set(std::span<const std::uint8_t> bm,
+                             std::size_t total_bits) noexcept {
+  const std::size_t full_bytes = total_bits / 8;
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < full_bytes; ++b) {
+    count += static_cast<std::size_t>(std::popcount(bm[b]));
+  }
+  const unsigned tail_bits = static_cast<unsigned>(total_bits % 8);
+  if (tail_bits != 0 && full_bytes < bm.size()) {
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>((1U << tail_bits) - 1U);
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<std::uint8_t>(bm[full_bytes] & mask)));
+  }
+  return count;
 }
 
 void reconstruct_filtered(const FilterResult& f, std::span<float> out) {

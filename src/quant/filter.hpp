@@ -50,4 +50,11 @@ inline bool bitmap_get(std::span<const std::uint8_t> bm,
   return (bm[i / 8] >> (i % 8)) & 1U;
 }
 
+/// Set bits among the first `total_bits` of `bm`, via byte-wise popcount
+/// with the tail byte masked (stray pad bits never count). Survivor
+/// counting and the decoder's bitmap-vs-survivor-count consistency check
+/// both ride this instead of a per-bit loop.
+std::size_t bitmap_count_set(std::span<const std::uint8_t> bm,
+                             std::size_t total_bits) noexcept;
+
 }  // namespace compso::quant

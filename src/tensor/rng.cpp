@@ -26,23 +26,6 @@ Rng::Rng(std::uint64_t seed) noexcept {
   for (auto& w : state_) w = splitmix64(s);
 }
 
-std::uint64_t Rng::operator()() noexcept {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-float Rng::uniform() noexcept {
-  // 24 high bits -> float in [0, 1) with full float32 mantissa coverage.
-  return static_cast<float>((*this)() >> 40) * 0x1.0p-24F;
-}
-
 float Rng::uniform(float lo, float hi) noexcept {
   return lo + (hi - lo) * uniform();
 }

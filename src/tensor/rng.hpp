@@ -32,11 +32,26 @@ class Rng {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }
 
-  /// Next raw 64-bit value.
-  std::uint64_t operator()() noexcept;
+  /// Next raw 64-bit value. Defined inline: this sits on the per-element
+  /// critical path of stochastic rounding, where an out-of-line call per
+  /// draw dominates the xoshiro arithmetic itself.
+  std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Uniform float in [0, 1).
-  float uniform() noexcept;
+  /// 24 high bits -> float in [0, 1) with full float32 mantissa coverage.
+  float uniform() noexcept {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24F;
+  }
   /// Uniform float in [lo, hi).
   float uniform(float lo, float hi) noexcept;
   /// Uniform integer in [0, n) for n > 0.
@@ -63,6 +78,10 @@ class Rng {
   void restore_state(const RngState& state) noexcept;
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t state_[4];
   float cached_normal_ = 0.0F;
   bool has_cached_normal_ = false;

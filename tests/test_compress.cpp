@@ -322,6 +322,121 @@ TEST(GpuModel, ThroughputGrowsWithDataSize) {
   EXPECT_GT(t_large, t_small);
 }
 
+// ---- fused pipeline vs the multi-pass reference oracle ----
+//
+// make_compso is the fused single-pass implementation; make_compso_reference
+// is the original multi-pass pipeline kept as the bit-exactness oracle.
+// For any fixed Rng state the two must produce byte-identical payloads and
+// identical reconstructions.
+
+void expect_bit_identical(const cp::CompsoParams& params,
+                          const std::vector<float>& data,
+                          std::uint64_t seed) {
+  const auto fused = cp::make_compso(params);
+  const auto reference = cp::make_compso_reference(params);
+  ct::Rng rng_f(seed);
+  ct::Rng rng_r(seed);
+  const auto payload_f = fused->compress(data, rng_f);
+  const auto payload_r = reference->compress(data, rng_r);
+  ASSERT_EQ(payload_f, payload_r);
+  // Both consumed the same number of draws: the streams stay aligned.
+  EXPECT_EQ(rng_f(), rng_r());
+  // Cross-decode both ways; the fused decoder and the reference decoder
+  // must agree bit-for-bit on the same payload.
+  EXPECT_EQ(fused->decompress(payload_r), reference->decompress(payload_f));
+  EXPECT_EQ(fused->decompress(payload_f), reference->decompress(payload_f));
+}
+
+TEST(FusedOracle, BitIdenticalPayloadsAcrossSizes) {
+  // Cover: empty, tiny, sub-block, exactly one block, block+tail, many
+  // blocks (the blockwise extrema + bitmap byte paths all get exercised).
+  for (std::size_t n :
+       {0UL, 1UL, 7UL, 8UL, 9UL, 100UL, 4096UL, 4100UL, 70001UL}) {
+    const auto data = kfac_grad(n, 0xC0FFEE + n);
+    expect_bit_identical(cp::CompsoParams{}, data, 42 + n);
+  }
+}
+
+TEST(FusedOracle, BitIdenticalWithoutFilter) {
+  cp::CompsoParams p;
+  p.use_filter = false;
+  expect_bit_identical(p, kfac_grad(20000, 11), 7);
+  p.use_filter = true;
+  p.filter_bound = 0.0;  // second way to disable the filter
+  expect_bit_identical(p, kfac_grad(20000, 12), 8);
+}
+
+TEST(FusedOracle, BitIdenticalOnEdgeInputs) {
+  // All-zero buffer (abs_max == 0 early-out, no rng draws).
+  expect_bit_identical(cp::CompsoParams{}, std::vector<float>(5000, 0.0F),
+                       3);
+  // Constant buffer (everything survives the filter).
+  expect_bit_identical(cp::CompsoParams{}, std::vector<float>(5000, 1.5F),
+                       4);
+  // Buffer where everything but one value is filtered.
+  std::vector<float> spike(5000, 1e-8F);
+  spike[1234] = 100.0F;
+  expect_bit_identical(cp::CompsoParams{}, spike, 5);
+  // Negative extremes and denormals.
+  std::vector<float> mixed = kfac_grad(9999, 6);
+  mixed[0] = -3.5e4F;
+  mixed[1] = 1e-40F;
+  mixed[2] = -1e-40F;
+  expect_bit_identical(cp::CompsoParams{}, mixed, 6);
+}
+
+TEST(FusedOracle, BitIdenticalWithEveryEncoder) {
+  using compso::codec::CodecKind;
+  const auto data = kfac_grad(30000, 21);
+  for (CodecKind kind : compso::codec::kAllCodecKinds) {
+    cp::CompsoParams p;
+    p.encoder = kind;
+    expect_bit_identical(p, data, 1000 + static_cast<std::uint64_t>(kind));
+  }
+}
+
+TEST(FusedOracle, BitIdenticalAcrossBounds) {
+  const auto data = kfac_grad(25000, 31);
+  for (double eb : {1e-1, 1e-2, 4e-3, 1e-4, 1e-6}) {
+    cp::CompsoParams p;
+    p.filter_bound = eb;
+    p.quant_bound = eb;
+    expect_bit_identical(p, data, 77);
+  }
+}
+
+TEST(FusedOracle, CompressIntoReusesBufferAndMatches) {
+  const auto c = cp::make_compso(cp::CompsoParams{});
+  cp::Bytes buf;
+  std::vector<float> rec;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto data = kfac_grad(10000 + 1000 * i, i);
+    ct::Rng a(i);
+    ct::Rng b(i);
+    c->compress_into(data, a, buf);
+    EXPECT_EQ(buf, c->compress(data, b));
+    c->decompress_into(buf, rec);
+    EXPECT_EQ(rec, c->decompress(buf));
+  }
+}
+
+TEST(FusedOracle, PathologicalBoundFallsBackToReference) {
+  // A quantization bound tight enough to overflow int32 codes must route
+  // make_compso to the multi-pass implementation (and still roundtrip).
+  cp::CompsoParams p;
+  p.quant_bound = 1e-12;
+  p.filter_bound = 0.0;
+  const auto c = cp::make_compso(p);
+  EXPECT_EQ(c->name(), "COMPSO");
+  std::vector<float> data = {1.0F, -0.5F, 0.25F, 0.0F};
+  ct::Rng rng(9);
+  const auto rec = c->decompress(c->compress(data, rng));
+  ASSERT_EQ(rec.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(rec[i], data[i], 1e-6);
+  }
+}
+
 // ---- parameter validation ----
 
 TEST(Validation, BadParamsThrow) {

@@ -1,0 +1,296 @@
+// CompressionEngine + parallel-vs-serial determinism: the engine's
+// ticket/batch semantics, bit-identical optimizer trajectories for any
+// worker count (DistSgd and DistKfac, including factor compression),
+// FaultTolerantTrainer checkpoint/resume under a parallel engine, and a
+// fuzz loop driving mutated payloads through the fused COMPSO decoder.
+
+#include "src/compress/compression_engine.hpp"
+#include "src/compress/compressor.hpp"
+#include "src/compress/payload_fuzz.hpp"
+#include "src/compso.hpp"
+#include "src/nn/dataset.hpp"
+#include "src/nn/model_zoo.hpp"
+#include "src/optim/dist_kfac.hpp"
+#include "src/optim/dist_sgd.hpp"
+#include "src/tensor/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace cm = compso::comm;
+namespace core = compso::core;
+namespace opt = compso::optim;
+namespace nn = compso::nn;
+namespace ct = compso::tensor;
+namespace cc = compso::compress;
+
+namespace {
+
+// --- engine unit semantics ---
+
+TEST(CompressionEngine, SerialEngineDefersExceptionToWait) {
+  cc::CompressionEngine eng(0);
+  EXPECT_EQ(eng.thread_count(), 0U);
+  const auto ok = eng.submit([] {});
+  const auto bad = eng.submit([] { throw std::runtime_error("job boom"); });
+  EXPECT_NO_THROW(eng.wait(ok));
+  EXPECT_THROW(eng.wait(bad), std::runtime_error);
+  EXPECT_NO_THROW(eng.wait(bad));  // double-wait is a no-op.
+  EXPECT_NO_THROW(eng.wait_all());
+}
+
+TEST(CompressionEngine, ParallelEngineRunsJobsAndRethrows) {
+  cc::CompressionEngine eng(3);
+  EXPECT_EQ(eng.thread_count(), 3U);
+  std::atomic<int> ran{0};
+  std::vector<cc::CompressionEngine::Ticket> tickets;
+  for (int i = 0; i < 20; ++i) {
+    tickets.push_back(eng.submit([&ran] { ++ran; }));
+  }
+  const auto bad =
+      eng.submit([] { throw std::runtime_error("parallel boom"); });
+  for (auto t : tickets) eng.wait(t);
+  EXPECT_EQ(ran.load(), 20);
+  EXPECT_THROW(eng.wait(bad), std::runtime_error);
+  EXPECT_NO_THROW(eng.wait_all());
+}
+
+TEST(CompressionEngine, RunBatchRunsEveryJobEvenWhenOneThrows) {
+  for (std::size_t threads : {0UL, 2UL}) {
+    cc::CompressionEngine eng(threads);
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 8; ++i) {
+      jobs.push_back([&ran, i] {
+        ++ran;
+        if (i == 3) throw std::runtime_error("batch boom");
+      });
+    }
+    EXPECT_THROW(eng.run_batch(std::move(jobs)), std::runtime_error)
+        << "threads=" << threads;
+    // The barrier ran *all* jobs before rethrowing: a retried exchange
+    // must not observe half-written buffers from an abandoned batch.
+    EXPECT_EQ(ran.load(), 8) << "threads=" << threads;
+  }
+}
+
+TEST(CompressionEngine, TaskRngIsDeterministicPerTaskId) {
+  ct::Rng a = cc::CompressionEngine::task_rng(42, 7);
+  ct::Rng b = cc::CompressionEngine::task_rng(42, 7);
+  ct::Rng c = cc::CompressionEngine::task_rng(42, 8);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    EXPECT_EQ(va, vb);
+    differs = differs || va != vc;
+  }
+  EXPECT_TRUE(differs);  // distinct task ids -> distinct streams.
+}
+
+// --- parallel == serial bit-exactness for the optimizers ---
+
+struct DistFixture {
+  std::vector<nn::Model> replicas;
+  std::vector<nn::Model*> ptrs;
+  nn::ClusterDataset dataset{8, 3, 0.4F, 77};
+
+  explicit DistFixture(std::size_t world) {
+    for (std::size_t r = 0; r < world; ++r) {
+      ct::Rng rng(555);
+      replicas.push_back(nn::make_mlp_classifier(8, 12, 3, 1, rng));
+    }
+    for (auto& m : replicas) ptrs.push_back(&m);
+  }
+
+  void run_fwd_bwd(ct::Rng& data_rng) {
+    for (auto& m : replicas) {
+      const auto batch = dataset.sample(8, data_rng);
+      const auto logits = m.forward(batch.x);
+      ct::Tensor grad;
+      nn::softmax_cross_entropy(logits, batch.labels, grad);
+      m.backward(grad);
+    }
+  }
+
+  std::vector<float> flat_params() {
+    std::vector<float> out;
+    for (std::size_t li : replicas[0].trainable_layers()) {
+      auto& layer = replicas[0].layer(li);
+      const auto w = layer.weight()->span();
+      const auto b = layer.bias()->span();
+      out.insert(out.end(), w.begin(), w.end());
+      out.insert(out.end(), b.begin(), b.end());
+    }
+    return out;
+  }
+};
+
+void expect_bitwise_equal(const std::vector<float>& a,
+                          const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(a[i]),
+              std::bit_cast<std::uint32_t>(b[i]))
+        << what << " diverges at " << i;
+  }
+}
+
+std::vector<float> run_sgd(std::size_t engine_threads) {
+  DistFixture f(4);
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  opt::DistSgd sgd({.momentum = 0.9, .error_feedback = true}, comm, f.ptrs);
+  cc::CompressionEngine eng(engine_threads);
+  sgd.set_engine(&eng);
+  const auto compso = cc::make_compso({});
+  ct::Rng data_rng(1), sr_rng(2);
+  for (std::size_t t = 0; t < 5; ++t) {
+    f.run_fwd_bwd(data_rng);
+    sgd.step(0.05, compso.get(), sr_rng);
+  }
+  return f.flat_params();
+}
+
+TEST(ParallelDeterminism, DistSgdBitExactAcrossEngineThreads) {
+  const auto serial = run_sgd(0);
+  expect_bitwise_equal(serial, run_sgd(1), "1-thread engine");
+  expect_bitwise_equal(serial, run_sgd(4), "4-thread engine");
+}
+
+std::vector<float> run_kfac(std::size_t engine_threads,
+                            bool factor_compression) {
+  DistFixture f(4);
+  cm::Communicator comm(cm::Topology::with_gpus(4),
+                        cm::NetworkModel::platform1());
+  opt::DistKfac kfac({.damping = 0.1, .aggregation = 2}, comm, f.ptrs);
+  cc::CompressionEngine eng(engine_threads);
+  kfac.set_engine(&eng);
+  const auto compso = cc::make_compso({});
+  const auto factor_comp = cc::make_compso(
+      {.filter_bound = 0.0, .quant_bound = 1e-4, .use_filter = false});
+  if (factor_compression) kfac.set_factor_compressor(factor_comp.get());
+  ct::Rng data_rng(1), sr_rng(2);
+  for (std::size_t t = 0; t < 4; ++t) {
+    f.run_fwd_bwd(data_rng);
+    kfac.step(t, 0.01, compso.get(), sr_rng);
+  }
+  return f.flat_params();
+}
+
+TEST(ParallelDeterminism, DistKfacBitExactAcrossEngineThreads) {
+  const auto serial = run_kfac(0, false);
+  expect_bitwise_equal(serial, run_kfac(1, false), "1-thread engine");
+  expect_bitwise_equal(serial, run_kfac(4, false), "4-thread engine");
+}
+
+TEST(ParallelDeterminism, DistKfacFactorCompressionBitExact) {
+  const auto serial = run_kfac(0, true);
+  expect_bitwise_equal(serial, run_kfac(1, true),
+                       "1-thread engine + factor compression");
+  expect_bitwise_equal(serial, run_kfac(4, true),
+                       "4-thread engine + factor compression");
+}
+
+// --- fault-tolerant trainer under the parallel engine ---
+
+core::FtTrainerConfig small_config(core::OptimizerKind kind,
+                                   std::size_t engine_threads) {
+  core::FtTrainerConfig cfg;
+  cfg.base = {.world = 4,
+              .batch_per_rank = 8,
+              .features = 12,
+              .classes = 4,
+              .hidden = 12,
+              .depth = 2,
+              .noise = 0.7F,
+              .seed = 31337};
+  cfg.optimizer = kind;
+  cfg.kfac.eigen_refresh_every = 5;
+  cfg.recovery = {.enabled = true,
+                  .max_decode_retries = 2,
+                  .fallback_after = 3,
+                  .skip_nonfinite_steps = true};
+  cfg.base_lr = 0.05;
+  cfg.total_iterations = 20;
+  cfg.engine_threads = engine_threads;
+  return cfg;
+}
+
+TEST(ParallelDeterminism, FtTrainerTrajectoryIndependentOfEngineThreads) {
+  for (const auto kind :
+       {core::OptimizerKind::kSgd, core::OptimizerKind::kKfac}) {
+    core::FaultTolerantTrainer serial(small_config(kind, 0));
+    core::FaultTolerantTrainer parallel(small_config(kind, 4));
+    const auto loss_s = serial.run(6);
+    const auto loss_p = parallel.run(6);
+    ASSERT_EQ(loss_s.size(), loss_p.size());
+    for (std::size_t i = 0; i < loss_s.size(); ++i) {
+      EXPECT_EQ(loss_s[i], loss_p[i]) << "iteration " << i;
+    }
+    expect_bitwise_equal(serial.parameters(), parallel.parameters(),
+                         kind == core::OptimizerKind::kSgd ? "sgd" : "kfac");
+  }
+}
+
+TEST(ParallelDeterminism, CheckpointResumeBitExactUnderParallelEngine) {
+  // Straight run with a parallel engine...
+  core::FaultTolerantTrainer straight(
+      small_config(core::OptimizerKind::kKfac, 4));
+  straight.run(12);
+
+  // ...vs interrupt at 6 under the parallel engine, resume under the
+  // SERIAL engine (checkpoints carry no engine state, so the worker
+  // count is free to change across restarts).
+  core::FaultTolerantTrainer first(
+      small_config(core::OptimizerKind::kKfac, 4));
+  first.run(6);
+  const auto frame = first.checkpoint();
+  core::FaultTolerantTrainer resumed(
+      small_config(core::OptimizerKind::kKfac, 0));
+  resumed.restore(frame);
+  EXPECT_EQ(resumed.iteration(), 6U);
+  resumed.run(6);
+
+  expect_bitwise_equal(straight.parameters(), resumed.parameters(),
+                       "resumed trajectory");
+}
+
+// --- fuzz: mutated payloads against the fused decoder ---
+
+TEST(FusedDecoder, MutatedPayloadsThrowOrDecodeBitExact) {
+  ct::Rng grad_rng(404);
+  const auto grad = ct::synthetic_gradient(
+      20'000, ct::GradientProfile::kfac(), grad_rng);
+  const auto compso = cc::make_compso({});
+  ct::Rng c_rng(9);
+  const auto payload = compso->compress(grad, c_rng);
+  const auto reference = compso->decompress(payload);
+
+  ct::Rng mut_rng(123);
+  std::size_t rejected = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto mutated = cc::mutate_payload(payload, mut_rng);
+    try {
+      const auto out = compso->decompress(mutated);
+      // A mutation that slipped past validation must have been benign:
+      // the decode is bit-exact. Silent corruption is the bug class.
+      ASSERT_EQ(out.size(), reference.size()) << "mutation " << i;
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(out[j]),
+                  std::bit_cast<std::uint32_t>(reference[j]))
+            << "mutation " << i << " float " << j;
+      }
+    } catch (const compso::PayloadError&) {
+      ++rejected;
+    }
+  }
+  // The CRC makes nearly every mutation detectable.
+  EXPECT_GT(rejected, 350U);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// ThreadPool (src/common): work execution, exception propagation through
+// futures, parallel_for with caller participation, shutdown semantics
+// (drain, idempotence, reject-after), and a stealing smoke test with
+// deliberately unbalanced task costs. Run under TSan via ci.sh's
+// build-tsan config.
+
+#include "src/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace common = compso::common;
+
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  common::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4U);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsPicksHardwareConcurrency) {
+  common::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1U);
+  auto f = pool.submit([] {});
+  f.get();
+}
+
+TEST(ThreadPool, ExceptionRethrowsAtGet) {
+  common::ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_NO_THROW(ok.get());
+  try {
+    bad.get();
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  // The pool survives a throwing task.
+  auto after = pool.submit([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  common::ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  common::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("index 13");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&ran](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    common::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      }));
+    }
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 50);  // nothing abandoned.
+    pool.shutdown();            // idempotent.
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  }  // destructor after explicit shutdown is a no-op.
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, DestructorJoinsWithoutExplicitShutdown) {
+  std::atomic<int> ran{0};
+  {
+    common::ThreadPool pool(3);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, UnbalancedTasksAllComplete) {
+  // One long task pins a worker; the short tasks distributed round-robin
+  // onto its deque must still finish (stolen by the idle workers).
+  common::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  futures.push_back(pool.submit([&ran] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ++ran;
+  }));
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 41);
+}
+
+TEST(ThreadPool, TasksRunOffTheCallerThread) {
+  common::ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  std::mutex m;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&] {
+      std::lock_guard<std::mutex> lock(m);
+      seen.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(seen.count(caller), 0U);
+}
+
+}  // namespace
