@@ -1,0 +1,278 @@
+// Blocked math engine vs. naive reference throughput (DESIGN.md §11).
+//
+// Measures the packed-panel GEMM/syrk kernels and the fused cyclic-Jacobi
+// eigh against the retained naive references, plus the pool-parallel GEMM
+// path, verifies blocked-vs-reference accuracy and blocked-vs-parallel
+// bit-identity, prints a table, and writes BENCH_math.json (the compute
+// side of the repo's perf trajectory, next to BENCH_compress.json). Usage:
+//
+//   micro_math_throughput [--smoke] [output.json]   (default BENCH_math.json)
+//
+// --smoke trims repetitions and the eigh sizes for CI, but keeps the
+// 512x512x512 gemm row: the run fails (exit 1) unless the blocked
+// single-thread gemm beats the naive reference by the acceptance-criterion
+// factor there, and unless the parallel gemm is bit-identical to serial.
+
+#include "src/common/thread_pool.hpp"
+#include "src/tensor/eigen.hpp"
+#include "src/tensor/matrix_ops.hpp"
+#include "src/tensor/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace compso;
+namespace ct = compso::tensor;
+
+namespace {
+
+// Sanitizer instrumentation flattens the blocked-vs-naive gap (both sides
+// pay per-access shadow checks, but the packed panels pay them twice); the
+// speedup gate only has teeth in an uninstrumented build.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr double kMinGemm512Speedup = 1.0;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr double kMinGemm512Speedup = 1.0;
+#else
+constexpr double kMinGemm512Speedup = 4.0;
+#endif
+#else
+constexpr double kMinGemm512Speedup = 4.0;
+#endif
+
+ct::Tensor rand2(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  ct::Tensor t({rows, cols});
+  ct::Rng rng(seed);
+  rng.fill_uniform(t.span(), -1.0F, 1.0F);
+  return t;
+}
+
+/// Best-of-`reps` wall time of fn(), in seconds.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool bitwise_equal(const ct::Tensor& a, const ct::Tensor& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) !=
+        std::bit_cast<std::uint32_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double max_rel_err(const ct::Tensor& got, const ct::Tensor& want) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double denom = std::max(1.0, std::fabs(double{want[i]}));
+    worst = std::max(worst, std::fabs(double{got[i]} - want[i]) / denom);
+  }
+  return worst;
+}
+
+struct GemmRow {
+  std::size_t size;
+  double naive_gflops, blocked_gflops, parallel_gflops;
+  double max_rel_err;
+  bool parallel_bit_identical;
+};
+
+struct EighRow {
+  std::size_t size;
+  double naive_ms, fused_ms;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_math.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const int reps = smoke ? 2 : 5;
+  const std::vector<std::size_t> gemm_sizes =
+      smoke ? std::vector<std::size_t>{512}
+            : std::vector<std::size_t>{128, 256, 512};
+  const std::vector<std::size_t> eigh_sizes =
+      smoke ? std::vector<std::size_t>{96}
+            : std::vector<std::size_t>{96, 192, 256};
+
+  common::ThreadPool pool;  // hardware concurrency.
+  const std::size_t threads = pool.size();
+
+  // --- gemm: naive reference vs blocked vs pool-parallel blocked ---
+  std::printf("gemm (square, single precision)\n");
+  std::printf("%6s | %12s %12s %12s | %9s | %s\n", "size", "naive GF/s",
+              "blocked GF/s", "parallel GF/s", "speedup", "parallel bits");
+  std::vector<GemmRow> gemm_rows;
+  bool all_identical = true;
+  double gemm512_speedup = 0.0;
+  for (std::size_t n : gemm_sizes) {
+    const auto a = rand2(n, n, 1000 + n);
+    const auto b = rand2(n, n, 2000 + n);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+
+    ct::Tensor c_ref, c_blk, c_par;
+    const double t_naive =
+        time_best(reps, [&] { ct::gemm_reference(a, b, c_ref); });
+    const double t_blocked = time_best(reps, [&] { ct::gemm(a, b, c_blk); });
+    double t_parallel;
+    {
+      ct::MathPoolGuard guard(&pool);
+      t_parallel = time_best(reps, [&] { ct::gemm(a, b, c_par); });
+    }
+
+    GemmRow row;
+    row.size = n;
+    row.naive_gflops = flops / t_naive / 1e9;
+    row.blocked_gflops = flops / t_blocked / 1e9;
+    row.parallel_gflops = flops / t_parallel / 1e9;
+    row.max_rel_err = max_rel_err(c_blk, c_ref);
+    row.parallel_bit_identical = bitwise_equal(c_par, c_blk);
+    gemm_rows.push_back(row);
+    all_identical = all_identical && row.parallel_bit_identical;
+    if (n == 512) gemm512_speedup = t_naive / t_blocked;
+
+    std::printf("%6zu | %12.2f %12.2f %12.2f | %8.2fx | %s\n", n,
+                row.naive_gflops, row.blocked_gflops, row.parallel_gflops,
+                row.blocked_gflops / row.naive_gflops,
+                row.parallel_bit_identical ? "identical" : "MISMATCH");
+  }
+
+  // --- syrk_tn: the KFAC covariance kernel ---
+  const std::size_t syrk_n = smoke ? 192 : 256, syrk_d = 512;
+  const auto sa = rand2(syrk_n, syrk_d, 3003);
+  ct::Tensor s_ref, s_blk;
+  const double syrk_flops =
+      static_cast<double>(syrk_n) * syrk_d * (syrk_d + 1);
+  const double syrk_t_naive =
+      time_best(reps, [&] { ct::syrk_tn_reference(sa, 0.5F, 0.0F, s_ref); });
+  const double syrk_t_blocked =
+      time_best(reps, [&] { ct::syrk_tn(sa, 0.5F, 0.0F, s_blk); });
+  const double syrk_err = max_rel_err(s_blk, s_ref);
+  std::printf("\nsyrk_tn (A %zux%zu)\n", syrk_n, syrk_d);
+  std::printf("  naive %.2f GF/s, blocked %.2f GF/s, speedup %.2fx\n",
+              syrk_flops / syrk_t_naive / 1e9,
+              syrk_flops / syrk_t_blocked / 1e9,
+              syrk_t_naive / syrk_t_blocked);
+
+  // --- eigh: fused cyclic-by-rows Jacobi vs two-pass reference ---
+  std::printf("\neigh (symmetric, double-precision Jacobi)\n");
+  std::printf("%6s | %10s %10s | %s\n", "size", "naive ms", "fused ms",
+              "speedup");
+  std::vector<EighRow> eigh_rows;
+  for (std::size_t n : eigh_sizes) {
+    ct::Tensor m = rand2(n, n, 4000 + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const float avg = 0.5F * (m.at(i, j) + m.at(j, i));
+        m.at(i, j) = m.at(j, i) = avg;
+      }
+    }
+    EighRow row;
+    row.size = n;
+    row.naive_ms =
+        1e3 * time_best(reps, [&] { (void)ct::eigh_reference(m); });
+    row.fused_ms = 1e3 * time_best(reps, [&] { (void)ct::eigh(m); });
+    eigh_rows.push_back(row);
+    std::printf("%6zu | %10.2f %10.2f | %6.2fx\n", n, row.naive_ms,
+                row.fused_ms, row.naive_ms / row.fused_ms);
+  }
+
+  // --- JSON ---
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_math_throughput\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n  \"pool_threads\": %zu,\n",
+               smoke ? "true" : "false", threads);
+  std::fprintf(f, "  \"gemm\": [\n");
+  for (std::size_t i = 0; i < gemm_rows.size(); ++i) {
+    const GemmRow& r = gemm_rows[i];
+    std::fprintf(
+        f,
+        "    {\"size\": %zu, \"naive_gflops\": %.3f, \"blocked_gflops\":"
+        " %.3f, \"parallel_gflops\": %.3f, \"speedup\": %.3f,\n"
+        "     \"max_rel_err\": %.3e, \"parallel_bit_identical\": %s}%s\n",
+        r.size, r.naive_gflops, r.blocked_gflops, r.parallel_gflops,
+        r.blocked_gflops / r.naive_gflops, r.max_rel_err,
+        r.parallel_bit_identical ? "true" : "false",
+        i + 1 < gemm_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(
+      f,
+      "  \"syrk_tn\": {\"n\": %zu, \"d\": %zu, \"naive_gflops\": %.3f,"
+      " \"blocked_gflops\": %.3f, \"speedup\": %.3f, \"max_rel_err\":"
+      " %.3e},\n",
+      syrk_n, syrk_d, syrk_flops / syrk_t_naive / 1e9,
+      syrk_flops / syrk_t_blocked / 1e9, syrk_t_naive / syrk_t_blocked,
+      syrk_err);
+  std::fprintf(f, "  \"eigh\": [\n");
+  for (std::size_t i = 0; i < eigh_rows.size(); ++i) {
+    const EighRow& r = eigh_rows[i];
+    std::fprintf(f,
+                 "    {\"size\": %zu, \"naive_ms\": %.3f, \"fused_ms\":"
+                 " %.3f, \"speedup\": %.3f}%s\n",
+                 r.size, r.naive_ms, r.fused_ms, r.naive_ms / r.fused_ms,
+                 i + 1 < eigh_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"gemm512_speedup\": %.3f, \"gemm512_speedup_gate\":"
+                  " %.1f\n}\n",
+               gemm512_speedup, kMinGemm512Speedup);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // --- self-checks (the bench doubles as a ctest perf gate) ---
+  int failures = 0;
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: parallel gemm not bit-identical to serial\n");
+    ++failures;
+  }
+  for (const GemmRow& r : gemm_rows) {
+    if (!(r.max_rel_err < 1e-3)) {
+      std::fprintf(stderr, "FAIL: blocked gemm rel err %.3e at %zu\n",
+                   r.max_rel_err, r.size);
+      ++failures;
+    }
+  }
+  if (!(syrk_err < 1e-3)) {
+    std::fprintf(stderr, "FAIL: blocked syrk rel err %.3e\n", syrk_err);
+    ++failures;
+  }
+  if (gemm512_speedup < kMinGemm512Speedup) {
+    std::fprintf(stderr,
+                 "FAIL: blocked gemm %.2fx naive at 512^3 (gate %.1fx)\n",
+                 gemm512_speedup, kMinGemm512Speedup);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

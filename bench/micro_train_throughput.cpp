@@ -1,0 +1,146 @@
+// End-to-end DistKfac training throughput (steps/s) on the host substrate.
+//
+// Runs the FaultTolerantTrainer (KFAC + COMPSO compression, the paper's
+// full per-step pipeline: forward/backward gemms, factor syrks, factor
+// exchange, eigendecomposition refresh, preconditioning, compressed
+// gather) with the serial engine and with the shared thread pool (engine
+// workers + math-kernel row blocks, DESIGN.md §11), verifies the two
+// parameter trajectories are bit-identical, prints steps/s, and writes
+// BENCH_train.json — the host-side counterpart of the paper's §5.4
+// training-hours table (see EXPERIMENTS.md). Usage:
+//
+//   micro_train_throughput [--smoke] [output.json]  (default BENCH_train.json)
+
+#include "src/core/ft_trainer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace compso;
+
+namespace {
+
+core::FtTrainerConfig bench_config(bool smoke, std::size_t engine_threads) {
+  core::FtTrainerConfig cfg;
+  // Batch/hidden sized so the forward/backward gemms and the KFAC factor
+  // work land in the blocked engine (and, with a pool, its parallel
+  // row-block path) rather than the small-op reference fallback.
+  cfg.base = {.world = 2,
+              .batch_per_rank = 128,
+              .features = 64,
+              .classes = 8,
+              .hidden = smoke ? 128UL : 192UL,
+              .depth = 2,
+              .noise = 0.5F,
+              .seed = 20260806};
+  cfg.optimizer = core::OptimizerKind::kKfac;
+  cfg.kfac.eigen_refresh_every = 4;
+  cfg.kfac.aggregation = 2;
+  cfg.base_lr = 0.02;
+  cfg.total_iterations = 64;
+  cfg.engine_threads = engine_threads;
+  return cfg;
+}
+
+struct Run {
+  double steps_per_s = 0.0;
+  std::vector<float> params;
+};
+
+Run run_trainer(bool smoke, std::size_t engine_threads, std::size_t steps) {
+  core::FaultTolerantTrainer trainer(bench_config(smoke, engine_threads));
+  trainer.run(1);  // warmup: allocations, factor init, first eigh.
+  const auto t0 = std::chrono::steady_clock::now();
+  trainer.run(steps);
+  const auto t1 = std::chrono::steady_clock::now();
+  Run r;
+  r.steps_per_s =
+      static_cast<double>(steps) /
+      std::chrono::duration<double>(t1 - t0).count();
+  r.params = trainer.parameters();
+  return r;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) !=
+        std::bit_cast<std::uint32_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_train.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const std::size_t steps = smoke ? 4 : 16;
+  const std::size_t threads =
+      std::max(1U, std::thread::hardware_concurrency());
+
+  const Run serial = run_trainer(smoke, 0, steps);
+  const Run parallel = run_trainer(smoke, threads, steps);
+  const bool identical = bitwise_equal(serial.params, parallel.params);
+
+  const auto cfg = bench_config(smoke, 0);
+  std::printf(
+      "DistKfac end-to-end (world=%zu, batch/rank=%zu, hidden=%zu, "
+      "depth=%zu, %zu timed steps)\n",
+      cfg.base.world, cfg.base.batch_per_rank, cfg.base.hidden,
+      cfg.base.depth, steps);
+  std::printf("  serial engine      : %7.3f steps/s\n", serial.steps_per_s);
+  std::printf("  %zu-thread shared pool: %7.3f steps/s  (%.2fx)\n", threads,
+              parallel.steps_per_s,
+              parallel.steps_per_s / serial.steps_per_s);
+  std::printf("  parameters: %s\n",
+              identical ? "bit-identical" : "MISMATCH");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_train_throughput\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"config\": {\"world\": %zu, \"batch_per_rank\": %zu,"
+               " \"features\": %zu, \"classes\": %zu, \"hidden\": %zu,"
+               " \"depth\": %zu, \"timed_steps\": %zu},\n",
+               cfg.base.world, cfg.base.batch_per_rank, cfg.base.features,
+               cfg.base.classes, cfg.base.hidden, cfg.base.depth, steps);
+  std::fprintf(f, "  \"serial_steps_per_s\": %.4f,\n", serial.steps_per_s);
+  std::fprintf(f, "  \"pool_threads\": %zu,\n", threads);
+  std::fprintf(f, "  \"parallel_steps_per_s\": %.4f,\n",
+               parallel.steps_per_s);
+  std::fprintf(f, "  \"parallel_speedup\": %.4f,\n",
+               parallel.steps_per_s / serial.steps_per_s);
+  std::fprintf(f, "  \"parameters_bit_identical\": %s\n}\n",
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel trajectory diverged from serial transcript\n");
+    return 1;
+  }
+  return 0;
+}

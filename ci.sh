@@ -3,6 +3,7 @@
 #
 #   ./ci.sh            all configs, full test suite under each
 #   ./ci.sh fault      fault-tolerance suites only (ctest -L fault)
+#   ./ci.sh perf       bench smoke gates only (ctest -L perf)
 #
 # The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
 # AddressSanitizer + UBSan, which is what gives the fault/recovery paths
@@ -11,8 +12,16 @@
 #
 # The TSan config (-DCOMPSO_TSAN=ON) runs everything under
 # ThreadSanitizer — that is what keeps the parallel compression engine
-# (thread pool + engine batches in DistSgd/DistKfac) honest. ASan and
-# TSan cannot share a binary, hence the separate build directory.
+# (thread pool + engine batches in DistSgd/DistKfac) AND the blocked math
+# engine's parallel_for_static row-block path (test_math, test_engine,
+# bench_math_smoke, bench_train_smoke) honest. ASan and TSan cannot share
+# a binary, hence the separate build directory.
+#
+# The full default pass includes the two bench smoke gates
+# (bench/micro_math_throughput --smoke, bench/micro_train_throughput
+# --smoke): they enforce the blocked >= 4x naive gemm criterion at 512^3
+# (uninstrumented configs) and serial == parallel bit-identity, and leave
+# BENCH_math.json / BENCH_train.json in each build directory.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,6 +34,8 @@ run_suite() {
   cmake --build "$dir" -j "$JOBS"
   if [[ "$LABEL" == "fault" ]]; then
     ctest --test-dir "$dir" -L fault --output-on-failure -j "$JOBS"
+  elif [[ "$LABEL" == "perf" ]]; then
+    ctest --test-dir "$dir" -L perf --output-on-failure -j "$JOBS"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
   fi

@@ -5,6 +5,13 @@
 #include <stdexcept>
 
 namespace compso::common {
+namespace {
+
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -66,6 +73,7 @@ bool ThreadPool::try_steal(std::size_t id, std::packaged_task<void()>& task) {
 }
 
 void ThreadPool::worker_loop(std::size_t id) {
+  t_on_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     if (try_pop(id, task) || try_steal(id, task)) {
@@ -96,6 +104,49 @@ void ThreadPool::parallel_for(std::size_t n,
   std::exception_ptr first;
   try {
     drain();  // caller participates
+  } catch (...) {
+    first = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::parallel_for_static(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  // Nested (worker-thread) and post-shutdown calls run serially inline:
+  // same ranges processed, same per-block arithmetic, identical results.
+  if (t_on_worker || stop_.load(std::memory_order_acquire)) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(size() + 1, n);
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  // Contiguous ranges: chunk c covers base(+1 for the first rem chunks).
+  auto range_begin = [base, rem](std::size_t c) {
+    return c * base + std::min(c, rem);
+  };
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    futs.push_back(submit([&fn, b = range_begin(c), e = range_begin(c + 1)] {
+      fn(b, e);
+    }));
+  }
+  std::exception_ptr first;
+  try {
+    fn(0, range_begin(1));  // caller takes the first range.
   } catch (...) {
     first = std::current_exception();
   }

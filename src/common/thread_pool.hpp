@@ -40,7 +40,27 @@ class ThreadPool {
 
   /// Runs fn(0..n-1) across the pool with the caller participating;
   /// returns after every index ran and rethrows the first exception.
+  /// Indices are claimed dynamically (atomic cursor) — good load
+  /// balancing, but the index->thread assignment is nondeterministic.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Deterministic static-partition variant for the math engine
+  /// (DESIGN.md §11): [0, n) is split into at most size()+1 contiguous
+  /// ranges fixed by (n, pool size) alone, fn(begin, end) runs once per
+  /// range (caller takes the first range, workers the rest), and the call
+  /// returns after every range completed, rethrowing the first exception
+  /// in range order. Callers index *output blocks* with it: because each
+  /// block's computation is self-contained, results are bit-identical at
+  /// any thread count. Nested calls (from a pool worker of any pool) and
+  /// calls after shutdown() degrade to a serial inline fn(0, n).
+  void parallel_for_static(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True on any ThreadPool worker thread (of any pool instance). The
+  /// math kernels consult this to run inline instead of re-entering a
+  /// pool from inside a pool task — nested blocking submission could
+  /// deadlock and would oversubscribe the cores either way.
+  static bool on_worker_thread() noexcept;
 
   /// Stops accepting work, drains the queues, joins the workers.
   /// Idempotent.

@@ -53,6 +53,13 @@ class CompressionEngine {
   /// Worker count (0 in serial mode).
   std::size_t thread_count() const noexcept;
 
+  /// The underlying pool (nullptr in serial mode). Exposed so the math
+  /// kernels can share it (tensor::set_math_pool) instead of owning a
+  /// second pool that would oversubscribe the cores: layer-level jobs
+  /// running ON this pool execute their gemms inline, while top-level
+  /// gemms between batches can still fan out across it.
+  common::ThreadPool* pool() const noexcept { return pool_.get(); }
+
   /// The per-task generator: Rng(step_seed) split by the task's
   /// deterministic id. Both the serial and parallel code paths derive
   /// their streams through this one function, which is what makes them

@@ -2,6 +2,7 @@
 
 #include "src/comm/network_model.hpp"
 #include "src/compress/payload_fuzz.hpp"
+#include "src/tensor/matrix_ops.hpp"
 
 #include <limits>
 #include <utility>
@@ -44,6 +45,19 @@ FaultTolerantTrainer::FaultTolerantTrainer(FtTrainerConfig config)
     sgd_ = std::make_unique<optim::DistSgd>(cfg_.sgd, comm_, ptrs);
     sgd_->set_recovery(cfg_.recovery);
     sgd_->set_engine(&engine_);
+  }
+  // One pool for everything (DESIGN.md §11): the math kernels fan
+  // top-level gemms/syrks across the engine's workers, while gemms issued
+  // from inside an engine job run inline — never two pools competing for
+  // the cores. Results are bit-identical with or without the pool.
+  if (engine_.pool() != nullptr) {
+    tensor::set_math_pool(engine_.pool());
+  }
+}
+
+FaultTolerantTrainer::~FaultTolerantTrainer() {
+  if (engine_.pool() != nullptr && tensor::math_pool() == engine_.pool()) {
+    tensor::set_math_pool(nullptr);
   }
 }
 

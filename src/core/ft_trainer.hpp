@@ -58,6 +58,9 @@ struct FtTrainerConfig {
 class FaultTolerantTrainer {
  public:
   explicit FaultTolerantTrainer(FtTrainerConfig config);
+  /// Detaches the shared math pool if this trainer attached it (the pool
+  /// dies with the trainer's engine; a stale global pointer would dangle).
+  ~FaultTolerantTrainer();
 
   /// Installs a fault plan (seeded injector wired with the payload-fuzz
   /// mutator from the compress layer). Call before the affected iterations.

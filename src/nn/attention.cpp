@@ -30,7 +30,8 @@ Tensor TokenLinear::forward(const Tensor& x) {
   // Reinterpret as (batch*seq, in) token rows (same memory order).
   rows_ = x;
   rows_.reshape({batch * seq_, in_});
-  rows_aug_ = Tensor({batch * seq_, in_ + 1});
+  // Scratch reuse: every element is overwritten below.
+  tensor::ensure_shape2(rows_aug_, batch * seq_, in_ + 1);
   for (std::size_t r = 0; r < batch * seq_; ++r) {
     for (std::size_t c = 0; c < in_; ++c) {
       rows_aug_.at(r, c) = rows_.at(r, c);

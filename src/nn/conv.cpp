@@ -28,12 +28,13 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   rng.fill_uniform(weight_.span(), -bound, bound);
 }
 
-Tensor Conv2d::im2col(const Tensor& x) const {
+void Conv2d::im2col_into(const Tensor& x, Tensor& cols) const {
   const std::size_t batch = x.rows();
   const std::size_t positions = height_ * width_;
   const std::size_t patch = in_ch_ * k_ * k_;
   const auto pad = static_cast<long>(k_ / 2);
-  Tensor cols({batch * positions, patch});
+  // Scratch reuse: every element (including padding zeros) is written.
+  tensor::ensure_shape2(cols, batch * positions, patch);
   for (std::size_t b = 0; b < batch; ++b) {
     const float* img = x.data() + b * in_ch_ * positions;
     for (std::size_t oy = 0; oy < height_; ++oy) {
@@ -58,7 +59,6 @@ Tensor Conv2d::im2col(const Tensor& x) const {
       }
     }
   }
-  return cols;
 }
 
 Tensor Conv2d::col2im(const Tensor& cols, std::size_t batch) const {
@@ -99,9 +99,9 @@ Tensor Conv2d::forward(const Tensor& x) {
   }
   const std::size_t batch = x.rows();
   const std::size_t positions = height_ * width_;
-  cols_ = im2col(x);
-  // KFAC A-factor input: [patches | 1].
-  cols_aug_ = Tensor({cols_.rows(), cols_.cols() + 1});
+  im2col_into(x, cols_);
+  // KFAC A-factor input: [patches | 1]. Scratch reuse: fully overwritten.
+  tensor::ensure_shape2(cols_aug_, cols_.rows(), cols_.cols() + 1);
   for (std::size_t r = 0; r < cols_.rows(); ++r) {
     for (std::size_t c = 0; c < cols_.cols(); ++c) {
       cols_aug_.at(r, c) = cols_.at(r, c);
@@ -133,8 +133,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       cols_.rows() != batch * positions) {
     throw std::invalid_argument("Conv2d::backward: bad gradient shape");
   }
-  // Unpack to (batch*positions, out_ch).
-  grad_cols_ = Tensor({batch * positions, out_ch_});
+  // Unpack to (batch*positions, out_ch). Scratch reuse: fully overwritten.
+  tensor::ensure_shape2(grad_cols_, batch * positions, out_ch_);
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t pos = 0; pos < positions; ++pos) {
       for (std::size_t c = 0; c < out_ch_; ++c) {

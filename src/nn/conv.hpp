@@ -38,8 +38,9 @@ class Conv2d final : public Layer {
   }
 
  private:
-  /// (batch, in_ch*H*W) -> (batch*H*W, in_ch*k*k) patch matrix.
-  Tensor im2col(const Tensor& x) const;
+  /// (batch, in_ch*H*W) -> (batch*H*W, in_ch*k*k) patch matrix, written
+  /// into `cols` (reusing its allocation when the shape is unchanged).
+  void im2col_into(const Tensor& x, Tensor& cols) const;
   /// Inverse scatter-add of im2col for the input gradient.
   Tensor col2im(const Tensor& cols, std::size_t batch) const;
 

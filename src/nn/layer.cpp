@@ -27,8 +27,10 @@ Tensor Linear::forward(const Tensor& x) {
     throw std::invalid_argument("Linear::forward: bad input shape");
   }
   input_ = x;
-  // Augmented input for KFAC's A factor: [x | 1].
-  input_aug_ = Tensor({x.rows(), in_ + 1});
+  // Augmented input for KFAC's A factor: [x | 1]. Reuses the previous
+  // step's allocation when the batch shape is unchanged (every element is
+  // overwritten below).
+  tensor::ensure_shape2(input_aug_, x.rows(), in_ + 1);
   for (std::size_t r = 0; r < x.rows(); ++r) {
     for (std::size_t c = 0; c < in_; ++c) input_aug_.at(r, c) = x.at(r, c);
     input_aug_.at(r, in_) = 1.0F;

@@ -361,35 +361,43 @@ void DistKfac::step(std::size_t iteration, double lr,
     cov_a_.resize(slots);
     cov_g_.resize(slots);
   }
-  for (std::size_t s = 0; s < slots; ++s) {
-    const std::size_t li = layer_indices_[s];
-    auto& local_a = cov_a_[s];
-    auto& local_g = cov_g_[s];
-    local_a.resize(world);
-    local_g.resize(world);
-    std::size_t shape_a = 0, shape_g = 0;
-    for (std::size_t r = 0; r < world; ++r) {
-      if (!comm_.is_active(r)) continue;
-      auto& layer = replicas_[r]->layer(li);
-      const Tensor* a = layer.kfac_input();
-      const Tensor* g = layer.kfac_grad_output();
-      if (a == nullptr || g == nullptr || a->empty() || g->empty()) {
-        throw std::logic_error("DistKfac: run forward/backward first");
+  {
+    // The per-(layer, rank) covariance updates write disjoint tensors, so
+    // after a serial validation pass they run as one engine batch
+    // (DESIGN.md §11). Each syrk is deterministic and its output slot is
+    // fixed, so the batch result is independent of execution order.
+    std::vector<std::function<void()>> cov_jobs;
+    for (std::size_t s = 0; s < slots; ++s) {
+      const std::size_t li = layer_indices_[s];
+      auto& local_a = cov_a_[s];
+      auto& local_g = cov_g_[s];
+      local_a.resize(world);
+      local_g.resize(world);
+      const std::size_t shape_a = states_[s]->factor_a().rows();
+      const std::size_t shape_g = states_[s]->factor_g().rows();
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_active(r)) {
+          // allreduce_sum overwrites every view with the sum, so inactive
+          // slots must be re-zeroed every step even when the tensor is
+          // reused.
+          local_a[r] = Tensor({shape_a, shape_a});
+          local_g[r] = Tensor({shape_g, shape_g});
+          continue;
+        }
+        auto& layer = replicas_[r]->layer(li);
+        const Tensor* a = layer.kfac_input();
+        const Tensor* g = layer.kfac_grad_output();
+        if (a == nullptr || g == nullptr || a->empty() || g->empty()) {
+          throw std::logic_error("DistKfac: run forward/backward first");
+        }
+        cov_jobs.push_back([a, g, &local_a, &local_g, r] {
+          const auto batch = static_cast<float>(a->rows());
+          tensor::syrk_tn(*a, 1.0F / batch, 0.0F, local_a[r]);
+          tensor::syrk_tn(*g, batch, 0.0F, local_g[r]);
+        });
       }
-      const auto batch = static_cast<float>(a->rows());
-      tensor::syrk_tn(*a, 1.0F / batch, 0.0F, local_a[r]);
-      tensor::syrk_tn(*g, batch, 0.0F, local_g[r]);
-      shape_a = local_a[r].rows();
-      shape_g = local_g[r].rows();
     }
-    for (std::size_t r = 0; r < world; ++r) {
-      if (comm_.is_active(r)) continue;
-      // allreduce_sum overwrites every view with the sum, so inactive
-      // slots must be re-zeroed every step even when the tensor is
-      // reused.
-      local_a[r] = Tensor({shape_a, shape_a});
-      local_g[r] = Tensor({shape_g, shape_g});
-    }
+    eng.run_batch(std::move(cov_jobs));
   }
 
   // --- 2: factor exchange. With a factor compressor attached, all
@@ -490,7 +498,17 @@ void DistKfac::step(std::size_t iteration, double lr,
   const bool refresh =
       iteration % cfg_.eigen_refresh_every == 0 || !states_[0]->has_eigen();
   if (refresh) {
-    for (auto& st : states_) st->refresh_eigen();
+    // Eigendecompositions of distinct layers are independent (each owner
+    // refreshes its own states); run them as one engine batch. Each eigh
+    // call is internally deterministic, so parallel refresh produces the
+    // same eigenpairs as the serial loop.
+    std::vector<std::function<void()>> eig_jobs;
+    eig_jobs.reserve(states_.size());
+    for (auto& st : states_) {
+      KfacLayerState* state = st.get();
+      eig_jobs.push_back([state] { state->refresh_eigen(); });
+    }
+    eng.run_batch(std::move(eig_jobs));
   }
 
   // --- 4: owners precondition their layers; 5: allgather(v) to all ranks.
@@ -502,9 +520,22 @@ void DistKfac::step(std::size_t iteration, double lr,
   orig_bytes_ = 0;
   comp_bytes_ = 0;
   std::vector<std::vector<std::size_t>> owned(world);
+  {
+    // Owners precondition their layers concurrently — distinct slots
+    // write distinct output tensors. The non-finite guards and byte
+    // accounting below stay serial (they mutate shared recovery state in
+    // slot order).
+    std::vector<std::function<void()>> pre_jobs;
+    pre_jobs.reserve(layer_indices_.size());
+    for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+      pre_jobs.push_back([this, &preconditioned, s] {
+        preconditioned[s] =
+            states_[s]->precondition(momentum_workspace_[s], cfg_.damping);
+      });
+    }
+    eng.run_batch(std::move(pre_jobs));
+  }
   for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
-    preconditioned[s] =
-        states_[s]->precondition(momentum_workspace_[s], cfg_.damping);
     // A non-finite preconditioned gradient must not enter the compressor
     // (NaN through quantization is undefined). Zero the slot so the gather
     // framing stays intact, and skip its update below.

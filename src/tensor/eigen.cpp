@@ -6,43 +6,187 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
 namespace compso::tensor {
+namespace {
 
-EigenDecomposition eigh(const Tensor& m, int max_sweeps, double tol) {
-  if (m.rank() != 2 || m.rows() != m.cols()) {
-    throw std::invalid_argument("eigh: expected square matrix");
-  }
-  const std::size_t n = m.rows();
-  // Work in double for numerical robustness; factor matrices are small.
+/// Floor applied to the Frobenius norm before scaling the convergence
+/// tolerance: an (effectively) all-zero matrix must terminate on the
+/// first off-diagonal check instead of producing a zero threshold that
+/// no residual can ever satisfy.
+constexpr double kFrobeniusNormFloor = 1e-300;
+
+/// Off-diagonal entries at or below this magnitude are treated as
+/// already annihilated. At this scale the rotation angle computation
+/// divides by a subnormal and produces garbage; skipping is exact for
+/// any representable accumulation.
+constexpr double kNegligibleOffDiagonal = 1e-300;
+
+/// Copies `m` into double storage and symmetrizes it (running-average
+/// factors can drift slightly off symmetric).
+std::vector<double> load_symmetric(const Tensor& m, std::size_t n) {
   std::vector<double> a(n * n);
   for (std::size_t i = 0; i < n * n; ++i) a[i] = m.data()[i];
-  // Symmetrize defensively (running-average factors can drift slightly).
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double avg = 0.5 * (a[i * n + j] + a[j * n + i]);
       a[i * n + j] = a[j * n + i] = avg;
     }
   }
+  return a;
+}
+
+double frobenius(const std::vector<double>& a) {
+  double fro = 0.0;
+  for (double v : a) fro += v * v;
+  return std::sqrt(fro);
+}
+
+double off_diagonal_mass(const std::vector<double>& a, std::size_t n) {
+  double off = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+  }
+  return std::sqrt(2.0 * off);
+}
+
+/// Sorts eigenpairs ascending and materializes the result.
+/// `q_transposed` selects whether q holds eigenvectors in rows (the
+/// fused kernel) or in columns (the reference kernel).
+EigenDecomposition finalize(const std::vector<double>& a,
+                            const std::vector<double>& q, std::size_t n,
+                            bool q_transposed, bool converged,
+                            int sweeps_used) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x * n + x] < a[y * n + y];
+  });
+
+  EigenDecomposition out;
+  out.converged = converged;
+  out.sweeps_used = sweeps_used;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Tensor({n, n});
+  for (std::size_t col = 0; col < n; ++col) {
+    const std::size_t src = order[col];
+    out.eigenvalues[col] = static_cast<float>(a[src * n + src]);
+    for (std::size_t rowi = 0; rowi < n; ++rowi) {
+      const double v = q_transposed ? q[src * n + rowi] : q[rowi * n + src];
+      out.eigenvectors.at(rowi, col) = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+void check_square(const Tensor& m) {
+  if (m.rank() != 2 || m.rows() != m.cols()) {
+    throw std::invalid_argument("eigh: expected square matrix");
+  }
+}
+
+}  // namespace
+
+EigenDecomposition eigh(const Tensor& m, int max_sweeps, double tol) {
+  check_square(m);
+  const std::size_t n = m.rows();
+  std::vector<double> a = load_symmetric(m, n);
+  // Q is stored TRANSPOSED: qt row i holds eigenvector-accumulator
+  // column i, so the rotation below touches two contiguous rows.
+  std::vector<double> qt(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) qt[i * n + i] = 1.0;
+
+  const double stop = tol * std::max(frobenius(a), kFrobeniusNormFloor);
+
+  bool converged = false;
+  int sweeps_used = 0;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_mass(a, n) <= stop) {
+      converged = true;
+      break;
+    }
+    ++sweeps_used;
+
+    // Cyclic-by-rows sweep. Each rotation (p, r) is applied in ONE pass
+    // over rows p and r (both contiguous): because A is symmetric, the
+    // two-sided update of off-diagonal entries reduces to the same 2x2
+    // rotation applied along the rows, with the diagonal corrected in
+    // closed form (app' = app - t*apq, aqq' = aqq + t*apq) and the
+    // mirror columns copied from the updated rows afterwards. This
+    // replaces the reference kernel's three strided passes (column
+    // rotation, row rotation, Q-column rotation) with three stride-1
+    // row updates.
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      double* rowp = a.data() + p * n;
+      for (std::size_t r = p + 1; r < n; ++r) {
+        const double apq = rowp[r];
+        if (std::fabs(apq) <= kNegligibleOffDiagonal) continue;
+        double* rowr = a.data() + r * n;
+        const double app = rowp[p];
+        const double aqq = rowr[r];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = rowp[k];
+          const double akq = rowr[k];
+          rowp[k] = c * akp - s * akq;
+          rowr[k] = s * akp + c * akq;
+        }
+        // Exact closed-form entries the row pass cannot produce alone.
+        rowp[p] = app - t * apq;
+        rowr[r] = aqq + t * apq;
+        rowp[r] = 0.0;
+        rowr[p] = 0.0;
+        // Mirror the updated rows into columns p and r.
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == p || k == r) continue;
+          a[k * n + p] = rowp[k];
+          a[k * n + r] = rowr[k];
+        }
+        // Accumulate the rotation into Q (transposed: rows p and r).
+        double* qp = qt.data() + p * n;
+        double* qr = qt.data() + r * n;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double qkp = qp[k];
+          const double qkq = qr[k];
+          qp[k] = c * qkp - s * qkq;
+          qr[k] = s * qkp + c * qkq;
+        }
+      }
+    }
+  }
+  if (!converged) converged = off_diagonal_mass(a, n) <= stop;
+
+  return finalize(a, qt, n, /*q_transposed=*/true, converged, sweeps_used);
+}
+
+EigenDecomposition eigh_reference(const Tensor& m, int max_sweeps,
+                                  double tol) {
+  check_square(m);
+  const std::size_t n = m.rows();
+  std::vector<double> a = load_symmetric(m, n);
   std::vector<double> q(n * n, 0.0);
   for (std::size_t i = 0; i < n; ++i) q[i * n + i] = 1.0;
 
-  double fro = 0.0;
-  for (double v : a) fro += v * v;
-  fro = std::sqrt(fro);
-  const double stop = tol * std::max(fro, 1e-300);
+  const double stop = tol * std::max(frobenius(a), kFrobeniusNormFloor);
 
+  bool converged = false;
+  int sweeps_used = 0;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    double off = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    if (off_diagonal_mass(a, n) <= stop) {
+      converged = true;
+      break;
     }
-    if (std::sqrt(2.0 * off) <= stop) break;
+    ++sweeps_used;
 
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t r = p + 1; r < n; ++r) {
         const double apq = a[p * n + r];
-        if (std::fabs(apq) <= 1e-300) continue;
+        if (std::fabs(apq) <= kNegligibleOffDiagonal) continue;
         const double app = a[p * n + p];
         const double aqq = a[r * n + r];
         const double theta = (aqq - app) / (2.0 * apq);
@@ -73,25 +217,9 @@ EigenDecomposition eigh(const Tensor& m, int max_sweeps, double tol) {
       }
     }
   }
+  if (!converged) converged = off_diagonal_mass(a, n) <= stop;
 
-  // Sort eigenpairs ascending by eigenvalue.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-    return a[x * n + x] < a[y * n + y];
-  });
-
-  EigenDecomposition out;
-  out.eigenvalues.resize(n);
-  out.eigenvectors = Tensor({n, n});
-  for (std::size_t col = 0; col < n; ++col) {
-    const std::size_t src = order[col];
-    out.eigenvalues[col] = static_cast<float>(a[src * n + src]);
-    for (std::size_t rowi = 0; rowi < n; ++rowi) {
-      out.eigenvectors.at(rowi, col) = static_cast<float>(q[rowi * n + src]);
-    }
-  }
-  return out;
+  return finalize(a, q, n, /*q_transposed=*/false, converged, sweeps_used);
 }
 
 Tensor eigen_reconstruct(const EigenDecomposition& e) {

@@ -1,6 +1,12 @@
 #pragma once
 // Symmetric eigendecomposition (cyclic Jacobi) — the kernel KFAC uses to
 // invert its Kronecker factors (paper Eq. 2).
+//
+// The production `eigh` fuses each rotation's row and column updates into
+// one pass over two contiguous rows (the symmetric mirror is written back
+// afterwards) and accumulates eigenvectors in transposed storage, so every
+// inner loop is stride-1 (DESIGN.md §11). The original two-pass rotation
+// is retained as `eigh_reference` for the property tests.
 
 #include "src/tensor/tensor.hpp"
 
@@ -8,17 +14,27 @@ namespace compso::tensor {
 
 /// Result of eigendecomposing a symmetric matrix M = Q diag(v) Q^T.
 struct EigenDecomposition {
-  Tensor eigenvectors;         ///< (n x n), column i is the i-th eigenvector.
+  Tensor eigenvectors;  ///< (n x n), column i is the i-th eigenvector.
   std::vector<float> eigenvalues;  ///< length n, ascending order.
+  bool converged = true;  ///< false: sweeps exhausted above tolerance.
+  int sweeps_used = 0;    ///< sweeps executed before termination.
 };
 
-/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+/// Cyclic-by-rows Jacobi eigendecomposition of a symmetric matrix.
 ///
 /// Converges quadratically; `max_sweeps` bounds work for the small factor
 /// matrices (d <= a few hundred) used by KFAC. Off-diagonal mass below
-/// `tol * frobenius_norm` terminates early.
+/// `tol * frobenius_norm` terminates early. Non-convergence (all sweeps
+/// spent with the off-diagonal mass still above tolerance) is reported
+/// through `EigenDecomposition::converged`; callers that cannot tolerate
+/// an approximate basis must check it.
 EigenDecomposition eigh(const Tensor& m, int max_sweeps = 32,
                         double tol = 1e-10);
+
+/// The pre-fusion implementation (separate row-rotation, column-rotation
+/// and Q passes), kept as a correctness oracle. Same contract as `eigh`.
+EigenDecomposition eigh_reference(const Tensor& m, int max_sweeps = 32,
+                                  double tol = 1e-10);
 
 /// Reconstructs Q diag(v) Q^T from a decomposition (testing / validation).
 Tensor eigen_reconstruct(const EigenDecomposition& e);

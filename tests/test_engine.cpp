@@ -12,6 +12,7 @@
 #include "src/nn/model_zoo.hpp"
 #include "src/optim/dist_kfac.hpp"
 #include "src/optim/dist_sgd.hpp"
+#include "src/tensor/matrix_ops.hpp"
 #include "src/tensor/synthetic.hpp"
 
 #include <gtest/gtest.h>
@@ -194,6 +195,62 @@ TEST(ParallelDeterminism, DistKfacFactorCompressionBitExact) {
                        "1-thread engine + factor compression");
   expect_bitwise_equal(serial, run_kfac(4, true),
                        "4-thread engine + factor compression");
+}
+
+// Wider model + batch than DistFixture: the forward/backward gemms, the
+// factor syrks, and the A-factor eigh all exceed the blocked math
+// engine's small-op cutoff, so this run exercises the packed-panel
+// kernels — and, with the engine's pool shared via MathPoolGuard, the
+// pool-parallel row-block path — inside a real DistKfac step.
+std::vector<float> run_kfac_blocked_math(std::size_t engine_threads) {
+  std::vector<nn::Model> replicas;
+  std::vector<nn::Model*> ptrs;
+  for (std::size_t r = 0; r < 2; ++r) {
+    ct::Rng rng(777);
+    replicas.push_back(nn::make_mlp_classifier(48, 128, 4, 1, rng));
+  }
+  for (auto& m : replicas) ptrs.push_back(&m);
+  nn::ClusterDataset dataset(48, 4, 0.4F, 99);
+
+  cm::Communicator comm(cm::Topology::with_gpus(2),
+                        cm::NetworkModel::platform1());
+  opt::DistKfac kfac({.damping = 0.1, .eigen_refresh_every = 3}, comm, ptrs);
+  cc::CompressionEngine eng(engine_threads);
+  kfac.set_engine(&eng);
+  ct::MathPoolGuard math(eng.pool());  // nullptr in serial mode.
+  const auto compso = cc::make_compso({});
+  ct::Rng data_rng(1), sr_rng(2);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (auto& m : replicas) {
+      const auto batch = dataset.sample(128, data_rng);
+      const auto logits = m.forward(batch.x);
+      ct::Tensor grad;
+      nn::softmax_cross_entropy(logits, batch.labels, grad);
+      m.backward(grad);
+    }
+    kfac.step(t, 0.01, compso.get(), sr_rng);
+  }
+
+  std::vector<float> out;
+  for (std::size_t li : replicas[0].trainable_layers()) {
+    auto& layer = replicas[0].layer(li);
+    const auto w = layer.weight()->span();
+    const auto b = layer.bias()->span();
+    out.insert(out.end(), w.begin(), w.end());
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+TEST(ParallelDeterminism, DistKfacBlockedMathBitExactAcrossThreadCounts) {
+  // Serial transcript (no engine workers, no math pool) vs the shared
+  // pool at 1/2/8 threads: the deterministic static partition keeps every
+  // gemm/syrk accumulation order fixed, so parameters must be bitwise
+  // identical (ISSUE 4 acceptance criterion).
+  const auto serial = run_kfac_blocked_math(0);
+  expect_bitwise_equal(serial, run_kfac_blocked_math(1), "1 thread");
+  expect_bitwise_equal(serial, run_kfac_blocked_math(2), "2 threads");
+  expect_bitwise_equal(serial, run_kfac_blocked_math(8), "8 threads");
 }
 
 // --- fault-tolerant trainer under the parallel engine ---

@@ -1,0 +1,357 @@
+// Blocked math engine (src/tensor/matrix_ops, DESIGN.md §11) against the
+// retained naive references: property tests on awkward shapes, bitwise
+// determinism of the pool-parallel path at several thread counts, NaN/Inf
+// propagation through the kernels (no zero-skip), the fused cyclic-Jacobi
+// eigh against its reference, non-convergence reporting, and the
+// scratch-reuse helper. The parallel suites run under TSan via ci.sh's
+// build-tsan config.
+
+#include "src/common/thread_pool.hpp"
+#include "src/tensor/eigen.hpp"
+#include "src/tensor/matrix_ops.hpp"
+#include "src/tensor/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+namespace ct = compso::tensor;
+namespace common = compso::common;
+
+namespace {
+
+ct::Tensor rand2(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  ct::Tensor t({rows, cols});
+  ct::Rng rng(seed);
+  rng.fill_uniform(t.span(), -1.0F, 1.0F);
+  return t;
+}
+
+/// Blocked vs reference agree to accumulation tolerance (the FMA
+/// microkernels round once per multiply-add, the references twice), with
+/// slack proportional to the reduction length k.
+void expect_close(const ct::Tensor& got, const ct::Tensor& want,
+                  std::size_t k, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  const float tol = 1e-6F * static_cast<float>(k + 4);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float w = want[i];
+    ASSERT_NEAR(got[i], w, tol * std::max(1.0F, std::fabs(w)))
+        << what << " diverges at flat index " << i;
+  }
+}
+
+void expect_bitwise(const ct::Tensor& got, const ct::Tensor& want,
+                    const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(got[i]),
+              std::bit_cast<std::uint32_t>(want[i]))
+        << what << " diverges at flat index " << i;
+  }
+}
+
+// Shapes chosen to hit every edge of the blocked engine: below the
+// small-op cutoff (routes to the reference), just above it, 1xN / Nx1
+// (degenerate register tiles), non-multiples of MR/NR/MC/KC/NC, and
+// sizes spanning several cache blocks.
+const std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>
+    kGemmShapes = {
+        {1, 1, 1},    {1, 8, 1},      {5, 1, 9},      {3, 7, 5},
+        {1, 300, 400}, {400, 300, 1}, {33, 65, 17},   {96, 96, 96},
+        {97, 129, 65}, {128, 64, 256}, {130, 200, 110},
+};
+
+TEST(BlockedGemm, MatchesReferenceOnAwkwardShapes) {
+  std::uint64_t seed = 100;
+  for (const auto& [m, k, n] : kGemmShapes) {
+    const auto a = rand2(m, k, seed++);
+    const auto b = rand2(k, n, seed++);
+    ct::Tensor got, want;
+    ct::gemm(a, b, got);
+    ct::gemm_reference(a, b, want);
+    expect_close(got, want, k,
+                 ("gemm " + std::to_string(m) + "x" + std::to_string(k) + "x" +
+                  std::to_string(n))
+                     .c_str());
+  }
+}
+
+TEST(BlockedGemm, TnMatchesReferenceOnAwkwardShapes) {
+  std::uint64_t seed = 200;
+  for (const auto& [m, k, n] : kGemmShapes) {
+    const auto a = rand2(k, m, seed++);  // stored transposed.
+    const auto b = rand2(k, n, seed++);
+    ct::Tensor got, want;
+    ct::gemm_tn(a, b, got);
+    ct::gemm_tn_reference(a, b, want);
+    expect_close(got, want, k, "gemm_tn");
+  }
+}
+
+TEST(BlockedGemm, NtMatchesReferenceOnAwkwardShapes) {
+  std::uint64_t seed = 300;
+  for (const auto& [m, k, n] : kGemmShapes) {
+    const auto a = rand2(m, k, seed++);
+    const auto b = rand2(n, k, seed++);  // stored transposed.
+    ct::Tensor got, want;
+    ct::gemm_nt(a, b, got);
+    ct::gemm_nt_reference(a, b, want);
+    expect_close(got, want, k, "gemm_nt");
+  }
+}
+
+TEST(BlockedGemm, EmptyOperandsProduceZeroOutput) {
+  for (const auto& [m, k, n] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {0, 5, 7}, {5, 0, 7}, {5, 7, 0}, {0, 0, 0}}) {
+    const auto a = rand2(m, k, 7);
+    const auto b = rand2(k, n, 8);
+    ct::Tensor c;
+    ct::gemm(a, b, c);
+    EXPECT_EQ(c.rows(), m);
+    EXPECT_EQ(c.cols(), n);
+    for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], 0.0F);
+  }
+}
+
+TEST(BlockedSyrk, MatchesReferenceIncludingBetaAccumulation) {
+  std::uint64_t seed = 400;
+  for (const auto& [n, d] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {4, 7}, {33, 97}, {150, 130}, {64, 200}}) {
+    const auto a = rand2(n, d, seed++);
+    // Fresh output.
+    ct::Tensor got, want;
+    ct::syrk_tn(a, 0.7F, 0.0F, got);
+    ct::syrk_tn_reference(a, 0.7F, 0.0F, want);
+    expect_close(got, want, n, "syrk_tn fresh");
+    // Accumulating into identical prior state (beta != 0).
+    ct::Tensor prior = rand2(d, d, seed);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) prior.at(j, i) = prior.at(i, j);
+    }
+    ct::Tensor got2 = prior, want2 = prior;
+    ct::syrk_tn(a, 1.3F, 0.4F, got2);
+    ct::syrk_tn_reference(a, 1.3F, 0.4F, want2);
+    expect_close(got2, want2, n, "syrk_tn accumulate");
+    // The mirrored output is exactly symmetric.
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(got2.at(i, j)),
+                  std::bit_cast<std::uint32_t>(got2.at(j, i)));
+      }
+    }
+  }
+}
+
+// --- bitwise determinism of the pool-parallel path ---
+//
+// Each output row block keeps its serial accumulation order, so the
+// blocked kernels must produce byte-identical results with no pool and
+// with pools of any size (DESIGN.md §11). Shapes exceed both the
+// small-op and the parallel-dispatch thresholds.
+
+TEST(ParallelMath, GemmBitIdenticalAcrossThreadCounts) {
+  const auto a = rand2(257, 193, 41);
+  const auto b = rand2(193, 211, 42);
+  ct::Tensor serial;
+  ct::gemm(a, b, serial);
+  for (std::size_t threads : {1UL, 2UL, 8UL}) {
+    common::ThreadPool pool(threads);
+    ct::MathPoolGuard guard(&pool);
+    ct::Tensor parallel;
+    ct::gemm(a, b, parallel);
+    expect_bitwise(parallel, serial,
+                   ("gemm @" + std::to_string(threads) + " threads").c_str());
+  }
+  EXPECT_EQ(ct::math_pool(), nullptr);  // guard restored the previous pool.
+}
+
+TEST(ParallelMath, AllKernelsBitIdenticalUnderSharedPool) {
+  const auto a = rand2(230, 140, 51);    // (m x k) for gemm_nt, (n x d) syrk.
+  const auto at = rand2(140, 230, 52);   // (k x m) for gemm_tn.
+  const auto bt = rand2(140, 180, 54);   // (k x n) for gemm_tn.
+  const auto bn = rand2(180, 140, 53);   // (n x k) for gemm_nt.
+  ct::Tensor s_tn, s_nt, s_syrk;
+  ct::gemm_tn(at, bt, s_tn);
+  ct::gemm_nt(a, bn, s_nt);
+  ct::syrk_tn(a, 0.5F, 0.0F, s_syrk);
+  for (std::size_t threads : {2UL, 8UL}) {
+    common::ThreadPool pool(threads);
+    ct::MathPoolGuard guard(&pool);
+    ct::Tensor p_tn, p_nt, p_syrk;
+    ct::gemm_tn(at, bt, p_tn);
+    ct::gemm_nt(a, bn, p_nt);
+    ct::syrk_tn(a, 0.5F, 0.0F, p_syrk);
+    expect_bitwise(p_tn, s_tn, "gemm_tn parallel");
+    expect_bitwise(p_nt, s_nt, "gemm_nt parallel");
+    expect_bitwise(p_syrk, s_syrk, "syrk_tn parallel");
+  }
+}
+
+// --- non-finite propagation (the old zero-skip bug class) ---
+//
+// 0 * NaN must stay NaN: the optimizer's non-finite guards rely on
+// poisoned inputs reaching the output even through zero multiplicands.
+
+TEST(NonFinite, ZeroTimesNanPropagatesThroughSmallKernels) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  ct::Tensor a({2, 3});  // all zeros.
+  ct::Tensor b({3, 2});
+  b.at(0, 0) = nan;
+  ct::Tensor c;
+  ct::gemm_reference(a, b, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(1, 0)));
+  ct::gemm(a, b, c);  // small shape routes to the reference.
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+
+  ct::Tensor at({3, 2});  // zeros, for gemm_tn.
+  ct::gemm_tn_reference(at, b, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+
+  ct::Tensor bn({2, 3});
+  bn.at(0, 1) = nan;
+  ct::gemm_nt_reference(a, bn, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+
+  ct::Tensor sa({4, 5});  // zeros with one NaN row entry.
+  sa.at(0, 0) = nan;
+  ct::Tensor sc;
+  ct::syrk_tn_reference(sa, 1.0F, 0.0F, sc);
+  EXPECT_TRUE(std::isnan(sc.at(0, 0)));
+  // alpha == 0 must not bypass propagation either (0 * NaN).
+  ct::syrk_tn_reference(sa, 0.0F, 0.0F, sc);
+  EXPECT_TRUE(std::isnan(sc.at(0, 0)));
+}
+
+TEST(NonFinite, ZeroTimesNanPropagatesThroughBlockedKernels) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  ct::Tensor a({128, 128});  // all zeros -> blocked path (2^21 flops).
+  ct::Tensor b({128, 128});
+  b.at(77, 5) = nan;
+  b.at(3, 100) = inf;
+  ct::Tensor c;
+  ct::gemm(a, b, c);
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_TRUE(std::isnan(c.at(i, 5))) << "row " << i;
+    ASSERT_TRUE(std::isnan(c.at(i, 100))) << "row " << i;  // 0 * inf.
+  }
+
+  ct::Tensor sa({130, 128});  // zeros, blocked syrk path.
+  sa.at(0, 64) = nan;
+  ct::Tensor sc;
+  ct::syrk_tn(sa, 1.0F, 0.0F, sc);
+  EXPECT_TRUE(std::isnan(sc.at(64, 64)));
+  EXPECT_TRUE(std::isnan(sc.at(0, 64)));
+  EXPECT_TRUE(std::isnan(sc.at(64, 0)));  // mirrored triangle.
+}
+
+// --- fused cyclic-Jacobi eigh vs its reference ---
+
+ct::Tensor random_symmetric(std::size_t n, std::uint64_t seed) {
+  ct::Tensor m = rand2(n, n, seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const float avg = 0.5F * (m.at(i, j) + m.at(j, i));
+      m.at(i, j) = m.at(j, i) = avg;
+    }
+  }
+  return m;
+}
+
+void expect_valid_decomposition(const ct::EigenDecomposition& e,
+                                const ct::Tensor& m, const char* what) {
+  const std::size_t n = m.rows();
+  EXPECT_TRUE(e.converged) << what;
+  ASSERT_EQ(e.eigenvalues.size(), n) << what;
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_LE(e.eigenvalues[i - 1], e.eigenvalues[i]) << what;
+  }
+  // Reconstruction: Q diag(v) Q^T == M.
+  const ct::Tensor rec = ct::eigen_reconstruct(e);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    ASSERT_NEAR(rec[i], m[i], 5e-4F) << what << " reconstruct " << i;
+  }
+  // Orthonormality: Q^T Q == I.
+  ct::Tensor qtq;
+  ct::gemm_tn_reference(e.eigenvectors, e.eigenvectors, qtq);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(qtq.at(i, j), i == j ? 1.0F : 0.0F, 1e-4F) << what;
+    }
+  }
+}
+
+TEST(FusedEigh, MatchesReferenceAcrossSizes) {
+  for (std::size_t n : {1UL, 2UL, 5UL, 33UL, 64UL, 129UL}) {
+    const ct::Tensor m = random_symmetric(n, 900 + n);
+    const auto fused = ct::eigh(m);
+    const auto ref = ct::eigh_reference(m);
+    expect_valid_decomposition(fused, m, "fused");
+    expect_valid_decomposition(ref, m, "reference");
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(fused.eigenvalues[i], ref.eigenvalues[i], 1e-4F)
+          << "n=" << n << " eigenvalue " << i;
+    }
+  }
+}
+
+TEST(FusedEigh, ReportsNonConvergence) {
+  const ct::Tensor m = random_symmetric(16, 77);
+  // Zero sweeps on a matrix with off-diagonal mass: no work done.
+  const auto none = ct::eigh(m, /*max_sweeps=*/0);
+  EXPECT_FALSE(none.converged);
+  EXPECT_EQ(none.sweeps_used, 0);
+  const auto none_ref = ct::eigh_reference(m, /*max_sweeps=*/0);
+  EXPECT_FALSE(none_ref.converged);
+  // An unreachable tolerance exhausts every sweep.
+  const auto hopeless = ct::eigh(m, /*max_sweeps=*/1, /*tol=*/0.0);
+  EXPECT_FALSE(hopeless.converged);
+  EXPECT_EQ(hopeless.sweeps_used, 1);
+  // The default budget converges and says so.
+  const auto ok = ct::eigh(m);
+  EXPECT_TRUE(ok.converged);
+  EXPECT_GT(ok.sweeps_used, 0);
+}
+
+TEST(FusedEigh, DegenerateInputsConverge) {
+  // All-zero matrix: the Frobenius-norm floor must yield a satisfiable
+  // stopping threshold on the first check.
+  const ct::Tensor zero({8, 8});
+  const auto z = ct::eigh(zero, /*max_sweeps=*/0);
+  EXPECT_TRUE(z.converged);
+  EXPECT_EQ(z.sweeps_used, 0);
+  // Already-diagonal matrix: converges without spending a sweep.
+  ct::Tensor diag({5, 5});
+  for (std::size_t i = 0; i < 5; ++i) diag.at(i, i) = static_cast<float>(i);
+  const auto d = ct::eigh(diag);
+  EXPECT_TRUE(d.converged);
+  EXPECT_EQ(d.sweeps_used, 0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(d.eigenvalues[i], static_cast<float>(i));
+  }
+}
+
+// --- scratch-reuse helper ---
+
+TEST(EnsureShape2, ReusesAllocationWhenShapeUnchanged) {
+  ct::Tensor t({4, 5});
+  const float* before = t.data();
+  ct::ensure_shape2(t, 4, 5);
+  EXPECT_EQ(t.data(), before);  // no reallocation.
+  ct::ensure_shape2(t, 3, 2);
+  EXPECT_EQ(t.rows(), 3U);
+  EXPECT_EQ(t.cols(), 2U);
+}
+
+}  // namespace

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <set>
+#include <utility>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -77,6 +80,99 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
   std::atomic<int> ran{0};
   pool.parallel_for(8, [&ran](std::size_t) { ++ran; });
   EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForStaticCoversEveryIndexOnce) {
+  for (std::size_t threads : {1UL, 2UL, 5UL}) {
+    common::ThreadPool pool(threads);
+    for (std::size_t n : {0UL, 1UL, 2UL, 7UL, 1000UL}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for_static(n, [&hits](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "threads=" << threads << " n=" << n << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForStaticPartitionIsDeterministic) {
+  // The range boundaries depend only on (n, pool size): two runs over the
+  // same pool must produce the same contiguous split, ordered, gapless.
+  common::ThreadPool pool(3);
+  auto collect = [&pool](std::size_t n) {
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    pool.parallel_for_static(n, [&](std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lock(m);
+      ranges.emplace_back(b, e);
+    });
+    std::sort(ranges.begin(), ranges.end());
+    return ranges;
+  };
+  for (std::size_t n : {5UL, 17UL, 100UL}) {
+    const auto first = collect(n);
+    EXPECT_EQ(first, collect(n)) << "n=" << n;
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first.front().first, 0U);
+    EXPECT_EQ(first.back().second, n);
+    for (std::size_t i = 1; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].first, first[i - 1].second) << "gap at range " << i;
+    }
+    EXPECT_LE(first.size(), pool.size() + 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForStaticPropagatesFirstException) {
+  common::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_static(64,
+                               [](std::size_t b, std::size_t e) {
+                                 for (std::size_t i = b; i < e; ++i) {
+                                   if (i == 40) {
+                                     throw std::runtime_error("range boom");
+                                   }
+                                 }
+                               }),
+      std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for_static(8, [&ran](std::size_t b, std::size_t e) {
+    ran += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForStaticNestedCallRunsInlineOnWorker) {
+  // A worker thread re-entering parallel_for_static must not deadlock:
+  // the nested call degrades to one serial fn(0, n) on that worker.
+  common::ThreadPool pool(2);
+  EXPECT_FALSE(common::ThreadPool::on_worker_thread());
+  auto fut = pool.submit([&pool] {
+    EXPECT_TRUE(common::ThreadPool::on_worker_thread());
+    const auto self = std::this_thread::get_id();
+    std::atomic<int> calls{0};
+    std::atomic<int> covered{0};
+    pool.parallel_for_static(37, [&](std::size_t b, std::size_t e) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+      ++calls;
+      covered += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(calls.load(), 1);  // one inline fn(0, n).
+    EXPECT_EQ(covered.load(), 37);
+  });
+  fut.get();
+}
+
+TEST(ThreadPool, ParallelForStaticAfterShutdownRunsSerially) {
+  common::ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> covered{0};
+  pool.parallel_for_static(12, [&covered](std::size_t b, std::size_t e) {
+    covered += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(covered.load(), 12);
 }
 
 TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
