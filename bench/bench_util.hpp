@@ -8,12 +8,48 @@
 
 #include "src/core/perf_sim.hpp"
 #include "src/nn/model_zoo.hpp"
+#include "src/obs/clock.hpp"
+#include "src/obs/metrics.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace compso::bench {
+
+/// Registry-backed wall timing, replacing the benches' ad-hoc chrono
+/// plumbing (DESIGN.md §12): best-of-`reps` wall time of fn(), in
+/// seconds. Every repetition also lands in `registry` — a nanosecond
+/// histogram observation under `name` plus a "<name>.reps" counter — so
+/// the metrics snapshot each bench embeds in its BENCH_*.json records
+/// exactly what was timed and how often, in one uniform schema.
+template <typename Fn>
+double time_best(obs::MetricsRegistry& registry, std::string_view name,
+                 int reps, Fn&& fn) {
+  const obs::SteadyClock clock;
+  const std::string hist_name(name);
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t t0 = clock.now_ns();
+    fn();
+    const std::uint64_t t1 = clock.now_ns();
+    const std::uint64_t dt = t1 > t0 ? t1 - t0 : 0;
+    registry.observe(hist_name, dt);
+    registry.add(hist_name + ".reps", 1);
+    best = std::min(best, static_cast<double>(dt) * 1e-9);
+  }
+  return best;
+}
+
+/// Single timed run of fn(), recorded like time_best; returns seconds.
+template <typename Fn>
+double time_once(obs::MetricsRegistry& registry, std::string_view name,
+                 Fn&& fn) {
+  return time_best(registry, name, 1, static_cast<Fn&&>(fn));
+}
 
 /// Per-GPU batch used for the performance experiments, matching each
 /// model's practical training regime (see EXPERIMENTS.md, calibration).

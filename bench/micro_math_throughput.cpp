@@ -13,6 +13,7 @@
 // single-thread gemm beats the naive reference by the acceptance-criterion
 // factor there, and unless the parallel gemm is bit-identical to serial.
 
+#include "bench/bench_util.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/tensor/eigen.hpp"
 #include "src/tensor/matrix_ops.hpp"
@@ -21,7 +22,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -56,17 +56,13 @@ ct::Tensor rand2(std::size_t rows, std::size_t cols, std::uint64_t seed) {
   return t;
 }
 
-/// Best-of-`reps` wall time of fn(), in seconds.
+/// All wall timings flow through bench::time_best into this registry; the
+/// snapshot is embedded in BENCH_math.json under "metrics".
+obs::MetricsRegistry g_metrics;
+
 template <typename Fn>
-double time_best(int reps, Fn&& fn) {
-  double best = 1e100;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
-  }
-  return best;
+double time_best(std::string_view name, int reps, Fn&& fn) {
+  return bench::time_best(g_metrics, name, reps, static_cast<Fn&&>(fn));
 }
 
 bool bitwise_equal(const ct::Tensor& a, const ct::Tensor& b) {
@@ -138,13 +134,16 @@ int main(int argc, char** argv) {
     const double flops = 2.0 * static_cast<double>(n) * n * n;
 
     ct::Tensor c_ref, c_blk, c_par;
+    const std::string stem = "bench.gemm" + std::to_string(n);
     const double t_naive =
-        time_best(reps, [&] { ct::gemm_reference(a, b, c_ref); });
-    const double t_blocked = time_best(reps, [&] { ct::gemm(a, b, c_blk); });
+        time_best(stem + ".naive", reps, [&] { ct::gemm_reference(a, b, c_ref); });
+    const double t_blocked =
+        time_best(stem + ".blocked", reps, [&] { ct::gemm(a, b, c_blk); });
     double t_parallel;
     {
       ct::MathPoolGuard guard(&pool);
-      t_parallel = time_best(reps, [&] { ct::gemm(a, b, c_par); });
+      t_parallel =
+          time_best(stem + ".parallel", reps, [&] { ct::gemm(a, b, c_par); });
     }
 
     GemmRow row;
@@ -170,10 +169,10 @@ int main(int argc, char** argv) {
   ct::Tensor s_ref, s_blk;
   const double syrk_flops =
       static_cast<double>(syrk_n) * syrk_d * (syrk_d + 1);
-  const double syrk_t_naive =
-      time_best(reps, [&] { ct::syrk_tn_reference(sa, 0.5F, 0.0F, s_ref); });
+  const double syrk_t_naive = time_best(
+      "bench.syrk.naive", reps, [&] { ct::syrk_tn_reference(sa, 0.5F, 0.0F, s_ref); });
   const double syrk_t_blocked =
-      time_best(reps, [&] { ct::syrk_tn(sa, 0.5F, 0.0F, s_blk); });
+      time_best("bench.syrk.blocked", reps, [&] { ct::syrk_tn(sa, 0.5F, 0.0F, s_blk); });
   const double syrk_err = max_rel_err(s_blk, s_ref);
   std::printf("\nsyrk_tn (A %zux%zu)\n", syrk_n, syrk_d);
   std::printf("  naive %.2f GF/s, blocked %.2f GF/s, speedup %.2fx\n",
@@ -196,9 +195,11 @@ int main(int argc, char** argv) {
     }
     EighRow row;
     row.size = n;
-    row.naive_ms =
-        1e3 * time_best(reps, [&] { (void)ct::eigh_reference(m); });
-    row.fused_ms = 1e3 * time_best(reps, [&] { (void)ct::eigh(m); });
+    const std::string stem = "bench.eigh" + std::to_string(n);
+    row.naive_ms = 1e3 * time_best(stem + ".naive", reps,
+                                   [&] { (void)ct::eigh_reference(m); });
+    row.fused_ms =
+        1e3 * time_best(stem + ".fused", reps, [&] { (void)ct::eigh(m); });
     eigh_rows.push_back(row);
     std::printf("%6zu | %10.2f %10.2f | %6.2fx\n", n, row.naive_ms,
                 row.fused_ms, row.naive_ms / row.fused_ms);
@@ -246,8 +247,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"gemm512_speedup\": %.3f, \"gemm512_speedup_gate\":"
-                  " %.1f\n}\n",
+                  " %.1f,\n",
                gemm512_speedup, kMinGemm512Speedup);
+  std::fprintf(f, "  \"metrics\": %s\n}\n", g_metrics.to_json().c_str());
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
 

@@ -7,15 +7,24 @@
 // workers + math-kernel row blocks, DESIGN.md §11), verifies the two
 // parameter trajectories are bit-identical, prints steps/s, and writes
 // BENCH_train.json — the host-side counterpart of the paper's §5.4
-// training-hours table (see EXPERIMENTS.md). Usage:
+// training-hours table (see EXPERIMENTS.md).
 //
-//   micro_train_throughput [--smoke] [output.json]  (default BENCH_train.json)
+// With --trace[=path] it additionally runs the observability smoke gate
+// (DESIGN.md §12): a serial run with metrics + tracer attached, whose
+// trace.json export is schema-validated in-process, whose parameter
+// trajectory must stay bit-identical to the uninstrumented run, and whose
+// wall time must stay within the overhead budget of the obs-off baseline
+// (min-of-3, interleaved; budget relaxed in sanitized builds). Usage:
+//
+//   micro_train_throughput [--smoke] [--trace[=trace.json]] [output.json]
 
+#include "bench/bench_util.hpp"
 #include "src/core/ft_trainer.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/obs.hpp"
 
 #include <algorithm>
 #include <bit>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +35,25 @@
 using namespace compso;
 
 namespace {
+
+// Sanitizer instrumentation inflates the relative cost of the obs layer's
+// atomics and event bookkeeping (every access pays shadow checks); the 5%
+// overhead budget only has teeth in an uninstrumented build.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr double kMaxObsOverhead = 2.0;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr double kMaxObsOverhead = 2.0;
+#else
+constexpr double kMaxObsOverhead = 1.05;
+#endif
+#else
+constexpr double kMaxObsOverhead = 1.05;
+#endif
+
+/// All wall timings flow through bench::time_* into this registry; the
+/// snapshot is embedded in the output JSON under "metrics".
+obs::MetricsRegistry g_metrics;
 
 core::FtTrainerConfig bench_config(bool smoke, std::size_t engine_threads) {
   core::FtTrainerConfig cfg;
@@ -54,16 +82,14 @@ struct Run {
   std::vector<float> params;
 };
 
-Run run_trainer(bool smoke, std::size_t engine_threads, std::size_t steps) {
+Run run_trainer(bool smoke, std::size_t engine_threads, std::size_t steps,
+                std::string_view timer_name) {
   core::FaultTolerantTrainer trainer(bench_config(smoke, engine_threads));
   trainer.run(1);  // warmup: allocations, factor init, first eigh.
-  const auto t0 = std::chrono::steady_clock::now();
-  trainer.run(steps);
-  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      bench::time_once(g_metrics, timer_name, [&] { trainer.run(steps); });
   Run r;
-  r.steps_per_s =
-      static_cast<double>(steps) /
-      std::chrono::duration<double>(t1 - t0).count();
+  r.steps_per_s = static_cast<double>(steps) / secs;
   r.params = trainer.parameters();
   return r;
 }
@@ -79,14 +105,82 @@ bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
   return true;
 }
 
+struct ObsGate {
+  bool params_identical = false;
+  bool trace_valid = false;
+  bool metrics_valid = false;
+  double overhead = 0.0;  ///< obs-on wall time / obs-off wall time.
+  std::size_t trace_events = 0;
+  std::string error;
+};
+
+/// Observability smoke gate: obs-off vs obs-on serial runs, interleaved
+/// min-of-3 timing, bit-exact parameter check, and in-process schema
+/// validation of the exported trace + metrics documents.
+ObsGate run_obs_gate(bool smoke, std::size_t steps,
+                     const std::string& trace_path) {
+  core::FaultTolerantTrainer off(bench_config(smoke, 0));
+  core::FaultTolerantTrainer on(bench_config(smoke, 0));
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;  // built-in steady clock: real wall timestamps.
+  on.set_obs({.metrics = &registry, .tracer = &tracer});
+
+  off.run(1);
+  on.run(1);
+  tracer.reset();  // trace covers the timed steps only.
+
+  double best_off = 1e100;
+  double best_on = 1e100;
+  for (int r = 0; r < 3; ++r) {  // interleave so load noise hits both sides.
+    best_off = std::min(best_off, bench::time_once(g_metrics,
+                                                   "bench.train.obs_off",
+                                                   [&] { off.run(steps); }));
+    best_on = std::min(best_on, bench::time_once(g_metrics,
+                                                 "bench.train.obs_on",
+                                                 [&] { on.run(steps); }));
+  }
+
+  ObsGate gate;
+  gate.overhead = best_on / best_off;
+  gate.params_identical = bitwise_equal(off.parameters(), on.parameters());
+
+  const std::string trace = tracer.trace_json();
+  gate.trace_events = tracer.event_count();
+  if (const auto err = obs::validate_trace(trace)) {
+    gate.error = *err;
+  } else {
+    gate.trace_valid = true;
+  }
+  gate.metrics_valid = obs::parse_json(registry.to_json()).has_value();
+  if (!gate.metrics_valid && gate.error.empty()) {
+    gate.error = "metrics snapshot is not valid JSON";
+  }
+
+  std::FILE* tf = std::fopen(trace_path.c_str(), "w");
+  if (tf == nullptr) {
+    gate.trace_valid = false;
+    gate.error = "cannot open " + trace_path;
+    return gate;
+  }
+  std::fwrite(trace.data(), 1, trace.size(), tf);
+  std::fclose(tf);
+  return gate;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool with_obs_gate = false;
+  std::string trace_path = "trace.json";
   std::string out_path = "BENCH_train.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--trace", 7) == 0) {
+      with_obs_gate = true;
+      if (argv[i][7] == '=' && argv[i][8] != '\0') trace_path = argv[i] + 8;
     } else {
       out_path = argv[i];
     }
@@ -96,8 +190,9 @@ int main(int argc, char** argv) {
   const std::size_t threads =
       std::max(1U, std::thread::hardware_concurrency());
 
-  const Run serial = run_trainer(smoke, 0, steps);
-  const Run parallel = run_trainer(smoke, threads, steps);
+  const Run serial = run_trainer(smoke, 0, steps, "bench.train.serial");
+  const Run parallel =
+      run_trainer(smoke, threads, steps, "bench.train.parallel");
   const bool identical = bitwise_equal(serial.params, parallel.params);
 
   const auto cfg = bench_config(smoke, 0);
@@ -112,6 +207,17 @@ int main(int argc, char** argv) {
               parallel.steps_per_s / serial.steps_per_s);
   std::printf("  parameters: %s\n",
               identical ? "bit-identical" : "MISMATCH");
+
+  ObsGate gate;
+  if (with_obs_gate) {
+    gate = run_obs_gate(smoke, steps, trace_path);
+    std::printf("  obs gate: overhead %.3fx (budget %.2fx), %zu trace "
+                "events, trace %s, params %s\n",
+                gate.overhead, kMaxObsOverhead, gate.trace_events,
+                gate.trace_valid ? "valid" : "INVALID",
+                gate.params_identical ? "bit-identical" : "MISMATCH");
+    if (gate.trace_valid) std::printf("  wrote %s\n", trace_path.c_str());
+  }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -132,15 +238,45 @@ int main(int argc, char** argv) {
                parallel.steps_per_s);
   std::fprintf(f, "  \"parallel_speedup\": %.4f,\n",
                parallel.steps_per_s / serial.steps_per_s);
-  std::fprintf(f, "  \"parameters_bit_identical\": %s\n}\n",
+  if (with_obs_gate) {
+    std::fprintf(f,
+                 "  \"obs\": {\"overhead\": %.4f, \"overhead_budget\": %.2f,"
+                 " \"trace_events\": %zu, \"trace_valid\": %s,"
+                 " \"params_bit_identical\": %s},\n",
+                 gate.overhead, kMaxObsOverhead, gate.trace_events,
+                 gate.trace_valid ? "true" : "false",
+                 gate.params_identical ? "true" : "false");
+  }
+  std::fprintf(f, "  \"parameters_bit_identical\": %s,\n",
                identical ? "true" : "false");
+  std::fprintf(f, "  \"metrics\": %s\n}\n", g_metrics.to_json().c_str());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
+  int failures = 0;
   if (!identical) {
     std::fprintf(stderr,
                  "FAIL: parallel trajectory diverged from serial transcript\n");
-    return 1;
+    ++failures;
   }
-  return 0;
+  if (with_obs_gate) {
+    if (!gate.params_identical) {
+      std::fprintf(stderr,
+                   "FAIL: attaching observability changed the parameter "
+                   "trajectory\n");
+      ++failures;
+    }
+    if (!gate.trace_valid || !gate.metrics_valid) {
+      std::fprintf(stderr, "FAIL: exported documents invalid: %s\n",
+                   gate.error.c_str());
+      ++failures;
+    }
+    if (!(gate.overhead <= kMaxObsOverhead)) {
+      std::fprintf(stderr,
+                   "FAIL: obs overhead %.3fx exceeds %.2fx budget\n",
+                   gate.overhead, kMaxObsOverhead);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }

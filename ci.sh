@@ -4,6 +4,7 @@
 #   ./ci.sh            all configs, full test suite under each
 #   ./ci.sh fault      fault-tolerance suites only (ctest -L fault)
 #   ./ci.sh perf       bench smoke gates only (ctest -L perf)
+#   ./ci.sh obs        observability suites only (ctest -L obs)
 #
 # The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
 # AddressSanitizer + UBSan, which is what gives the fault/recovery paths
@@ -16,6 +17,15 @@
 # engine's parallel_for_static row-block path (test_math, test_engine,
 # bench_math_smoke, bench_train_smoke) honest. ASan and TSan cannot share
 # a binary, hence the separate build directory.
+#
+# The obs lane (ctest -L obs) runs in all three configs: the normal
+# config checks byte-identical trace/metrics exports across thread
+# counts and save/resume, the ASan+UBSan config keeps the JSON exporter
+# clean under the adversarial span-name fuzz, and the TSan config
+# validates the metrics registry's sharded cross-thread accumulation.
+# The bench_obs_smoke gate (micro_train_throughput --smoke --trace)
+# additionally schema-validates the emitted trace.json and enforces the
+# metrics-on vs metrics-off overhead budget.
 #
 # The full default pass includes the two bench smoke gates
 # (bench/micro_math_throughput --smoke, bench/micro_train_throughput
@@ -36,6 +46,8 @@ run_suite() {
     ctest --test-dir "$dir" -L fault --output-on-failure -j "$JOBS"
   elif [[ "$LABEL" == "perf" ]]; then
     ctest --test-dir "$dir" -L perf --output-on-failure -j "$JOBS"
+  elif [[ "$LABEL" == "obs" ]]; then
+    ctest --test-dir "$dir" -L obs --output-on-failure -j "$JOBS"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
   fi

@@ -63,6 +63,34 @@ std::size_t Communicator::first_active_rank() const {
   throw std::logic_error("Communicator: every rank has been evicted");
 }
 
+void Communicator::record_collective(std::string_view op, double dt,
+                                     std::uint64_t bytes) {
+  if (!obs_.enabled()) return;
+  const std::uint64_t dt_ns = obs::seconds_to_ns(dt);
+  std::string name = "comm.";
+  name += op;
+  const std::size_t stem = name.size();
+  name += ".calls";
+  obs_.count(name);
+  name.resize(stem);
+  name += ".bytes";
+  obs_.count(name, bytes);
+  name.resize(stem);
+  name += ".sim_ns";
+  obs_.count(name, dt_ns);
+  name.resize(stem);
+  obs_.observe(name, dt_ns);
+  if (obs_.tracer != nullptr) {
+    // The collective just finished: it occupies [now - dt, now] on the
+    // tracer clock (exactly, under the sim clock; best-effort placement
+    // under a wall clock).
+    const std::uint64_t end_ns = obs_.tracer->now_rel_ns();
+    const std::uint64_t ts_ns = end_ns >= dt_ns ? end_ns - dt_ns : 0;
+    obs_.complete(obs::kMainTrack, std::move(name), "comm", ts_ns, dt_ns,
+                  {{"bytes", bytes}});
+  }
+}
+
 void Communicator::evict(std::size_t rank) {
   if (rank >= active_.size() || active_[rank] == 0) return;
   if (active_count() <= 1) {
@@ -70,6 +98,7 @@ void Communicator::evict(std::size_t rank) {
   }
   active_[rank] = 0;
   ++recovery_.evictions;
+  obs_.count("recovery.evictions");
 }
 
 void Communicator::set_active_mask(const std::vector<std::uint8_t>& mask) {
@@ -89,6 +118,7 @@ void Communicator::begin_iteration(std::size_t t) {
     if (is_active(e.rank)) {
       clocks_.advance(e.rank, e.slowdown_s);
       ++recovery_.straggler_events;
+      obs_.count("recovery.straggler_events");
     }
   }
 }
@@ -193,6 +223,7 @@ void Communicator::allreduce_sum(std::vector<std::span<float>> bufs) {
   clocks_.sync_advance(dt);
   stats_.allreduce_s += dt;
   stats_.allreduce_bytes += n * sizeof(float);
+  record_collective("allreduce", dt, n * sizeof(float));
 }
 
 void Communicator::allgather(const std::vector<std::vector<float>>& send,
@@ -214,8 +245,10 @@ void Communicator::allgather(const std::vector<std::vector<float>>& send,
   const double dt = allgather_time(max_chunk * sizeof(float));
   clocks_.sync_advance(dt);
   stats_.allgather_s += dt;
-  stats_.allgather_bytes +=
+  const std::uint64_t bytes =
       (gathered.size() - (send.empty() ? 0 : send[0].size())) * sizeof(float);
+  stats_.allgather_bytes += bytes;
+  record_collective("allgather", dt, bytes);
 }
 
 void Communicator::allgatherv(
@@ -248,14 +281,17 @@ void Communicator::allgatherv(
       if (injector_->take(FaultKind::kCorruptPayload, r)) {
         injector_->corrupt_payload(chunk);
         ++recovery_.corrupt_injected;
+        obs_.count("recovery.corrupt_injected");
       }
       if (injector_->take(FaultKind::kTruncateEntry, r)) {
         injector_->truncate_payload(chunk);
         ++recovery_.truncations_injected;
+        obs_.count("recovery.truncations_injected");
       }
       if (injector_->take(FaultKind::kDropEntry, r)) {
         chunk.clear();
         ++recovery_.drops_injected;
+        obs_.count("recovery.drops_injected");
       }
     }
     gathered.insert(gathered.end(), chunk.begin(), chunk.end());
@@ -270,6 +306,7 @@ void Communicator::allgatherv(
   clocks_.sync_advance(dt);
   stats_.allgather_s += dt;
   stats_.allgather_bytes += gathered.size();
+  record_collective("allgather", dt, gathered.size());
 }
 
 void Communicator::broadcast(std::vector<std::span<float>> bufs,
@@ -291,6 +328,7 @@ void Communicator::broadcast(std::vector<std::span<float>> bufs,
   const double dt = broadcast_time(src.size() * sizeof(float));
   clocks_.sync_advance(dt);
   stats_.broadcast_s += dt;
+  record_collective("broadcast", dt, src.size() * sizeof(float));
 }
 
 void Communicator::reduce_scatter_sum(std::vector<std::vector<float>>& bufs) {
@@ -320,6 +358,7 @@ void Communicator::reduce_scatter_sum(std::vector<std::vector<float>>& bufs) {
   const double dt = reduce_scatter_time(n * sizeof(float));
   clocks_.sync_advance(dt);
   stats_.reduce_scatter_s += dt;
+  record_collective("reduce_scatter", dt, n * sizeof(float));
 }
 
 void Communicator::broadcast_bytes(
@@ -338,10 +377,12 @@ void Communicator::broadcast_bytes(
     if (injector_->take(FaultKind::kCorruptPayload, root)) {
       injector_->corrupt_payload(delivered);
       ++recovery_.corrupt_injected;
+      obs_.count("recovery.corrupt_injected");
     }
     if (injector_->take(FaultKind::kTruncateEntry, root)) {
       injector_->truncate_payload(delivered);
       ++recovery_.truncations_injected;
+      obs_.count("recovery.truncations_injected");
     }
   }
   if (fault_) fault_(delivered);
@@ -351,6 +392,7 @@ void Communicator::broadcast_bytes(
   const double dt = broadcast_time(bufs[root].size());
   clocks_.sync_advance(dt);
   stats_.broadcast_s += dt;
+  record_collective("broadcast", dt, bufs[root].size());
 }
 
 }  // namespace compso::comm

@@ -17,6 +17,7 @@
 #include "src/comm/fault_injector.hpp"
 #include "src/comm/network_model.hpp"
 #include "src/comm/topology.hpp"
+#include "src/obs/obs.hpp"
 
 #include <cstdint>
 #include <functional>
@@ -111,6 +112,15 @@ class Communicator {
   RecoveryStats& recovery() noexcept { return recovery_; }
   const RecoveryStats& recovery() const noexcept { return recovery_; }
 
+  // --- observability ---
+  /// Attaches metrics/tracer hooks (copies the ObsHooks value; the
+  /// pointed-at registry and tracer are not owned). Every collective then
+  /// records a span plus `comm.<op>.bytes` / `comm.<op>.calls` counters
+  /// whose byte totals reconcile exactly with CommStats, and every fault /
+  /// eviction site counts a matching `recovery.<field>` metric.
+  void set_obs(obs::ObsHooks hooks) noexcept { obs_ = hooks; }
+  const obs::ObsHooks& obs() const noexcept { return obs_; }
+
   // --- rank liveness (world-shrink after a crash) ---
   /// Ranks still participating in collectives. Evicted ranks keep their
   /// buffer slots in every call (SPMD style) but contribute nothing and
@@ -184,6 +194,11 @@ class Communicator {
   /// the full world.
   LinkParams ring_bottleneck() const noexcept;
 
+  /// Records one finished collective into the attached obs hooks: a span
+  /// of the modeled duration ending at the current tracer time, plus the
+  /// calls/bytes counters and a duration histogram.
+  void record_collective(std::string_view op, double dt, std::uint64_t bytes);
+
   Topology topo_;
   NetworkModel net_;
   SimClocks clocks_;
@@ -192,6 +207,17 @@ class Communicator {
   PayloadFault fault_;
   FaultInjector* injector_ = nullptr;
   std::vector<std::uint8_t> active_;  ///< 1 = participating, 0 = evicted.
+  obs::ObsHooks obs_;
 };
+
+/// Deterministic obs clock over the communicator's simulated time: reads
+/// max(rank clocks) in integer nanoseconds. Collectives are the only
+/// points where simulated time advances, and they run on the optimizer
+/// thread, so the clock satisfies the Clock::deterministic() contract.
+inline obs::FunctionClock sim_time_clock(const SimClocks& clocks) {
+  return obs::FunctionClock(
+      [&clocks] { return obs::seconds_to_ns(clocks.max_time()); },
+      /*deterministic=*/true);
+}
 
 }  // namespace compso::comm

@@ -93,6 +93,8 @@ void ThreadPool::worker_loop(std::size_t id) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  obs_.count("pool.parallel_for.calls");
+  obs_.count("pool.parallel_for.items", n);
   const std::size_t helpers = std::min(size(), n) - 1;
   std::atomic<std::size_t> cursor{0};
   auto drain = [&cursor, n, &fn] {
@@ -120,6 +122,8 @@ void ThreadPool::parallel_for(std::size_t n,
 void ThreadPool::parallel_for_static(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  obs_.count("pool.parallel_for_static.calls");
+  obs_.count("pool.parallel_for_static.items", n);
   // Nested (worker-thread) and post-shutdown calls run serially inline:
   // same ranges processed, same per-block arithmetic, identical results.
   if (t_on_worker || stop_.load(std::memory_order_acquire)) {

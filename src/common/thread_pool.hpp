@@ -12,6 +12,8 @@
 // caller error (the late task may be dropped); submitting after shutdown()
 // throws.
 
+#include "src/obs/obs.hpp"
+
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -66,6 +68,12 @@ class ThreadPool {
   /// Idempotent.
   void shutdown();
 
+  /// Attaches metrics hooks. The pool only counts size-invariant events —
+  /// parallel_for / parallel_for_static calls and their item counts —
+  /// never raw task submissions, whose number depends on the worker count
+  /// and would break the cross-thread-count determinism of snapshots.
+  void set_obs(obs::ObsHooks hooks) noexcept { obs_ = hooks; }
+
  private:
   struct Queue {
     std::mutex m;
@@ -83,6 +91,7 @@ class ThreadPool {
   std::atomic<long long> pending_{0};  ///< queued-but-not-started tasks.
   std::atomic<std::size_t> next_{0};   ///< round-robin submission cursor.
   std::atomic<bool> stop_{false};
+  obs::ObsHooks obs_;
 };
 
 }  // namespace compso::common

@@ -19,9 +19,47 @@ std::size_t CompressionEngine::thread_count() const noexcept {
   return pool_ ? pool_->size() : 0;
 }
 
+std::function<void()> CompressionEngine::instrument(
+    std::function<void()> job) {
+  if (!obs_.enabled()) return job;
+  const std::uint64_t task_id = obs_task_seq_++;
+  obs_.count("engine.tasks");
+  if (obs_.tracer == nullptr) return job;
+  const auto track =
+      obs::kTaskTrackBase + static_cast<std::uint32_t>(task_id);
+  if (obs_.deterministic_time()) {
+    // Deterministic clock: stamp the span here, at submission on the
+    // optimizer thread. Simulated time never advances inside a task, so
+    // the zero duration is exact — and no worker ever races the clock.
+    obs_.complete(track, "engine.task", "engine", obs_.tracer->now_rel_ns(),
+                  0, {{"task", task_id}});
+    return job;
+  }
+  // Wall clock: time the job around its execution on whichever worker
+  // picks it up. Record the span even when the job throws, so traces of
+  // fault-injected runs still show the failed task.
+  obs::Tracer* tracer = obs_.tracer;
+  return [tracer, track, task_id, job = std::move(job)]() {
+    const std::uint64_t start = tracer->now_rel_ns();
+    const auto record = [&] {
+      const std::uint64_t end = tracer->now_rel_ns();
+      tracer->complete(track, "engine.task", "engine", start,
+                       end >= start ? end - start : 0, {{"task", task_id}});
+    };
+    try {
+      job();
+    } catch (...) {
+      record();
+      throw;
+    }
+    record();
+  };
+}
+
 CompressionEngine::Ticket CompressionEngine::submit(
     std::function<void()> job) {
   const Ticket t = tickets_++;
+  job = instrument(std::move(job));
   if (pool_) {
     futures_.push_back(pool_->submit(std::move(job)));
   } else {
@@ -75,6 +113,9 @@ void CompressionEngine::wait_all() {
 
 void CompressionEngine::run_batch(std::vector<std::function<void()>>&& jobs) {
   std::exception_ptr first;
+  if (obs_.enabled()) {
+    for (auto& job : jobs) job = instrument(std::move(job));
+  }
   if (pool_) {
     std::vector<std::future<void>> batch;
     batch.reserve(jobs.size());

@@ -22,6 +22,7 @@
 // parallel modes are tested against). The engine itself is not
 // thread-safe: submit/wait are called from the optimizer thread only.
 
+#include "src/obs/obs.hpp"
 #include "src/tensor/rng.hpp"
 
 #include <cstdint>
@@ -90,11 +91,31 @@ class CompressionEngine {
   /// in flight).
   void run_batch(std::vector<std::function<void()>>&& jobs);
 
+  /// Attaches metrics/tracer hooks and restarts the engine's task
+  /// numbering (so runs instrumented from the same logical point emit
+  /// identical task ids). Every job then counts `engine.tasks` and
+  /// records a span on its own track (kTaskTrackBase + task id). Under a
+  /// deterministic tracer clock the span is stamped at submission, on the
+  /// optimizer thread, so the trace is byte-identical at any thread
+  /// count; under a wall clock it is timed around the job's execution.
+  void set_obs(obs::ObsHooks hooks) noexcept {
+    obs_ = hooks;
+    obs_task_seq_ = 0;
+  }
+  const obs::ObsHooks& obs() const noexcept { return obs_; }
+
  private:
+  /// Wraps `job` with the per-task instrumentation described at
+  /// set_obs(); returns it unchanged when no hooks are attached. Called
+  /// on the optimizer thread in submission order.
+  std::function<void()> instrument(std::function<void()> job);
+
   std::unique_ptr<common::ThreadPool> pool_;
   std::vector<std::future<void>> futures_;          ///< parallel tickets.
   std::vector<std::exception_ptr> inline_errors_;   ///< serial tickets.
   std::size_t tickets_ = 0;
+  obs::ObsHooks obs_;
+  std::uint64_t obs_task_seq_ = 0;
 };
 
 }  // namespace compso::compress

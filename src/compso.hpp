@@ -27,6 +27,8 @@
 #include "src/nn/dataset.hpp"
 #include "src/nn/model.hpp"
 #include "src/nn/model_zoo.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/obs.hpp"
 #include "src/optim/dist_kfac.hpp"
 #include "src/optim/dist_sgd.hpp"
 #include "src/optim/first_order.hpp"

@@ -19,10 +19,17 @@ CompsoFramework::CompsoFramework(FrameworkConfig config,
       dev_(dev),
       aggregation_(config.fixed_aggregation) {}
 
+const std::vector<std::size_t>& CompsoFramework::aggregation_candidates() {
+  static const std::vector<std::size_t> kCandidates{1, 2, 4, 8, 16, 32};
+  return kCandidates;
+}
+
 void CompsoFramework::tune(const std::vector<std::size_t>& layer_bytes,
                            std::span<const float> sample_gradient,
                            double comm_fraction, tensor::Rng& rng) {
+  auto tune_span = obs_.span(obs::kMainTrack, "tune", "tune");
   // --- encoder selection on the lossy-stage output of a real sample.
+  auto encoder_span = obs_.span(obs::kMainTrack, "tune.encoder_select", "tune");
   const CompressionStage stage0 = schedule_.at(0);
   const double abs_max = tensor::extrema(sample_gradient).abs_max;
   const auto filt =
@@ -35,8 +42,18 @@ void CompsoFramework::tune(const std::vector<std::size_t>& layer_bytes,
                       filt.bitmap.end());
   encoder_scores_ = perf::score_encoders(lossy_stream, dev_, table_);
   if (!encoder_scores_.empty()) encoder_ = encoder_scores_.front().kind;
+  for (const auto& score : encoder_scores_) {
+    const std::string stem =
+        std::string("tune.encoder.") + codec::to_string(score.kind);
+    obs_.gauge(stem + ".est_total_s", score.est_total_time);
+    obs_.gauge(stem + ".ratio", score.compression_ratio);
+  }
+  obs_.count(std::string("tune.selected.encoder.") +
+             codec::to_string(encoder_));
+  encoder_span.end();
 
   // --- warm-up profile: k compress/decompress rounds on the sample.
+  auto warmup_span = obs_.span(obs::kMainTrack, "tune.warmup", "tune");
   const auto compso = compress::make_compso(schedule_.params_at(0, encoder_));
   perf::OnlineProfiler profiler;
   for (std::size_t k = 0; k < cfg_.warmup_iterations; ++k) {
@@ -53,13 +70,24 @@ void CompsoFramework::tune(const std::vector<std::size_t>& layer_bytes,
                     comm_fraction > 0.0 ? comm_t / comm_fraction : comm_t);
   }
   const perf::WarmupProfile profile = profiler.finish();
+  profile_ = profile;
+  warmup_span.end();
 
   // --- aggregation factor (COMPSO-p) or the fixed default (COMPSO-f).
+  auto agg_span = obs_.span(obs::kMainTrack, "tune.aggregation", "tune");
   if (cfg_.use_perf_model) {
+    const auto& candidates = aggregation_candidates();
     const auto decision = perf::choose_aggregation_factor(
-        layer_bytes, profile, *compso, dev_, table_);
+        layer_bytes, profile, *compso, dev_, table_, candidates);
     aggregation_ = decision.factor;
     est_e2e_ = decision.est_end_to_end;
+    for (std::size_t i = 0; i < candidates.size() &&
+                            i < decision.candidate_end_to_end.size();
+         ++i) {
+      obs_.gauge("tune.aggregation.m" + std::to_string(candidates[i]) +
+                     ".est_e2e",
+                 decision.candidate_end_to_end[i]);
+    }
   } else {
     aggregation_ = cfg_.fixed_aggregation;
     const double s = perf::communication_speedup(
@@ -70,6 +98,9 @@ void CompsoFramework::tune(const std::vector<std::size_t>& layer_bytes,
         0, table_, profile.comp_throughput, profile.decomp_throughput);
     est_e2e_ = perf::end_to_end_speedup(profile.comm_fraction, s);
   }
+  obs_.gauge("tune.selected.aggregation",
+             static_cast<double>(aggregation_));
+  obs_.gauge("tune.est_e2e", est_e2e_);
 }
 
 const compress::GradientCompressor* CompsoFramework::compressor_for(

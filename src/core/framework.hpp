@@ -6,6 +6,7 @@
 
 #include "src/core/adaptive_schedule.hpp"
 #include "src/core/trainer.hpp"
+#include "src/obs/obs.hpp"
 #include "src/perf/perf_model.hpp"
 
 #include <map>
@@ -46,6 +47,20 @@ class CompsoFramework {
     return encoder_scores_;
   }
   double estimated_end_to_end() const noexcept { return est_e2e_; }
+  /// Warm-up profile measured by the last tune() call (zeroed before).
+  /// Exposed so differential tests can re-run the selection math on the
+  /// exact same inputs the framework used.
+  const perf::WarmupProfile& warmup_profile() const noexcept {
+    return profile_;
+  }
+  /// The aggregation candidates tune() evaluates (paper §4.4).
+  static const std::vector<std::size_t>& aggregation_candidates();
+
+  /// Attaches metrics/tracer hooks: tune() then records per-candidate
+  /// encoder and aggregation scores as gauges ("tune.encoder.<name>.*",
+  /// "tune.aggregation.m<m>.est_e2e") plus the selected values, and wraps
+  /// its phases in spans.
+  void set_obs(obs::ObsHooks hooks) noexcept { obs_ = hooks; }
 
   /// Compressor for iteration t (cached per schedule stage).
   const compress::GradientCompressor* compressor_for(std::size_t t) const;
@@ -64,6 +79,8 @@ class CompsoFramework {
   std::size_t aggregation_;
   double est_e2e_ = 1.0;
   std::vector<perf::EncoderScore> encoder_scores_;
+  perf::WarmupProfile profile_;
+  obs::ObsHooks obs_;
   mutable std::map<std::size_t, std::unique_ptr<compress::GradientCompressor>>
       stage_cache_;
 };

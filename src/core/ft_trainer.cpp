@@ -1,6 +1,7 @@
 #include "src/core/ft_trainer.hpp"
 
 #include "src/comm/network_model.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/compress/payload_fuzz.hpp"
 #include "src/tensor/matrix_ops.hpp"
 
@@ -86,10 +87,32 @@ void FaultTolerantTrainer::poison_gradients(nn::Model& model) {
   }
 }
 
+compress::CompsoParams FaultTolerantTrainer::effective_params(
+    std::size_t t) const {
+  auto params = schedule_.params_at(t);
+  if (tightened_) {
+    params.use_filter = false;
+    params.quant_bound *= 0.5;
+  }
+  return params;
+}
+
+void FaultTolerantTrainer::set_obs(obs::ObsHooks hooks) {
+  obs_ = hooks;
+  comm_.set_obs(hooks);
+  engine_.set_obs(hooks);
+  if (engine_.pool() != nullptr) engine_.pool()->set_obs(hooks);
+}
+
 double FaultTolerantTrainer::step() {
   const std::size_t t = iteration_;
+  obs_.count("trainer.steps");
+  auto step_span = obs_.span(obs::kMainTrack, "trainer.step", "trainer");
+  step_span.add_arg("iteration", t);
   comm_.begin_iteration(t);  // consumes crash + straggler events for t.
 
+  auto compute_span =
+      obs_.span(obs::kMainTrack, "trainer.forward_backward", "trainer");
   double loss = 0.0;
   for (std::size_t r = 0; r < cfg_.base.world; ++r) {
     if (!comm_.is_active(r)) continue;
@@ -104,16 +127,13 @@ double FaultTolerantTrainer::step() {
     }
   }
   loss /= static_cast<double>(comm_.active_count());
+  compute_span.end();
 
   std::unique_ptr<compress::GradientCompressor> compressor;
   if (cfg_.compress) {
-    auto params = schedule_.params_at(t);
-    if (tightened_) {
-      // Post-NaN conservative mode: no filtering, half the SR bound.
-      params.use_filter = false;
-      params.quant_bound *= 0.5;
-    }
-    compressor = compress::make_compso(params);
+    // Post-NaN conservative mode: no filtering, half the SR bound (see
+    // effective_params).
+    compressor = compress::make_compso(effective_params(t));
   }
 
   const auto skips_before = comm_.recovery().nonfinite_skips;
@@ -125,6 +145,9 @@ double FaultTolerantTrainer::step() {
   if (comm_.recovery().nonfinite_skips > skips_before && !tightened_) {
     tightened_ = true;
     ++comm_.recovery().bound_tightenings;
+    obs_.count("recovery.bound_tightenings");
+    obs_.instant(obs::kMainTrack, "trainer.bound_tighten", "recovery",
+                 {{"iteration", t}});
   }
   ++iteration_;
   return loss;
@@ -201,8 +224,18 @@ ckpt::Bytes FaultTolerantTrainer::checkpoint() {
   // --- RNG streams ---
   ckpt::put_rng(body, data_rng_.save_state());
   ckpt::put_rng(body, sr_rng_.save_state());
+  // --- simulated per-rank clocks (so a resumed run reproduces the exact
+  // simulated timeline, and sim-clock-driven traces stay byte-identical) ---
+  const auto& clocks = comm_.clocks();
+  ckpt::put_u64(body, clocks.world_size());
+  for (std::size_t r = 0; r < clocks.world_size(); ++r) {
+    ckpt::put_f64(body, clocks.at(r));
+  }
 
   ++comm_.recovery().checkpoint_saves;
+  obs_.count("recovery.checkpoint_saves");
+  obs_.instant(obs::kMainTrack, "trainer.checkpoint_save", "recovery",
+               {{"iteration", iteration_}});
   return ckpt::seal_frame(body);
 }
 
@@ -263,10 +296,23 @@ void FaultTolerantTrainer::restore(ckpt::ByteView frame) {
   }
   data_rng_.restore_state(ckpt::get_rng(reader));
   sr_rng_.restore_state(ckpt::get_rng(reader));
+  const auto clock_count = reader.bounded_u64(1 << 20, "sim clocks");
+  auto& clocks = comm_.clocks();
+  if (clock_count != clocks.world_size()) {
+    throw PayloadError("checkpoint: sim clock count mismatch");
+  }
+  clocks.reset();
+  for (std::size_t r = 0; r < clock_count; ++r) {
+    // advance() onto a reset (0.0) clock restores the saved double exactly.
+    clocks.advance(r, reader.f64());
+  }
   if (reader.remaining() != 0) {
     throw PayloadError("checkpoint: trailing bytes");
   }
   ++comm_.recovery().checkpoint_restores;
+  obs_.count("recovery.checkpoint_restores");
+  obs_.instant(obs::kMainTrack, "trainer.checkpoint_restore", "recovery",
+               {{"iteration", iteration_}});
 }
 
 void FaultTolerantTrainer::load_checkpoint(const std::string& path) {

@@ -82,6 +82,21 @@ class FaultTolerantTrainer {
   bool bounds_tightened() const noexcept { return tightened_; }
   comm::Communicator& comm() noexcept { return comm_; }
   const comm::Communicator& comm() const noexcept { return comm_; }
+  const AdaptiveSchedule& schedule() const noexcept { return schedule_; }
+  compress::CompressionEngine& engine() noexcept { return engine_; }
+
+  /// The compressor parameters iteration `t` would train with, including
+  /// the post-NaN tightening override — what a resumed run must reproduce
+  /// bit-exactly (see tests/test_stage_resume.cpp).
+  compress::CompsoParams effective_params(std::size_t t) const;
+
+  /// Attaches observability to the whole runtime: the Communicator (per
+  /// collective spans + byte counters), the CompressionEngine (per-task
+  /// spans), its ThreadPool, and the trainer itself (per-step spans,
+  /// checkpoint/tightening events). Pass {} to detach. For byte-identical
+  /// exports across engine thread counts, drive the attached tracer with
+  /// comm::sim_time_clock(comm().clocks()).
+  void set_obs(obs::ObsHooks hooks);
 
   /// Serializes the full training state as one checkpoint frame.
   ckpt::Bytes checkpoint();
@@ -109,6 +124,7 @@ class FaultTolerantTrainer {
   tensor::Rng sr_rng_;
   std::size_t iteration_ = 0;
   bool tightened_ = false;  ///< adaptive bounds tightened after a NaN event.
+  obs::ObsHooks obs_;
 };
 
 }  // namespace compso::core

@@ -1,0 +1,60 @@
+#pragma once
+// Minimal JSON support for the observability exports: a writer that
+// escapes arbitrary byte strings safely (span names are caller data and
+// may be adversarial), and a small recursive-descent parser used by the
+// trace-schema validator and the exporter round-trip tests. No external
+// dependencies; the emitted documents are pure ASCII so byte-identity of
+// exports never depends on locale or UTF-8 normalization.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compso::obs {
+
+/// Appends `s` as a JSON string literal (including the surrounding
+/// quotes). Control characters, quotes, backslashes and every byte >=
+/// 0x80 are emitted as \u00XX escapes, so any byte string — embedded
+/// NULs, invalid UTF-8, quote bombs — round-trips through a conforming
+/// parser without ever breaking the document structure.
+void append_json_string(std::string& out, std::string_view s);
+
+/// "%.17g"-formatted double (shortest representation that round-trips a
+/// binary64, locale-independent). NaN/Inf are not valid JSON; they are
+/// emitted as null.
+void append_json_double(std::string& out, double v);
+
+/// Parsed JSON value (object keys keep document order; duplicate keys
+/// keep the last occurrence, matching common parser behavior).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with this key, or nullptr.
+  const JsonValue* find(std::string_view key) const noexcept;
+  bool is(Kind k) const noexcept { return kind == k; }
+};
+
+/// Parses a complete JSON document; std::nullopt on any syntax error or
+/// trailing garbage. Depth-limited (128) so adversarial nesting cannot
+/// overflow the stack.
+std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace compso::obs

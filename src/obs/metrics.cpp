@@ -1,0 +1,184 @@
+#include "src/obs/metrics.hpp"
+
+#include "src/obs/json.hpp"
+
+#include <bit>
+
+namespace compso::obs {
+
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+std::size_t MetricsRegistry::bucket_index(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  return std::min(kHistogramBuckets - 1, (width + 1) / 2);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() const {
+  // Cache keyed by the registry's process-unique id (never an address, so
+  // a destroyed registry's stale entries can never be revived by a new
+  // registry landing at the same address).
+  thread_local std::map<std::uint64_t, Shard*> cache;
+  const auto it = cache.find(id_);
+  if (it != cache.end()) return *it->second;
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.emplace(id_, shard);
+  return *shard;
+}
+
+std::atomic<std::uint64_t>& MetricsRegistry::counter_cell(
+    std::string_view name) const {
+  Shard& shard = local_shard();
+  // Lock-free fast path: only this thread ever inserts into its own
+  // shard, so a lookup that finds the cell needs no lock (snapshot()
+  // readers also only read the structure, under the shard mutex).
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    std::lock_guard<std::mutex> lock(shard.m);
+    it = shard.counters
+             .emplace(std::string(name),
+                      std::make_unique<std::atomic<std::uint64_t>>(0))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram_cell(
+    std::string_view name) const {
+  Shard& shard = local_shard();
+  auto it = shard.hists.find(name);
+  if (it == shard.hists.end()) {
+    std::lock_guard<std::mutex> lock(shard.m);
+    it = shard.hists.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  counter_cell(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(std::string_view name, std::uint64_t value) {
+  Histogram& h = histogram_cell(name);
+  h.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.gauges = gauges_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->m);
+    for (const auto& [name, cell] : shard->counters) {
+      snap.counters[name] += cell->load(std::memory_order_relaxed);
+    }
+    for (const auto& [name, hist] : shard->hists) {
+      HistogramSnapshot& out = snap.histograms[name];
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        out.buckets[b] += hist->buckets[b].load(std::memory_order_relaxed);
+      }
+      out.count += hist->count.load(std::memory_order_relaxed);
+      out.sum += hist->sum.load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->m);
+    const auto it = shard->counters.find(name);
+    if (it != shard->counters.end()) {
+      total += it->second->load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    append_json_double(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": ";
+    out += std::to_string(hist.count);
+    out += ", \"sum\": ";
+    out += std::to_string(hist.sum);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(hist.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.clear();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->m);
+    for (auto& [name, cell] : shard->counters) {
+      cell->store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, hist] : shard->hists) {
+      for (auto& b : hist->buckets) b.store(0, std::memory_order_relaxed);
+      hist->count.store(0, std::memory_order_relaxed);
+      hist->sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace compso::obs

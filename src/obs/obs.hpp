@@ -1,0 +1,73 @@
+#pragma once
+// ObsHooks: the handle the pipeline components actually hold. A pair of
+// non-owning pointers (metrics registry, tracer) with null-safe helpers,
+// so instrumented code reads the same whether observability is attached
+// or not — a default-constructed ObsHooks makes every call a no-op.
+//
+// Ownership stays with the caller (test, bench binary, trainer): the
+// components only record into whatever was attached via their set_obs().
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/obs/clock.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/tracer.hpp"
+
+namespace compso::obs {
+
+struct ObsHooks {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  bool enabled() const noexcept {
+    return metrics != nullptr || tracer != nullptr;
+  }
+
+  void count(std::string_view name, std::uint64_t delta = 1) const {
+    if (metrics != nullptr) metrics->add(name, delta);
+  }
+
+  void observe(std::string_view name, std::uint64_t value) const {
+    if (metrics != nullptr) metrics->observe(name, value);
+  }
+
+  void gauge(std::string_view name, double value) const {
+    if (metrics != nullptr) metrics->set_gauge(name, value);
+  }
+
+  /// Inert span when no tracer is attached.
+  Tracer::Span span(std::uint32_t track, std::string name,
+                    std::string cat = "compso") const {
+    if (tracer == nullptr) return Tracer::Span();
+    return tracer->span(track, std::move(name), std::move(cat));
+  }
+
+  void instant(std::uint32_t track, std::string name,
+               std::string cat = "compso",
+               Tracer::Args args = {}) const {
+    if (tracer != nullptr) {
+      tracer->instant(track, std::move(name), std::move(cat),
+                      std::move(args));
+    }
+  }
+
+  void complete(std::uint32_t track, std::string name, std::string cat,
+                std::uint64_t ts_ns, std::uint64_t dur_ns,
+                Tracer::Args args = {}) const {
+    if (tracer != nullptr) {
+      tracer->complete(track, std::move(name), std::move(cat), ts_ns, dur_ns,
+                       std::move(args));
+    }
+  }
+
+  /// True when span timestamps must only be read from deterministic
+  /// program points (see clock.hpp). False when no tracer is attached.
+  bool deterministic_time() const noexcept {
+    return tracer != nullptr && tracer->clock().deterministic();
+  }
+};
+
+}  // namespace compso::obs

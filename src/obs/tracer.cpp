@@ -1,0 +1,257 @@
+#include "src/obs/tracer.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/json.hpp"
+
+namespace compso::obs {
+
+// ---------------------------------------------------------------- Span
+
+Tracer::Span::Span(Tracer* tracer, std::uint32_t track, std::string name,
+                   std::string cat)
+    : tracer_(tracer),
+      track_(track),
+      name_(std::move(name)),
+      cat_(std::move(cat)) {
+  if (tracer_ == nullptr) return;
+  ts_ns_ = tracer_->now_rel_ns();
+  std::lock_guard<std::mutex> lock(tracer_->mu_);
+  seq_ = tracer_->claim_seq_locked(track_);
+}
+
+Tracer::Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      track_(other.track_),
+      seq_(other.seq_),
+      ts_ns_(other.ts_ns_),
+      name_(std::move(other.name_)),
+      cat_(std::move(other.cat_)),
+      args_(std::move(other.args_)) {
+  other.tracer_ = nullptr;
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    track_ = other.track_;
+    seq_ = other.seq_;
+    ts_ns_ = other.ts_ns_;
+    name_ = std::move(other.name_);
+    cat_ = std::move(other.cat_);
+    args_ = std::move(other.args_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Tracer::Span::~Span() { end(); }
+
+void Tracer::Span::add_arg(std::string_view key, std::uint64_t value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(std::string(key), value);
+}
+
+void Tracer::Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  const std::uint64_t end_ns = tracer->now_rel_ns();
+  Event e;
+  e.name = std::move(name_);
+  e.cat = std::move(cat_);
+  e.track = track_;
+  e.seq = seq_;
+  e.ts_ns = ts_ns_;
+  e.dur_ns = end_ns >= ts_ns_ ? end_ns - ts_ns_ : 0;
+  e.phase = 'X';
+  e.args = std::move(args_);
+  tracer->record(std::move(e));
+}
+
+// -------------------------------------------------------------- Tracer
+
+Tracer::Tracer() : clock_(&fallback_clock_) { reset(); }
+
+Tracer::Tracer(const Clock* clock)
+    : clock_(clock != nullptr ? clock : &fallback_clock_) {
+  reset();
+}
+
+void Tracer::set_clock(const Clock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock != nullptr ? clock : &fallback_clock_;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_seq_.clear();
+  origin_ns_ = clock_->now_ns();
+}
+
+std::uint64_t Tracer::now_rel_ns() const {
+  const std::uint64_t now = clock_->now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  return now >= origin_ns_ ? now - origin_ns_ : 0;
+}
+
+std::uint64_t Tracer::claim_seq_locked(std::uint32_t track) {
+  return next_seq_[track]++;
+}
+
+void Tracer::record(Event e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::complete(std::uint32_t track, std::string name, std::string cat,
+                      std::uint64_t ts_ns, std::uint64_t dur_ns, Args args) {
+  Event e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.track = track;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.phase = 'X';
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = claim_seq_locked(track);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(std::uint32_t track, std::string name, std::string cat,
+                     Args args) {
+  const std::uint64_t ts = now_rel_ns();
+  Event e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.track = track;
+  e.ts_ns = ts;
+  e.phase = 'i';
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = claim_seq_locked(track);
+  events_.push_back(std::move(e));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::vector<Event> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = events_;
+  }
+  std::stable_sort(snap.begin(), snap.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.track != b.track) return a.track < b.track;
+                     return a.seq < b.seq;
+                   });
+  return snap;
+}
+
+namespace {
+
+// Chrome traces use microsecond timestamps. Print µs with three decimals
+// straight from the integer nanosecond value — no double formatting, so
+// the text is a pure function of the integer.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::trace_json() const {
+  const std::vector<Event> sorted = events();
+  std::string out;
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : sorted) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": ";
+    append_json_string(out, e.name);
+    out += ", \"cat\": ";
+    append_json_string(out, e.cat.empty() ? std::string_view("compso")
+                                          : std::string_view(e.cat));
+    out += ", \"ph\": \"";
+    out.push_back(e.phase);
+    out += "\", \"pid\": 0, \"tid\": ";
+    out += std::to_string(e.track);
+    out += ", \"ts\": ";
+    append_us(out, e.ts_ns);
+    if (e.phase == 'X') {
+      out += ", \"dur\": ";
+      append_us(out, e.dur_ns);
+    } else {
+      out += ", \"s\": \"t\"";
+    }
+    out += ", \"args\": {\"seq\": ";
+    out += std::to_string(e.seq);
+    for (const auto& [key, value] : e.args) {
+      out += ", ";
+      append_json_string(out, key);
+      out += ": ";
+      out += std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += first ? "]\n}\n" : "\n]\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------- validation
+
+std::optional<std::string> validate_trace(std::string_view json) {
+  const std::optional<JsonValue> doc = parse_json(json);
+  if (!doc) return "trace is not valid JSON";
+  if (!doc->is(JsonValue::Kind::kObject)) return "top level is not an object";
+  const JsonValue* events = doc->find("traceEvents");
+  if (events == nullptr) return "missing traceEvents";
+  if (!events->is(JsonValue::Kind::kArray)) return "traceEvents is not an array";
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const std::string at = " (event " + std::to_string(i) + ")";
+    if (!e.is(JsonValue::Kind::kObject)) return "event is not an object" + at;
+    const JsonValue* name = e.find("name");
+    if (name == nullptr || !name->is(JsonValue::Kind::kString)) {
+      return "event missing string name" + at;
+    }
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is(JsonValue::Kind::kString) ||
+        (ph->string != "X" && ph->string != "i")) {
+      return "event missing ph \"X\"/\"i\"" + at;
+    }
+    const JsonValue* ts = e.find("ts");
+    if (ts == nullptr || !ts->is(JsonValue::Kind::kNumber) ||
+        ts->number < 0.0) {
+      return "event missing non-negative ts" + at;
+    }
+    if (ph->string == "X") {
+      const JsonValue* dur = e.find("dur");
+      if (dur == nullptr || !dur->is(JsonValue::Kind::kNumber) ||
+          dur->number < 0.0) {
+        return "complete event missing non-negative dur" + at;
+      }
+    }
+    for (const char* field : {"pid", "tid"}) {
+      const JsonValue* v = e.find(field);
+      if (v == nullptr || !v->is(JsonValue::Kind::kNumber)) {
+        return std::string("event missing numeric ") + field + at;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace compso::obs

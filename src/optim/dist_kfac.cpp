@@ -133,10 +133,14 @@ void DistKfac::exchange_covariances(
       if (!policy_.enabled) throw;
       if (attempt + 1 < attempts) {
         ++comm_.recovery().decode_retries;
+        comm_.obs().count("recovery.decode_retries");
         continue;
       }
       ++comm_.recovery().decode_failures;
       ++comm_.recovery().fallback_steps;
+      comm_.obs().count("recovery.decode_failures");
+      comm_.obs().count("recovery.fallback_steps");
+      comm_.obs().instant(obs::kMainTrack, "kfac.factor_fallback", "recovery");
       // Fallback: plain allreduce of the raw covariances (untouched by
       // the compressed attempt).
       std::vector<std::span<float>> views;
@@ -344,6 +348,8 @@ void DistKfac::step(std::size_t iteration, double lr,
   const std::size_t slots = layer_indices_.size();
   factor_orig_bytes_ = 0;
   factor_comp_bytes_ = 0;
+  const obs::ObsHooks& hooks = comm_.obs();
+  hooks.count("kfac.steps");
   auto& eng = engine();
   eng.wait_all();  // reap any tickets left by a previous failed step.
   task_counter_ = 0;
@@ -357,6 +363,7 @@ void DistKfac::step(std::size_t iteration, double lr,
   // --- 1: local covariances for every layer upfront (evicted ranks
   // contribute zero tensors of the right shape so the collective's slot
   // layout stays intact).
+  auto factor_span = hooks.span(obs::kMainTrack, "kfac.factor_update", "kfac");
   if (cov_a_.size() < slots) {
     cov_a_.resize(slots);
     cov_g_.resize(slots);
@@ -472,8 +479,11 @@ void DistKfac::step(std::size_t iteration, double lr,
     }
     throw;
   }
+  factor_span.end();
 
   // --- 2b: gradient allreduce (data-parallel average of SGD gradients).
+  auto allreduce_span =
+      hooks.span(obs::kMainTrack, "kfac.grad_allreduce", "kfac");
   momentum_workspace_.clear();
   for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
     const std::size_t li = layer_indices_[s];
@@ -493,11 +503,14 @@ void DistKfac::step(std::size_t iteration, double lr,
     // the momentum path below; keep it in a temp list.
     momentum_workspace_.push_back(std::move(grads[lead]));
   }
+  allreduce_span.end();
 
   // --- 3: eigendecomposition refresh on owner ranks (partitioned work).
   const bool refresh =
       iteration % cfg_.eigen_refresh_every == 0 || !states_[0]->has_eigen();
   if (refresh) {
+    auto eigh_span = hooks.span(obs::kMainTrack, "kfac.eigh", "kfac");
+    hooks.count("kfac.eigh_refreshes");
     // Eigendecompositions of distinct layers are independent (each owner
     // refreshes its own states); run them as one engine batch. Each eigh
     // call is internally deterministic, so parallel refresh produces the
@@ -520,6 +533,8 @@ void DistKfac::step(std::size_t iteration, double lr,
   orig_bytes_ = 0;
   comp_bytes_ = 0;
   std::vector<std::vector<std::size_t>> owned(world);
+  auto precondition_span =
+      hooks.span(obs::kMainTrack, "kfac.precondition", "kfac");
   {
     // Owners precondition their layers concurrently — distinct slots
     // write distinct output tensors. The non-finite guards and byte
@@ -543,6 +558,7 @@ void DistKfac::step(std::size_t iteration, double lr,
       if (policy_.enabled && policy_.skip_nonfinite_steps) {
         skip[s] = 1;
         ++comm_.recovery().nonfinite_skips;
+        hooks.count("recovery.nonfinite_skips");
         preconditioned[s].fill(0.0F);
       } else {
         throw NonFiniteError("DistKfac: non-finite preconditioned gradient");
@@ -551,6 +567,8 @@ void DistKfac::step(std::size_t iteration, double lr,
     orig_bytes_ += preconditioned[s].size() * sizeof(float);
     owned[owner_of(s)].push_back(s);
   }
+  precondition_span.end();
+  auto gather_span = hooks.span(obs::kMainTrack, "kfac.gather", "kfac");
   const compress::GradientCompressor* gather_comp =
       gather_degraded_ != 0 ? nullptr : compressor;
   auto send =
@@ -575,14 +593,20 @@ void DistKfac::step(std::size_t iteration, double lr,
       if (!policy_.enabled) throw;
       if (attempt + 1 < attempts) {
         ++comm_.recovery().decode_retries;
+        hooks.count("recovery.decode_retries");
+        hooks.instant(obs::kMainTrack, "kfac.gather_retry", "recovery");
         continue;
       }
       ++comm_.recovery().decode_failures;
       ++comm_.recovery().fallback_steps;
+      hooks.count("recovery.decode_failures");
+      hooks.count("recovery.fallback_steps");
+      hooks.instant(obs::kMainTrack, "kfac.gather_fallback", "recovery");
       if (++gather_failures_ >= policy_.fallback_after &&
           gather_degraded_ == 0) {
         gather_degraded_ = 1;
         ++comm_.recovery().degraded_layers;
+        hooks.count("recovery.degraded_layers");
       }
     }
   }
@@ -596,6 +620,13 @@ void DistKfac::step(std::size_t iteration, double lr,
     comm_.allgatherv(send, recv);
     decode_gathered(recv[lead], preconditioned, nullptr);
   }
+  gather_span.add_arg("orig_bytes", orig_bytes_);
+  gather_span.add_arg("comp_bytes", comp_bytes_);
+  gather_span.end();
+  hooks.count("kfac.gather.orig_bytes", orig_bytes_);
+  hooks.count("kfac.gather.comp_bytes", comp_bytes_);
+  hooks.count("kfac.factor.orig_bytes", factor_orig_bytes_);
+  hooks.count("kfac.factor.comp_bytes", factor_comp_bytes_);
 
   // --- momentum + weight update, identically on every surviving replica.
   for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
@@ -605,6 +636,7 @@ void DistKfac::step(std::size_t iteration, double lr,
     if (!all_finite(preconditioned[s].span())) {
       if (policy_.enabled && policy_.skip_nonfinite_steps) {
         ++comm_.recovery().nonfinite_skips;
+        hooks.count("recovery.nonfinite_skips");
         continue;
       }
       throw NonFiniteError("DistKfac: non-finite preconditioned gradient");

@@ -126,13 +126,17 @@ bool DistSgd::compressed_average(
       if (!policy_.enabled) throw;
       if (attempt + 1 < attempts) {
         ++comm_.recovery().decode_retries;
+        comm_.obs().count("recovery.decode_retries");
+        comm_.obs().instant(obs::kMainTrack, "sgd.decode_retry", "recovery");
         continue;  // re-send the same payloads through a fresh collective
       }
       ++comm_.recovery().decode_failures;
+      comm_.obs().count("recovery.decode_failures");
       if (++consecutive_failures_[slot] >= policy_.fallback_after &&
           degraded_[slot] == 0) {
         degraded_[slot] = 1;
         ++comm_.recovery().degraded_layers;
+        comm_.obs().count("recovery.degraded_layers");
       }
       return false;
     }
@@ -147,6 +151,9 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
   const std::size_t slots = layer_indices_.size();
   orig_bytes_ = 0;
   comp_bytes_ = 0;
+  const obs::ObsHooks& hooks = comm_.obs();
+  hooks.count("sgd.steps");
+  auto step_span = hooks.span(obs::kMainTrack, "sgd.step", "sgd");
   compress::CompressionEngine& eng = engine();
   eng.wait_all();  // reap any jobs a previous exceptional step left behind
 
@@ -239,7 +246,11 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
       }
       averaged_ok =
           compressed_average(s, n, send_payloads_[s], *compressor, averaged);
-      if (!averaged_ok) ++comm_.recovery().fallback_steps;
+      if (!averaged_ok) {
+        ++comm_.recovery().fallback_steps;
+        hooks.count("recovery.fallback_steps");
+        hooks.instant(obs::kMainTrack, "sgd.layer_fallback", "recovery");
+      }
     }
     if (!averaged_ok) {
       // Plain ring allreduce of the raw gradients — the primary path when
@@ -263,6 +274,7 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
     if (!all_finite(averaged)) {
       if (policy_.enabled && policy_.skip_nonfinite_steps) {
         ++comm_.recovery().nonfinite_skips;
+        hooks.count("recovery.nonfinite_skips");
         continue;  // skip this layer's update; momentum untouched
       }
       try {
@@ -287,6 +299,8 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
     }
   }
   eng.wait_all();  // all tickets were waited above; this recycles the table
+  hooks.count("sgd.orig_bytes", orig_bytes_);
+  hooks.count("sgd.comp_bytes", comp_bytes_);
 }
 
 void DistSgd::save_state(std::vector<std::uint8_t>& out) const {

@@ -1,0 +1,164 @@
+// Differential test of the §4.4 tuner: brute-force Eq. 5 over every
+// registered codec and every aggregation candidate with an independent
+// reimplementation of the selection math, and assert CompsoFramework::
+// tune() picked the arg-max on both network platforms.
+//
+// Tie-breaks under test:
+//  - encoder: tune() takes the front of the scores sorted by
+//    est_total_time; exact ties are unordered among themselves, so the
+//    assertion is by value (the selected encoder's time equals the
+//    brute-force minimum);
+//  - aggregation: choose_aggregation_factor keeps a candidate only on a
+//    strictly greater estimate, so exact ties resolve to the smallest m —
+//    asserted directly with a degenerate all-tie input.
+
+#include "src/compso.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cc = compso::core;
+namespace cm = compso::comm;
+namespace cp = compso::compress;
+namespace ct = compso::tensor;
+namespace codec = compso::codec;
+namespace perf = compso::perf;
+namespace quant = compso::quant;
+
+namespace {
+
+/// Rebuilds the exact lossy-stage byte stream tune() scores encoders on:
+/// stage-0 filter + error-bounded quantization + packed codes + bitmap,
+/// consuming the same Rng draws tune() consumes.
+std::vector<std::uint8_t> lossy_stream_like_tune(
+    const cc::AdaptiveSchedule& sched, std::span<const float> grad,
+    ct::Rng& rng) {
+  const auto stage0 = sched.at(0);
+  const double abs_max = ct::extrema(grad).abs_max;
+  const auto filt = quant::apply_filter(grad, stage0.filter_bound, abs_max);
+  const quant::ErrorBoundedQuantizer q(stage0.quant_bound,
+                                       quant::RoundingMode::kStochastic);
+  const auto block = q.quantize(filt.survivors, rng, abs_max);
+  auto stream = quant::pack_codes(block.codes, block.bit_width);
+  stream.insert(stream.end(), filt.bitmap.begin(), filt.bitmap.end());
+  return stream;
+}
+
+/// Independent Eq. 5 estimate for aggregation factor m: group consecutive
+/// layers into chunks of m, per chunk s = t_orig / (t_comp_comm +
+/// t_compress + t_decompress), end-to-end ((1-r) + r/s)^-1.
+double brute_force_e2e(std::size_t m,
+                       const std::vector<std::size_t>& layer_bytes,
+                       const perf::WarmupProfile& profile,
+                       const cp::GradientCompressor& compressor,
+                       const compso::gpusim::DeviceModel& dev,
+                       const perf::CommLookupTable& table) {
+  double t_orig = 0.0, t_new = 0.0;
+  for (std::size_t i = 0; i < layer_bytes.size(); i += m) {
+    std::size_t chunk = 0;
+    for (std::size_t j = i; j < std::min(i + m, layer_bytes.size()); ++j) {
+      chunk += layer_bytes[j];
+    }
+    if (chunk == 0) continue;
+    const auto comp_chunk = static_cast<std::size_t>(
+        static_cast<double>(chunk) / std::max(profile.compression_ratio, 1.0));
+    t_orig += table.allgather_time(chunk);
+    const double comp_tput =
+        compressor.modeled_throughput(dev, chunk, comp_chunk);
+    const double decomp_tput =
+        compressor.modeled_throughput(dev, comp_chunk, chunk);
+    t_new += table.allgather_time(comp_chunk) +
+             static_cast<double>(chunk) / comp_tput +
+             static_cast<double>(comp_chunk) / decomp_tput;
+  }
+  const double s = t_new > 0.0 ? t_orig / t_new : 1.0;
+  return perf::end_to_end_speedup(profile.comm_fraction, s);
+}
+
+void check_tuner_against_brute_force(const cm::NetworkModel& net) {
+  cm::Communicator comm(cm::Topology::with_gpus(16), net);
+  compso::optim::StepLr lr(0.1, 0.1, {25});
+  cc::CompsoFramework fw({}, lr, 100, comm);
+
+  ct::Rng grad_rng(8);
+  const auto grad =
+      ct::synthetic_gradient(1 << 16, ct::GradientProfile::kfac(), grad_rng);
+  // Mixed layer sizes so aggregation actually changes chunk shapes.
+  std::vector<std::size_t> layer_bytes;
+  for (std::size_t i = 0; i < 24; ++i) {
+    layer_bytes.push_back((i % 3 == 0) ? (1 << 20) : (1 << 14));
+  }
+
+  ct::Rng tune_rng(2026), ref_rng(2026);
+  fw.tune(layer_bytes, grad, 0.4, tune_rng);
+
+  // --- encoder: brute-force every registered codec individually ---
+  const auto stream = lossy_stream_like_tune(fw.schedule(), grad, ref_rng);
+  const perf::CommLookupTable table(comm);  // framework's default sampling
+  const auto dev = compso::gpusim::DeviceModel::a100();
+  double best_time = std::numeric_limits<double>::infinity();
+  for (codec::CodecKind kind : codec::kAllCodecKinds) {
+    const auto scores = perf::score_encoders(
+        stream, dev, table, std::span<const codec::CodecKind>(&kind, 1));
+    ASSERT_EQ(scores.size(), 1U);
+    best_time = std::min(best_time, scores.front().est_total_time);
+  }
+  ASSERT_FALSE(fw.encoder_scores().empty());
+  EXPECT_EQ(fw.encoder(), fw.encoder_scores().front().kind);
+  EXPECT_DOUBLE_EQ(fw.encoder_scores().front().est_total_time, best_time);
+  for (std::size_t i = 1; i < fw.encoder_scores().size(); ++i) {
+    EXPECT_LE(fw.encoder_scores()[i - 1].est_total_time,
+              fw.encoder_scores()[i].est_total_time);
+  }
+
+  // --- aggregation: brute-force Eq. 5 over every candidate m ---
+  const auto& profile = fw.warmup_profile();
+  EXPECT_GT(profile.iterations, 0U);
+  const auto compressor =
+      cp::make_compso(fw.schedule().params_at(0, fw.encoder()));
+  double best_e2e = 0.0;
+  std::size_t best_m = 1;
+  for (std::size_t m : cc::CompsoFramework::aggregation_candidates()) {
+    const double e2e =
+        brute_force_e2e(m, layer_bytes, profile, *compressor, dev, table);
+    if (e2e > best_e2e) {  // strict >: ties keep the smallest factor.
+      best_e2e = e2e;
+      best_m = m;
+    }
+  }
+  EXPECT_EQ(fw.aggregation(), best_m);
+  EXPECT_DOUBLE_EQ(fw.estimated_end_to_end(), best_e2e);
+  EXPECT_GT(best_e2e, 1.0);
+}
+
+TEST(TunerDiff, MatchesBruteForceOnPlatform1) {
+  check_tuner_against_brute_force(cm::NetworkModel::platform1());
+}
+
+TEST(TunerDiff, MatchesBruteForceOnPlatform2) {
+  check_tuner_against_brute_force(cm::NetworkModel::platform2());
+}
+
+TEST(TunerDiff, AggregationTieBreaksToSmallestFactor) {
+  // With no layers every candidate estimates the identical end-to-end
+  // speedup; the strict-> argmax must keep the first (smallest) factor.
+  cm::Communicator comm(cm::Topology::with_gpus(8),
+                        cm::NetworkModel::platform1());
+  compso::optim::StepLr lr(0.1, 0.1, {25});
+  cc::CompsoFramework fw({}, lr, 100, comm);
+  ct::Rng rng(9);
+  const auto grad =
+      ct::synthetic_gradient(1 << 12, ct::GradientProfile::kfac(), rng);
+  fw.tune({}, grad, 0.4, rng);
+  EXPECT_EQ(fw.aggregation(), 1U);
+}
+
+TEST(TunerDiff, CandidateListMatchesPaper) {
+  const auto& c = cc::CompsoFramework::aggregation_candidates();
+  EXPECT_EQ(c, (std::vector<std::size_t>{1, 2, 4, 8, 16, 32}));
+}
+
+}  // namespace
