@@ -6,7 +6,13 @@
 // bit-identity, prints a table, and writes BENCH_math.json (the compute
 // side of the repo's perf trajectory, next to BENCH_compress.json). Usage:
 //
-//   micro_math_throughput [--smoke] [output.json]   (default BENCH_math.json)
+//   micro_math_throughput [--smoke] [--threads=N] [output.json]
+//                                             (default BENCH_math.json)
+//
+// The parallel gemm leg needs a real pool: the worker count defaults to
+// the host's concurrency but is floored at 2 (overridable with
+// --threads=N), and the JSON records the requested count, the effective
+// pool size, and the host concurrency so a 1-core run is recognizable.
 //
 // --smoke trims repetitions and the eigh sizes for CI, but keeps the
 // 512x512x512 gemm row: the run fails (exit 1) unless the blocked
@@ -27,6 +33,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace compso;
@@ -99,14 +106,40 @@ struct EighRow {
 
 }  // namespace
 
+int usage(const char* argv0, const char* bad) {
+  std::fprintf(stderr, "unknown argument: %s\n", bad);
+  std::fprintf(stderr, "usage: %s [--smoke] [--threads=N] [output.json]\n",
+               argv0);
+  return 1;
+}
+
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::size_t requested_threads = 0;  // 0 = host default.
   std::string out_path = "BENCH_math.json";
+  bool have_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
       smoke = true;
+    } else if (arg.rfind("--threads=", 0) == 0 && arg.size() > 10) {
+      const std::string_view digits = arg.substr(10);
+      std::size_t value = 0;
+      bool ok = true;
+      for (const char c : digits) {
+        if (c < '0' || c > '9') {
+          ok = false;
+          break;
+        }
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+      }
+      if (!ok || value == 0) return usage(argv[0], argv[i]);
+      requested_threads = value;
+    } else if (!arg.empty() && arg[0] != '-' && !have_out) {
+      out_path = arg;
+      have_out = true;
     } else {
-      out_path = argv[i];
+      return usage(argv[0], argv[i]);
     }
   }
 
@@ -118,7 +151,21 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{96}
             : std::vector<std::size_t>{96, 192, 256};
 
-  common::ThreadPool pool;  // hardware concurrency.
+  const unsigned host_concurrency = std::thread::hardware_concurrency();
+  if (requested_threads == 0) {
+    requested_threads = std::max(1U, host_concurrency);
+  }
+  if (host_concurrency <= 1) {
+    std::fprintf(stderr,
+                 "WARNING: host reports %u hardware thread(s); the parallel "
+                 "gemm leg timeshares one core and measures scheduler noise, "
+                 "not scaling.\n",
+                 host_concurrency);
+  }
+  // Floor at 2 so the "parallel" rows exercise an actual pool even on a
+  // 1-core host (where the old hardware-concurrency default quietly ran
+  // a 1-thread pool and reported a meaningless comparison).
+  common::ThreadPool pool(std::max<std::size_t>(2, requested_threads));
   const std::size_t threads = pool.size();
 
   // --- gemm: naive reference vs blocked vs pool-parallel blocked ---
@@ -212,8 +259,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"micro_math_throughput\",\n");
-  std::fprintf(f, "  \"smoke\": %s,\n  \"pool_threads\": %zu,\n",
-               smoke ? "true" : "false", threads);
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"host_concurrency\": %u,\n", host_concurrency);
+  std::fprintf(f, "  \"requested_threads\": %zu,\n", requested_threads);
+  std::fprintf(f, "  \"pool_threads\": %zu,\n", threads);
   std::fprintf(f, "  \"gemm\": [\n");
   for (std::size_t i = 0; i < gemm_rows.size(); ++i) {
     const GemmRow& r = gemm_rows[i];

@@ -5,6 +5,7 @@
 #   ./ci.sh fault      fault-tolerance suites only (ctest -L fault)
 #   ./ci.sh perf       bench smoke gates only (ctest -L perf)
 #   ./ci.sh obs        observability suites only (ctest -L obs)
+#   ./ci.sh sched      step-graph scheduler suites only (ctest -L sched)
 #
 # The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
 # AddressSanitizer + UBSan, which is what gives the fault/recovery paths
@@ -27,6 +28,13 @@
 # additionally schema-validates the emitted trace.json and enforces the
 # metrics-on vs metrics-off overhead budget.
 #
+# The sched lane (ctest -L sched) also runs in all three configs: the
+# normal config checks the scheduler's deterministic order, bit-exact
+# trajectories at any engine thread count (clean, fault-injected, and
+# across checkpoint resume) and the trace-derived overlap/idle-gap gate;
+# the ASan+UBSan and TSan configs keep the graph's submit/reap lifetime
+# and cross-thread task handoff honest.
+#
 # The full default pass includes the two bench smoke gates
 # (bench/micro_math_throughput --smoke, bench/micro_train_throughput
 # --smoke): they enforce the blocked >= 4x naive gemm criterion at 512^3
@@ -48,6 +56,8 @@ run_suite() {
     ctest --test-dir "$dir" -L perf --output-on-failure -j "$JOBS"
   elif [[ "$LABEL" == "obs" ]]; then
     ctest --test-dir "$dir" -L obs --output-on-failure -j "$JOBS"
+  elif [[ "$LABEL" == "sched" ]]; then
+    ctest --test-dir "$dir" -L sched --output-on-failure -j "$JOBS"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
   fi

@@ -20,7 +20,7 @@ std::size_t CompressionEngine::thread_count() const noexcept {
 }
 
 std::function<void()> CompressionEngine::instrument(
-    std::function<void()> job) {
+    std::function<void()> job, std::string name) {
   if (!obs_.enabled()) return job;
   const std::uint64_t task_id = obs_task_seq_++;
   obs_.count("engine.tasks");
@@ -31,19 +31,20 @@ std::function<void()> CompressionEngine::instrument(
     // Deterministic clock: stamp the span here, at submission on the
     // optimizer thread. Simulated time never advances inside a task, so
     // the zero duration is exact — and no worker ever races the clock.
-    obs_.complete(track, "engine.task", "engine", obs_.tracer->now_rel_ns(),
-                  0, {{"task", task_id}});
+    obs_.complete(track, std::move(name), "engine",
+                  obs_.tracer->now_rel_ns(), 0, {{"task", task_id}});
     return job;
   }
   // Wall clock: time the job around its execution on whichever worker
   // picks it up. Record the span even when the job throws, so traces of
   // fault-injected runs still show the failed task.
   obs::Tracer* tracer = obs_.tracer;
-  return [tracer, track, task_id, job = std::move(job)]() {
+  return [tracer, track, task_id, name = std::move(name),
+          job = std::move(job)]() {
     const std::uint64_t start = tracer->now_rel_ns();
     const auto record = [&] {
       const std::uint64_t end = tracer->now_rel_ns();
-      tracer->complete(track, "engine.task", "engine", start,
+      tracer->complete(track, name, "engine", start,
                        end >= start ? end - start : 0, {{"task", task_id}});
     };
     try {
@@ -57,9 +58,9 @@ std::function<void()> CompressionEngine::instrument(
 }
 
 CompressionEngine::Ticket CompressionEngine::submit(
-    std::function<void()> job) {
+    std::function<void()> job, std::string name) {
   const Ticket t = tickets_++;
-  job = instrument(std::move(job));
+  job = instrument(std::move(job), std::move(name));
   if (pool_) {
     futures_.push_back(pool_->submit(std::move(job)));
   } else {

@@ -71,8 +71,10 @@ class CompressionEngine {
   }
 
   /// Enqueues `job` (runs it inline in serial mode). The job's exception,
-  /// if any, is rethrown by wait(ticket) / wait_all().
-  Ticket submit(std::function<void()> job);
+  /// if any, is rethrown by wait(ticket) / wait_all(). `name` labels the
+  /// job's tracer span (see set_obs); it does not affect execution.
+  Ticket submit(std::function<void()> job,
+                std::string name = "engine.task");
 
   /// Blocks until the job behind `ticket` finished; rethrows its
   /// exception. Waiting twice on a ticket is a no-op.
@@ -108,7 +110,8 @@ class CompressionEngine {
   /// Wraps `job` with the per-task instrumentation described at
   /// set_obs(); returns it unchanged when no hooks are attached. Called
   /// on the optimizer thread in submission order.
-  std::function<void()> instrument(std::function<void()> job);
+  std::function<void()> instrument(std::function<void()> job,
+                                   std::string name = "engine.task");
 
   std::unique_ptr<common::ThreadPool> pool_;
   std::vector<std::future<void>> futures_;          ///< parallel tickets.

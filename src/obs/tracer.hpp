@@ -34,6 +34,11 @@ namespace compso::obs {
 /// which worker executed it.
 inline constexpr std::uint32_t kMainTrack = 0;
 inline constexpr std::uint32_t kTaskTrackBase = 1;
+/// Step-scheduler tracks (optim::StepGraph): the graph's main-thread
+/// tasks record on kSchedTrackBase and each graph task t on
+/// kSchedTrackBase + 1 + t, far above any realistic engine task id so
+/// the two families never collide within a step.
+inline constexpr std::uint32_t kSchedTrackBase = 0x40000000U;
 
 class Tracer {
  public:

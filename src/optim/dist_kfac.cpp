@@ -348,6 +348,8 @@ void DistKfac::step(std::size_t iteration, double lr,
   const std::size_t slots = layer_indices_.size();
   factor_orig_bytes_ = 0;
   factor_comp_bytes_ = 0;
+  orig_bytes_ = 0;
+  comp_bytes_ = 0;
   const obs::ObsHooks& hooks = comm_.obs();
   hooks.count("kfac.steps");
   auto& eng = engine();
@@ -355,301 +357,402 @@ void DistKfac::step(std::size_t iteration, double lr,
   task_counter_ = 0;
   // Exactly one main-stream draw per step when any compressor is
   // attached; every compression job derives its own Rng from this seed
-  // and a submission-ordered task id, so the main stream's draw count is
+  // and a build-ordered task id, so the main stream's draw count is
   // independent of faults, retries, degradation, and engine threading.
   const std::uint64_t step_seed =
       (compressor != nullptr || factor_compressor_ != nullptr) ? rng() : 0;
+  const bool fcomp = factor_compressor_ != nullptr;
+  const bool refresh =
+      iteration % cfg_.eigen_refresh_every == 0 || !states_[0]->has_eigen();
+  const compress::GradientCompressor* gather_comp =
+      gather_degraded_ != 0 ? nullptr : compressor;
 
-  // --- 1: local covariances for every layer upfront (evicted ranks
-  // contribute zero tensors of the right shape so the collective's slot
-  // layout stays intact).
-  auto factor_span = hooks.span(obs::kMainTrack, "kfac.factor_update", "kfac");
+  // ------------------------------------------------------------------
+  // Graph build (serial, optimizer thread): size the workspaces,
+  // validate inputs, claim every compression task's Rng stream id —
+  // factor streams in slot order (a then g, active ranks ascending),
+  // then gather-group streams in group order, exactly the serial-phase
+  // schedule — and wire the per-layer task graph (DESIGN.md §13).
+  // Nothing below depends on execution timing, so the graph and every
+  // stream id are pure functions of the step's inputs.
+  // ------------------------------------------------------------------
+  graph_.clear();
   if (cov_a_.size() < slots) {
     cov_a_.resize(slots);
     cov_g_.resize(slots);
   }
-  {
-    // The per-(layer, rank) covariance updates write disjoint tensors, so
-    // after a serial validation pass they run as one engine batch
-    // (DESIGN.md §11). Each syrk is deterministic and its output slot is
-    // fixed, so the batch result is independent of execution order.
-    std::vector<std::function<void()>> cov_jobs;
+  if (grad_work_.size() < slots) grad_work_.resize(slots);
+  if (fcomp && factor_send_a_.size() < slots) {
+    factor_send_a_.resize(slots);
+    factor_send_g_.resize(slots);
+  }
+  preconditioned_.resize(slots);
+  skip_.assign(slots, 0);
+  owned_.resize(world);
+  for (auto& v : owned_) v.clear();
+  for (std::size_t s = 0; s < slots; ++s) owned_[owner_of(s)].push_back(s);
+  if (refresh) hooks.count("kfac.eigh_refreshes");
+
+  // Stream ids, claimed in the legacy order before any task is built.
+  std::vector<std::uint64_t> tid_a(slots * world, 0);
+  std::vector<std::uint64_t> tid_g(slots * world, 0);
+  if (fcomp) {
     for (std::size_t s = 0; s < slots; ++s) {
-      const std::size_t li = layer_indices_[s];
-      auto& local_a = cov_a_[s];
-      auto& local_g = cov_g_[s];
-      local_a.resize(world);
-      local_g.resize(world);
-      const std::size_t shape_a = states_[s]->factor_a().rows();
-      const std::size_t shape_g = states_[s]->factor_g().rows();
       for (std::size_t r = 0; r < world; ++r) {
-        if (!comm_.is_active(r)) {
-          // allreduce_sum overwrites every view with the sum, so inactive
-          // slots must be re-zeroed every step even when the tensor is
-          // reused.
-          local_a[r] = Tensor({shape_a, shape_a});
-          local_g[r] = Tensor({shape_g, shape_g});
-          continue;
-        }
-        auto& layer = replicas_[r]->layer(li);
-        const Tensor* a = layer.kfac_input();
-        const Tensor* g = layer.kfac_grad_output();
-        if (a == nullptr || g == nullptr || a->empty() || g->empty()) {
-          throw std::logic_error("DistKfac: run forward/backward first");
-        }
-        cov_jobs.push_back([a, g, &local_a, &local_g, r] {
-          const auto batch = static_cast<float>(a->rows());
-          tensor::syrk_tn(*a, 1.0F / batch, 0.0F, local_a[r]);
-          tensor::syrk_tn(*g, batch, 0.0F, local_g[r]);
-        });
+        if (comm_.is_active(r)) tid_a[s * world + r] = task_counter_++;
+      }
+      for (std::size_t r = 0; r < world; ++r) {
+        if (comm_.is_active(r)) tid_g[s * world + r] = task_counter_++;
       }
     }
-    eng.run_batch(std::move(cov_jobs));
+  }
+  struct GroupPlan {
+    std::size_t rank;
+    std::size_t first;  ///< index into owned_[rank]
+    std::size_t count;
+    std::uint64_t tid;
+  };
+  std::vector<GroupPlan> groups;
+  const std::size_t m = std::max<std::size_t>(cfg_.aggregation, 1);
+  for (std::size_t r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < owned_[r].size(); i += m) {
+      groups.push_back(
+          {r, i, std::min(i + m, owned_[r].size()) - i, 0});
+    }
+  }
+  if (gather_comp != nullptr) {
+    for (auto& grp : groups) grp.tid = task_counter_++;
+  }
+  if (group_concat_.size() < groups.size()) group_concat_.resize(groups.size());
+  if (group_payloads_.size() < groups.size()) {
+    group_payloads_.resize(groups.size());
   }
 
-  // --- 2: factor exchange. With a factor compressor attached, all
-  // layers' payloads are submitted to the engine before the first
-  // collective starts, so layer s+1 compresses while layer s exchanges
-  // (§4.4 overlap). Task ids are claimed here, in slot order, a before
-  // g, active ranks ascending — the deterministic stream schedule.
-  std::vector<std::vector<compress::CompressionEngine::Ticket>> cov_tickets(
-      slots);
-  if (factor_compressor_ != nullptr) {
-    if (factor_send_a_.size() < slots) {
-      factor_send_a_.resize(slots);
-      factor_send_g_.resize(slots);
-    }
-    for (std::size_t s = 0; s < slots; ++s) {
+  // Priorities implement the backward-order wavefront: within the ready
+  // set, later layers run first (their factors and gradients are ready
+  // first in a real backward pass), comm tasks of ALL layers run before
+  // any guard (so preconditioning stays in flight under the remaining
+  // collectives), and the gather/update tail runs last.
+  const auto prio_fx = [](std::size_t s) { return static_cast<int>(3 * s) + 2; };
+  const auto prio_gar = [](std::size_t s) { return static_cast<int>(3 * s) + 1; };
+  const auto prio_guard = [slots](std::size_t s) {
+    return static_cast<int>(s) - static_cast<int>(slots);
+  };
+  constexpr int kPrioGather = -1000000;
+
+  std::vector<StepGraph::TaskId> guard_id(slots, 0);
+  std::vector<StepGraph::TaskId> gcomp_ids;
+  gcomp_ids.reserve(groups.size());
+
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::size_t li = layer_indices_[s];
+    auto& local_a = cov_a_[s];
+    auto& local_g = cov_g_[s];
+    local_a.resize(world);
+    local_g.resize(world);
+    const std::size_t shape_a = states_[s]->factor_a().rows();
+    const std::size_t shape_g = states_[s]->factor_g().rows();
+    if (fcomp) {
       factor_send_a_[s].resize(world);
       factor_send_g_[s].resize(world);
       for (std::size_t r = 0; r < world; ++r) {
         factor_send_a_[s][r].clear();
         factor_send_g_[s][r].clear();
       }
-      for (std::size_t r = 0; r < world; ++r) {
-        if (!comm_.is_active(r)) continue;
-        const std::uint64_t tid = task_counter_++;
-        cov_tickets[s].push_back(eng.submit([this, s, r, step_seed, tid] {
-          tensor::Rng task_rng =
-              compress::CompressionEngine::task_rng(step_seed, tid);
-          factor_compressor_->compress_into(cov_a_[s][r].span(), task_rng,
-                                            factor_send_a_[s][r]);
-        }));
-      }
-      for (std::size_t r = 0; r < world; ++r) {
-        if (!comm_.is_active(r)) continue;
-        const std::uint64_t tid = task_counter_++;
-        cov_tickets[s].push_back(eng.submit([this, s, r, step_seed, tid] {
-          tensor::Rng task_rng =
-              compress::CompressionEngine::task_rng(step_seed, tid);
-          factor_compressor_->compress_into(cov_g_[s][r].span(), task_rng,
-                                            factor_send_g_[s][r]);
-        }));
-      }
     }
-  }
-  try {
-    for (std::size_t s = 0; s < slots; ++s) {
-      if (factor_compressor_ != nullptr) {
-        for (auto t : cov_tickets[s]) eng.wait(t);
-        for (std::size_t r = 0; r < world; ++r) {
-          if (!comm_.is_active(r)) continue;
-          factor_orig_bytes_ +=
-              (cov_a_[s][r].size() + cov_g_[s][r].size()) * sizeof(float);
-          factor_comp_bytes_ +=
-              factor_send_a_[s][r].size() + factor_send_g_[s][r].size();
+    // Fused per-(slot, rank) covariance + factor-compression tasks. The
+    // syrks of distinct (s, r) write disjoint tensors and each
+    // compression reads only its own rank's covariance, so fusing keeps
+    // the graph free of compute->compute edges — the main thread never
+    // has to block just to submit a dependent.
+    std::vector<StepGraph::TaskId> cov_ids;
+    for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_active(r)) {
+        // allreduce_sum overwrites every view with the sum, so inactive
+        // slots must be re-zeroed every step — in place: re-allocating a
+        // zero tensor per evicted rank per layer per step was measurable
+        // churn (see the steady-state allocation test).
+        if (local_a[r].rank() != 2 || local_a[r].rows() != shape_a ||
+            local_a[r].cols() != shape_a) {
+          local_a[r] = Tensor({shape_a, shape_a});
+        } else {
+          local_a[r].fill(0.0F);
         }
-        exchange_covariances(cov_a_[s], &factor_send_a_[s]);
-        exchange_covariances(cov_g_[s], &factor_send_g_[s]);
-      } else {
-        exchange_covariances(cov_a_[s], nullptr);
-        exchange_covariances(cov_g_[s], nullptr);
+        if (local_g[r].rank() != 2 || local_g[r].rows() != shape_g ||
+            local_g[r].cols() != shape_g) {
+          local_g[r] = Tensor({shape_g, shape_g});
+        } else {
+          local_g[r].fill(0.0F);
+        }
+        continue;
       }
-      // Blend into the shared running-average state. (All ranks hold the
-      // same state after the exchange; the simulator stores it once.)
-      states_[s]->blend_factors(cov_a_[s][0], cov_g_[s][0], cfg_.stat_decay);
+      auto& layer = replicas_[r]->layer(li);
+      const Tensor* a = layer.kfac_input();
+      const Tensor* g = layer.kfac_grad_output();
+      if (a == nullptr || g == nullptr || a->empty() || g->empty()) {
+        throw std::logic_error("DistKfac: run forward/backward first");
+      }
+      const std::uint64_t ta = tid_a[s * world + r];
+      const std::uint64_t tg = tid_g[s * world + r];
+      cov_ids.push_back(graph_.add_compute(
+          (fcomp ? "cov_compress" : "cov") + std::to_string(s),
+          static_cast<int>(s), [this, a, g, s, r, fcomp, step_seed, ta, tg] {
+            const auto batch = static_cast<float>(a->rows());
+            tensor::syrk_tn(*a, 1.0F / batch, 0.0F, cov_a_[s][r]);
+            tensor::syrk_tn(*g, batch, 0.0F, cov_g_[s][r]);
+            if (fcomp) {
+              tensor::Rng rng_a =
+                  compress::CompressionEngine::task_rng(step_seed, ta);
+              factor_compressor_->compress_into(cov_a_[s][r].span(), rng_a,
+                                                factor_send_a_[s][r]);
+              tensor::Rng rng_g =
+                  compress::CompressionEngine::task_rng(step_seed, tg);
+              factor_compressor_->compress_into(cov_g_[s][r].span(), rng_g,
+                                                factor_send_g_[s][r]);
+            }
+          }));
     }
-  } catch (...) {
-    // Outstanding tickets for later slots capture `this`; reap them
-    // before the exception can unwind past our owner. Their own errors
-    // must not mask the original exception.
-    try {
-      eng.wait_all();
-    } catch (...) {
-    }
-    throw;
-  }
-  factor_span.end();
 
-  // --- 2b: gradient allreduce (data-parallel average of SGD gradients).
-  auto allreduce_span =
-      hooks.span(obs::kMainTrack, "kfac.grad_allreduce", "kfac");
-  momentum_workspace_.clear();
-  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
-    const std::size_t li = layer_indices_[s];
-    std::vector<Tensor> grads(world);
-    const auto shape = momentum_[s].shape();
-    for (std::size_t r = 0; r < world; ++r) {
-      grads[r] = comm_.is_active(r)
-                     ? combined_gradient(replicas_[r]->layer(li))
-                     : Tensor(shape);
-    }
-    std::vector<std::span<float>> views;
-    views.reserve(world);
-    for (auto& t : grads) views.push_back(t.span());
-    comm_.allreduce_sum(views);
-    grads[lead] *= 1.0F / static_cast<float>(active);
-    // Stash the averaged gradient back into replica 0's layer grads via
-    // the momentum path below; keep it in a temp list.
-    momentum_workspace_.push_back(std::move(grads[lead]));
-  }
-  allreduce_span.end();
+    // Factor exchange + blend: the slot's collective(s), driven on the
+    // main thread while other slots' covariances compress on the pool.
+    const auto fx = graph_.add_main(
+        "factor_exchange" + std::to_string(s), prio_fx(s),
+        [this, s, fcomp, world] {
+          if (fcomp) {
+            for (std::size_t r = 0; r < world; ++r) {
+              if (!comm_.is_active(r)) continue;
+              factor_orig_bytes_ +=
+                  (cov_a_[s][r].size() + cov_g_[s][r].size()) * sizeof(float);
+              factor_comp_bytes_ +=
+                  factor_send_a_[s][r].size() + factor_send_g_[s][r].size();
+            }
+            exchange_covariances(cov_a_[s], &factor_send_a_[s]);
+            exchange_covariances(cov_g_[s], &factor_send_g_[s]);
+          } else {
+            exchange_covariances(cov_a_[s], nullptr);
+            exchange_covariances(cov_g_[s], nullptr);
+          }
+          // Blend into the shared running-average state. (All ranks hold
+          // the same state after the exchange; the simulator stores it
+          // once.)
+          states_[s]->blend_factors(cov_a_[s][0], cov_g_[s][0],
+                                    cfg_.stat_decay);
+        },
+        /*is_comm=*/true);
+    for (const auto c : cov_ids) graph_.depends(fx, c);
 
-  // --- 3: eigendecomposition refresh on owner ranks (partitioned work).
-  const bool refresh =
-      iteration % cfg_.eigen_refresh_every == 0 || !states_[0]->has_eigen();
-  if (refresh) {
-    auto eigh_span = hooks.span(obs::kMainTrack, "kfac.eigh", "kfac");
-    hooks.count("kfac.eigh_refreshes");
-    // Eigendecompositions of distinct layers are independent (each owner
-    // refreshes its own states); run them as one engine batch. Each eigh
-    // call is internally deterministic, so parallel refresh produces the
-    // same eigenpairs as the serial loop.
-    std::vector<std::function<void()>> eig_jobs;
-    eig_jobs.reserve(states_.size());
-    for (auto& st : states_) {
-      KfacLayerState* state = st.get();
-      eig_jobs.push_back([state] { state->refresh_eigen(); });
-    }
-    eng.run_batch(std::move(eig_jobs));
+    // Gradient allreduce (data-parallel average of the SGD gradients) —
+    // reads only the layer's gradient buffers, so it has no deps and
+    // overlaps earlier slots' compute.
+    const auto gar = graph_.add_main(
+        "grad_allreduce" + std::to_string(s), prio_gar(s),
+        [this, s, li, world, active, lead] {
+          auto& gw = grad_work_[s];
+          gw.resize(world);
+          const auto& shape = momentum_[s].shape();
+          for (std::size_t r = 0; r < world; ++r) {
+            if (comm_.is_active(r)) {
+              combined_gradient_into(replicas_[r]->layer(li), gw[r]);
+            } else if (gw[r].rank() != 2 || gw[r].shape() != shape) {
+              gw[r] = Tensor(shape);
+            } else {
+              gw[r].fill(0.0F);
+            }
+          }
+          std::vector<std::span<float>> views;
+          views.reserve(world);
+          for (auto& t : gw) views.push_back(t.span());
+          comm_.allreduce_sum(views);
+          gw[lead] *= 1.0F / static_cast<float>(active);
+        },
+        /*is_comm=*/true);
+
+    // Eigendecomposition refresh (owner-partitioned, every
+    // eigen_refresh_every steps) fused with preconditioning: both read
+    // only this slot's state, so the pair overlaps other slots'
+    // collectives — the §4.4 "eigh under comm" overlap.
+    const auto ep = graph_.add_compute(
+        (refresh ? "eigh_precond" : "precond") + std::to_string(s),
+        static_cast<int>(s), [this, s, refresh, lead] {
+          if (refresh) states_[s]->refresh_eigen();
+          preconditioned_[s] =
+              states_[s]->precondition(grad_work_[s][lead], cfg_.damping);
+        });
+    graph_.depends(ep, fx);
+    graph_.depends(ep, gar);
+
+    // Non-finite guard + byte accounting: mutates shared recovery state,
+    // so it stays on the main thread; low priority keeps it behind every
+    // slot's collectives (preconditioning stays in flight under comm).
+    guard_id[s] = graph_.add_main(
+        "guard" + std::to_string(s), prio_guard(s), [this, s] {
+          // A non-finite preconditioned gradient must not enter the
+          // compressor (NaN through quantization is undefined). Zero the
+          // slot so the gather framing stays intact, and skip its update.
+          if (!all_finite(preconditioned_[s].span())) {
+            if (policy_.enabled && policy_.skip_nonfinite_steps) {
+              skip_[s] = 1;
+              ++comm_.recovery().nonfinite_skips;
+              comm_.obs().count("recovery.nonfinite_skips");
+              preconditioned_[s].fill(0.0F);
+            } else {
+              throw NonFiniteError(
+                  "DistKfac: non-finite preconditioned gradient");
+            }
+          }
+          orig_bytes_ += preconditioned_[s].size() * sizeof(float);
+        });
+    graph_.depends(guard_id[s], ep);
   }
 
-  // --- 4: owners precondition their layers; 5: allgather(v) to all ranks.
-  // Each owner aggregates up to m of its layers per compression call
-  // (§4.4's layer aggregation): the concatenated buffer is compressed
-  // once, serialized as [u64 n][u64 sid x n][u64 psize][payload].
-  std::vector<Tensor> preconditioned(layer_indices_.size());
-  std::vector<std::uint8_t> skip(layer_indices_.size(), 0);
-  orig_bytes_ = 0;
-  comp_bytes_ = 0;
-  std::vector<std::vector<std::size_t>> owned(world);
-  auto precondition_span =
-      hooks.span(obs::kMainTrack, "kfac.precondition", "kfac");
-  {
-    // Owners precondition their layers concurrently — distinct slots
-    // write distinct output tensors. The non-finite guards and byte
-    // accounting below stay serial (they mutate shared recovery state in
-    // slot order).
-    std::vector<std::function<void()>> pre_jobs;
-    pre_jobs.reserve(layer_indices_.size());
-    for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
-      pre_jobs.push_back([this, &preconditioned, s] {
-        preconditioned[s] =
-            states_[s]->precondition(momentum_workspace_[s], cfg_.damping);
+  // Gather-group concatenation + compression (§4.4 layer aggregation):
+  // one compute task per group, each on its pre-claimed stream.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const GroupPlan grp = groups[g];
+    const auto gc = graph_.add_compute(
+        gather_comp != nullptr ? "gather_compress" : "gather_pack",
+        /*priority=*/0, [this, grp, g, gather_comp, step_seed] {
+          auto& concat = group_concat_[g];
+          concat.clear();
+          for (std::size_t j = 0; j < grp.count; ++j) {
+            const auto& k =
+                preconditioned_[owned_[grp.rank][grp.first + j]];
+            concat.insert(concat.end(), k.span().begin(), k.span().end());
+          }
+          if (gather_comp != nullptr) {
+            tensor::Rng task_rng =
+                compress::CompressionEngine::task_rng(step_seed, grp.tid);
+            gather_comp->compress_into(concat, task_rng, group_payloads_[g]);
+          } else {
+            auto& raw = group_payloads_[g];
+            raw.resize(concat.size() * sizeof(float));
+            if (!raw.empty()) {
+              std::memcpy(raw.data(), concat.data(), raw.size());
+            }
+          }
+        });
+    for (std::size_t j = 0; j < grp.count; ++j) {
+      graph_.depends(gc, guard_id[owned_[grp.rank][grp.first + j]]);
+    }
+    gcomp_ids.push_back(gc);
+  }
+
+  // The preconditioned-gradient allgatherv + decode + recovery loop —
+  // one collective for all layers, so it runs after every group task.
+  const auto gather = graph_.add_main(
+      "gather", kPrioGather,
+      [this, groups, gather_comp, step_seed, world, lead] {
+        auto gather_span =
+            comm_.obs().span(obs::kMainTrack, "kfac.gather", "kfac");
+        // Frame the payloads into the per-rank send buffers
+        // ([u64 n][u64 sid x n][u64 psize][payload] groups).
+        std::vector<std::vector<std::uint8_t>> send(world);
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          const GroupPlan& grp = groups[g];
+          const auto& payload = group_payloads_[g];
+          auto& buf = send[grp.rank];
+          put_u64(buf, grp.count);
+          for (std::size_t j = 0; j < grp.count; ++j) {
+            put_u64(buf, owned_[grp.rank][grp.first + j]);
+          }
+          put_u64(buf, payload.size());
+          buf.insert(buf.end(), payload.begin(), payload.end());
+          comp_bytes_ += payload.size();
+        }
+        // Decode on every rank (identical bytes -> identical updates).
+        // Decode once from the first active rank's stream and apply
+        // everywhere. On decode failure: bounded re-send of the same
+        // payloads, then an uncompressed re-send (fallback); repeated
+        // failing steps degrade the gather to the uncompressed path for
+        // the rest of the run.
+        const obs::ObsHooks& hooks = comm_.obs();
+        const std::size_t attempts =
+            policy_.enabled ? policy_.max_decode_retries + 1 : 1;
+        bool decoded = false;
+        for (std::size_t attempt = 0; attempt < attempts && !decoded;
+             ++attempt) {
+          std::vector<std::vector<std::uint8_t>> recv;
+          comm_.allgatherv(send, recv);
+          try {
+            decode_gathered(recv[lead], preconditioned_, gather_comp);
+            decoded = true;
+            gather_failures_ = 0;
+          } catch (const PayloadError&) {
+            if (!policy_.enabled) throw;
+            if (attempt + 1 < attempts) {
+              ++comm_.recovery().decode_retries;
+              hooks.count("recovery.decode_retries");
+              hooks.instant(obs::kMainTrack, "kfac.gather_retry", "recovery");
+              continue;
+            }
+            ++comm_.recovery().decode_failures;
+            ++comm_.recovery().fallback_steps;
+            hooks.count("recovery.decode_failures");
+            hooks.count("recovery.fallback_steps");
+            hooks.instant(obs::kMainTrack, "kfac.gather_fallback",
+                          "recovery");
+            if (++gather_failures_ >= policy_.fallback_after &&
+                gather_degraded_ == 0) {
+              gather_degraded_ = 1;
+              ++comm_.recovery().degraded_layers;
+              hooks.count("recovery.degraded_layers");
+            }
+          }
+        }
+        if (!decoded) {
+          // Uncompressed fallback exchange: raw payloads cannot fail
+          // decode (framing damage would surface as PayloadError on the
+          // retried collective, but injector events are one-shot, so
+          // this is clean).
+          comp_bytes_ = 0;
+          send =
+              build_gather_payloads(preconditioned_, owned_, nullptr,
+                                    step_seed);
+          std::vector<std::vector<std::uint8_t>> recv;
+          comm_.allgatherv(send, recv);
+          decode_gathered(recv[lead], preconditioned_, nullptr);
+        }
+        gather_span.add_arg("orig_bytes", orig_bytes_);
+        gather_span.add_arg("comp_bytes", comp_bytes_);
+        gather_span.end();
+        hooks.count("kfac.gather.orig_bytes", orig_bytes_);
+        hooks.count("kfac.gather.comp_bytes", comp_bytes_);
+        hooks.count("kfac.factor.orig_bytes", factor_orig_bytes_);
+        hooks.count("kfac.factor.comp_bytes", factor_comp_bytes_);
+      },
+      /*is_comm=*/true);
+  for (const auto gc : gcomp_ids) graph_.depends(gather, gc);
+  for (std::size_t s = 0; s < slots; ++s) graph_.depends(gather, guard_id[s]);
+
+  // Momentum + weight update, identically on every surviving replica,
+  // ascending slots (the deterministic float-update order).
+  const auto update = graph_.add_main(
+      "update", kPrioGather - 1, [this, lr, world, slots] {
+        for (std::size_t s = 0; s < slots; ++s) {
+          if (skip_[s]) continue;  // non-finite slot, zeroed pre-gather.
+          // Non-finite guard: skip the layer (momentum untouched) rather
+          // than poisoning every replica's weights.
+          if (!all_finite(preconditioned_[s].span())) {
+            if (policy_.enabled && policy_.skip_nonfinite_steps) {
+              ++comm_.recovery().nonfinite_skips;
+              comm_.obs().count("recovery.nonfinite_skips");
+              continue;
+            }
+            throw NonFiniteError(
+                "DistKfac: non-finite preconditioned gradient");
+          }
+          momentum_[s].axpby(static_cast<float>(cfg_.momentum), 1.0F,
+                             preconditioned_[s]);
+          for (std::size_t r = 0; r < world; ++r) {
+            if (!comm_.is_active(r)) continue;
+            apply_combined_update(replicas_[r]->layer(layer_indices_[s]),
+                                  momentum_[s], lr);
+          }
+        }
       });
-    }
-    eng.run_batch(std::move(pre_jobs));
-  }
-  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
-    // A non-finite preconditioned gradient must not enter the compressor
-    // (NaN through quantization is undefined). Zero the slot so the gather
-    // framing stays intact, and skip its update below.
-    if (!all_finite(preconditioned[s].span())) {
-      if (policy_.enabled && policy_.skip_nonfinite_steps) {
-        skip[s] = 1;
-        ++comm_.recovery().nonfinite_skips;
-        hooks.count("recovery.nonfinite_skips");
-        preconditioned[s].fill(0.0F);
-      } else {
-        throw NonFiniteError("DistKfac: non-finite preconditioned gradient");
-      }
-    }
-    orig_bytes_ += preconditioned[s].size() * sizeof(float);
-    owned[owner_of(s)].push_back(s);
-  }
-  precondition_span.end();
-  auto gather_span = hooks.span(obs::kMainTrack, "kfac.gather", "kfac");
-  const compress::GradientCompressor* gather_comp =
-      gather_degraded_ != 0 ? nullptr : compressor;
-  auto send =
-      build_gather_payloads(preconditioned, owned, gather_comp, step_seed);
+  graph_.depends(update, gather);
 
-  // --- decode on every rank (identical bytes -> identical updates).
-  // Decode once from the first active rank's stream and apply everywhere.
-  // On decode failure: bounded re-send of the same payloads, then an
-  // uncompressed re-send (fallback); repeated failing steps degrade the
-  // gather to the uncompressed path for the rest of the run.
-  const std::size_t attempts =
-      policy_.enabled ? policy_.max_decode_retries + 1 : 1;
-  bool decoded = false;
-  for (std::size_t attempt = 0; attempt < attempts && !decoded; ++attempt) {
-    std::vector<std::vector<std::uint8_t>> recv;
-    comm_.allgatherv(send, recv);
-    try {
-      decode_gathered(recv[lead], preconditioned, gather_comp);
-      decoded = true;
-      gather_failures_ = 0;
-    } catch (const PayloadError&) {
-      if (!policy_.enabled) throw;
-      if (attempt + 1 < attempts) {
-        ++comm_.recovery().decode_retries;
-        hooks.count("recovery.decode_retries");
-        hooks.instant(obs::kMainTrack, "kfac.gather_retry", "recovery");
-        continue;
-      }
-      ++comm_.recovery().decode_failures;
-      ++comm_.recovery().fallback_steps;
-      hooks.count("recovery.decode_failures");
-      hooks.count("recovery.fallback_steps");
-      hooks.instant(obs::kMainTrack, "kfac.gather_fallback", "recovery");
-      if (++gather_failures_ >= policy_.fallback_after &&
-          gather_degraded_ == 0) {
-        gather_degraded_ = 1;
-        ++comm_.recovery().degraded_layers;
-        hooks.count("recovery.degraded_layers");
-      }
-    }
-  }
-  if (!decoded) {
-    // Uncompressed fallback exchange: raw payloads cannot fail decode
-    // (framing damage would surface as PayloadError on the retried
-    // collective, but injector events are one-shot, so this is clean).
-    comp_bytes_ = 0;
-    send = build_gather_payloads(preconditioned, owned, nullptr, step_seed);
-    std::vector<std::vector<std::uint8_t>> recv;
-    comm_.allgatherv(send, recv);
-    decode_gathered(recv[lead], preconditioned, nullptr);
-  }
-  gather_span.add_arg("orig_bytes", orig_bytes_);
-  gather_span.add_arg("comp_bytes", comp_bytes_);
-  gather_span.end();
-  hooks.count("kfac.gather.orig_bytes", orig_bytes_);
-  hooks.count("kfac.gather.comp_bytes", comp_bytes_);
-  hooks.count("kfac.factor.orig_bytes", factor_orig_bytes_);
-  hooks.count("kfac.factor.comp_bytes", factor_comp_bytes_);
-
-  // --- momentum + weight update, identically on every surviving replica.
-  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
-    if (skip[s]) continue;  // non-finite slot, zeroed pre-gather.
-    // Non-finite guard: skip the layer (momentum untouched) rather than
-    // poisoning every replica's weights.
-    if (!all_finite(preconditioned[s].span())) {
-      if (policy_.enabled && policy_.skip_nonfinite_steps) {
-        ++comm_.recovery().nonfinite_skips;
-        hooks.count("recovery.nonfinite_skips");
-        continue;
-      }
-      throw NonFiniteError("DistKfac: non-finite preconditioned gradient");
-    }
-    momentum_[s].axpby(static_cast<float>(cfg_.momentum), 1.0F,
-                       preconditioned[s]);
-    for (std::size_t r = 0; r < world; ++r) {
-      if (!comm_.is_active(r)) continue;
-      apply_combined_update(replicas_[r]->layer(layer_indices_[s]),
-                            momentum_[s], lr);
-    }
-  }
-  momentum_workspace_.clear();
+  sched_stats_ = graph_.run(eng, hooks);
 }
 
 void DistKfac::save_state(std::vector<std::uint8_t>& out) const {

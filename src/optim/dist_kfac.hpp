@@ -23,6 +23,7 @@
 #include "src/nn/model.hpp"
 #include "src/optim/kfac.hpp"
 #include "src/optim/recovery.hpp"
+#include "src/optim/step_graph.hpp"
 
 #include <memory>
 #include <vector>
@@ -112,6 +113,12 @@ class DistKfac {
   void save_state(std::vector<std::uint8_t>& out) const;
   void load_state(codec::wire::Reader& reader);
 
+  /// Schedule-shape counters of the last step() (see StepGraph::Stats):
+  /// how many collectives ran with compute in flight, how many ran idle.
+  const StepGraph::Stats& last_sched_stats() const noexcept {
+    return sched_stats_;
+  }
+
  private:
   DistKfacConfig cfg_;
   RecoveryPolicy policy_;
@@ -120,7 +127,6 @@ class DistKfac {
   std::vector<std::size_t> layer_indices_;  ///< trainable layer positions.
   std::vector<std::unique_ptr<KfacLayerState>> states_;
   std::vector<Tensor> momentum_;  ///< per layer, combined-grad shaped.
-  std::vector<Tensor> momentum_workspace_;  ///< averaged grads, per step.
   std::uint64_t orig_bytes_ = 0;
   std::uint64_t comp_bytes_ = 0;
   const compress::GradientCompressor* factor_compressor_ = nullptr;
@@ -132,15 +138,24 @@ class DistKfac {
   compress::CompressionEngine* engine_ = nullptr;
   compress::CompressionEngine serial_engine_{0};  ///< inline fallback.
   /// Per-step task counter: every compression job's Rng stream id,
-  /// assigned in deterministic submission order (see step()).
+  /// assigned in deterministic order while the step's task graph is
+  /// built on the optimizer thread (see step()).
   std::uint64_t task_counter_ = 0;
+  /// The step's task graph + the schedule-shape counters of its last run.
+  StepGraph graph_;
+  StepGraph::Stats sched_stats_;
   // Per-step workspaces (persistent so steady-state steps reuse
-  // capacity): covariances + factor payloads indexed [slot][rank], decode
-  // buffers indexed [rank], gather-group buffers indexed [group].
+  // capacity): covariances + factor payloads and averaged/preconditioned
+  // gradients indexed [slot][rank] / [slot], decode buffers indexed
+  // [rank], gather-group buffers indexed [group].
   std::vector<std::vector<Tensor>> cov_a_;
   std::vector<std::vector<Tensor>> cov_g_;
   std::vector<std::vector<compress::Bytes>> factor_send_a_;
   std::vector<std::vector<compress::Bytes>> factor_send_g_;
+  std::vector<std::vector<Tensor>> grad_work_;  ///< [slot][rank].
+  std::vector<Tensor> preconditioned_;          ///< [slot].
+  std::vector<std::uint8_t> skip_;              ///< [slot], non-finite.
+  std::vector<std::vector<std::size_t>> owned_;  ///< [rank] -> slots.
   std::vector<std::vector<float>> decode_bufs_;
   std::vector<std::vector<float>> group_concat_;
   std::vector<compress::Bytes> group_payloads_;

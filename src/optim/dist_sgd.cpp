@@ -192,113 +192,122 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
         compressor != nullptr && degraded_[s] == 0 && grads_finite ? 1 : 0;
   }
 
-  // Phase 2: submit every layer's compression jobs up front. While the
-  // loop below drives layer s's collective + decode on this thread, the
-  // engine's workers compress layers s+1..N — the host-side analogue of
-  // the paper's compression/communication overlap. Task ids are
+  // Graph build (DESIGN.md §13): one compute task per active (slot, rank)
+  // compression and one main-thread exchange+update task per slot, with
+  // the exchange depending on the slot's compressions. Task ids are
   // slot * world + rank: fixed by (slot, rank) alone, so eviction or
   // degradation of one layer never shifts another task's Rng stream.
-  std::vector<std::vector<compress::CompressionEngine::Ticket>> tickets(
-      slots);
-  for (std::size_t s = 0; s < slots; ++s) {
-    if (!use_comp[s]) continue;
-    tickets[s].assign(world, 0);
-    for (std::size_t r = 0; r < world; ++r) {
-      if (!comm_.is_active(r)) continue;
-      const std::size_t n = layer_n[s];
-      tickets[s][r] = eng.submit([this, compressor, step_seed, s, r, n,
-                                  world] {
-        tensor::Rng task_rng = compress::CompressionEngine::task_rng(
-            step_seed, static_cast<std::uint64_t>(s) * world + r);
-        auto& res = residual_[r][s];
-        const std::vector<float>& grad = step_grads_[s][r];
-        // Compress once (with optional error feedback); retries re-send
-        // these exact payloads, so the training trajectory is identical
-        // to a fault-free run.
-        thread_local std::vector<float> to_send;
-        thread_local std::vector<float> rec;
-        to_send = grad;
-        if (cfg_.error_feedback) {
-          if (res.size() != n) res.assign(n, 0.0F);
-          for (std::size_t i = 0; i < n; ++i) to_send[i] += res[i];
-        }
-        compressor->compress_into(to_send, task_rng, send_payloads_[s][r]);
-        if (cfg_.error_feedback) {
-          compressor->decompress_into(send_payloads_[s][r], rec);
-          for (std::size_t i = 0; i < n; ++i) res[i] = to_send[i] - rec[i];
-        }
-      });
-    }
-  }
-
-  // Phase 3: per layer in order — finish its compression, exchange,
-  // decode, update.
+  // Backward-order priorities (higher slot first) mirror the order the
+  // gradients become ready in a real backward pass: while the main thread
+  // drives slot s's collective + decode, the engine's workers compress
+  // slots s-1..0 — the host-side analogue of the paper's
+  // compression/communication overlap.
+  graph_.clear();
   for (std::size_t s = 0; s < slots; ++s) {
     const std::size_t li = layer_indices_[s];
     const std::size_t n = layer_n[s];
-    std::vector<float> averaged(n, 0.0F);
-    bool averaged_ok = false;
+    std::vector<StepGraph::TaskId> comp_ids;
     if (use_comp[s]) {
       for (std::size_t r = 0; r < world; ++r) {
         if (!comm_.is_active(r)) continue;
-        eng.wait(tickets[s][r]);
-        comp_bytes_ += send_payloads_[s][r].size();
-      }
-      averaged_ok =
-          compressed_average(s, n, send_payloads_[s], *compressor, averaged);
-      if (!averaged_ok) {
-        ++comm_.recovery().fallback_steps;
-        hooks.count("recovery.fallback_steps");
-        hooks.instant(obs::kMainTrack, "sgd.layer_fallback", "recovery");
+        comp_ids.push_back(graph_.add_compute(
+            "grad_compress" + std::to_string(s), static_cast<int>(s),
+            [this, compressor, step_seed, s, r, n, world] {
+              tensor::Rng task_rng = compress::CompressionEngine::task_rng(
+                  step_seed, static_cast<std::uint64_t>(s) * world + r);
+              auto& res = residual_[r][s];
+              const std::vector<float>& grad = step_grads_[s][r];
+              // Compress once (with optional error feedback); retries
+              // re-send these exact payloads, so the training trajectory
+              // is identical to a fault-free run.
+              thread_local std::vector<float> to_send;
+              thread_local std::vector<float> rec;
+              to_send = grad;
+              if (cfg_.error_feedback) {
+                if (res.size() != n) res.assign(n, 0.0F);
+                for (std::size_t i = 0; i < n; ++i) to_send[i] += res[i];
+              }
+              compressor->compress_into(to_send, task_rng,
+                                        send_payloads_[s][r]);
+              if (cfg_.error_feedback) {
+                compressor->decompress_into(send_payloads_[s][r], rec);
+                for (std::size_t i = 0; i < n; ++i) {
+                  res[i] = to_send[i] - rec[i];
+                }
+              }
+            }));
       }
     }
-    if (!averaged_ok) {
-      // Plain ring allreduce of the raw gradients — the primary path when
-      // no compressor is attached, and the recovery fallback when decode
-      // retries were exhausted (the snapshots are untouched by the
-      // compressed attempt, so the fallback reduces the exact local
-      // gradients).
-      std::vector<std::span<float>> views;
-      views.reserve(world);
-      for (auto& g : step_grads_[s]) views.push_back(g);
-      comm_.allreduce_sum(views);
-      const std::size_t lead = comm_.first_active_rank();
-      for (std::size_t i = 0; i < n; ++i) {
-        averaged[i] = step_grads_[s][lead][i] / static_cast<float>(active);
-      }
-      comp_bytes_ += active * n * sizeof(float);
-    }
+    // Exchange + decode + momentum + update for one slot: collectives and
+    // weight writes stay on the optimizer thread. Weight updates never
+    // touch gradient buffers, so in-flight compression of other layers
+    // (each reading its own snapshots) is unaffected.
+    const auto exch = graph_.add_main(
+        "exchange" + std::to_string(s), static_cast<int>(s),
+        [this, compressor, lr, s, li, n, world, active,
+         use = use_comp[s]] {
+          const obs::ObsHooks& hooks = comm_.obs();
+          std::vector<float> averaged(n, 0.0F);
+          bool averaged_ok = false;
+          if (use) {
+            for (std::size_t r = 0; r < world; ++r) {
+              if (!comm_.is_active(r)) continue;
+              comp_bytes_ += send_payloads_[s][r].size();
+            }
+            averaged_ok = compressed_average(s, n, send_payloads_[s],
+                                             *compressor, averaged);
+            if (!averaged_ok) {
+              ++comm_.recovery().fallback_steps;
+              hooks.count("recovery.fallback_steps");
+              hooks.instant(obs::kMainTrack, "sgd.layer_fallback",
+                            "recovery");
+            }
+          }
+          if (!averaged_ok) {
+            // Plain ring allreduce of the raw gradients — the primary
+            // path when no compressor is attached, and the recovery
+            // fallback when decode retries were exhausted (the snapshots
+            // are untouched by the compressed attempt, so the fallback
+            // reduces the exact local gradients).
+            std::vector<std::span<float>> views;
+            views.reserve(world);
+            for (auto& g : step_grads_[s]) views.push_back(g);
+            comm_.allreduce_sum(views);
+            const std::size_t lead = comm_.first_active_rank();
+            for (std::size_t i = 0; i < n; ++i) {
+              averaged[i] =
+                  step_grads_[s][lead][i] / static_cast<float>(active);
+            }
+            comp_bytes_ += active * n * sizeof(float);
+          }
 
-    // Non-finite guard: a CRC-clean payload can still carry NaN/Inf (an
-    // upstream arithmetic fault); never let it reach the weights silently.
-    if (!all_finite(averaged)) {
-      if (policy_.enabled && policy_.skip_nonfinite_steps) {
-        ++comm_.recovery().nonfinite_skips;
-        hooks.count("recovery.nonfinite_skips");
-        continue;  // skip this layer's update; momentum untouched
-      }
-      try {
-        eng.wait_all();  // don't leave jobs running over thrown state
-      } catch (...) {
-        // the NonFiniteError below is the step's primary failure
-      }
-      throw NonFiniteError("DistSgd: non-finite averaged gradient");
-    }
+          // Non-finite guard: a CRC-clean payload can still carry NaN/Inf
+          // (an upstream arithmetic fault); never let it reach the
+          // weights silently.
+          if (!all_finite(averaged)) {
+            if (policy_.enabled && policy_.skip_nonfinite_steps) {
+              ++comm_.recovery().nonfinite_skips;
+              hooks.count("recovery.nonfinite_skips");
+              return;  // skip this layer's update; momentum untouched
+            }
+            // StepGraph::run reaps every in-flight job before rethrowing.
+            throw NonFiniteError("DistSgd: non-finite averaged gradient");
+          }
 
-    // Momentum + identical update on every surviving replica. Weight
-    // updates never touch gradient buffers, so in-flight compression of
-    // later layers (reading its own snapshots) is unaffected.
-    auto& vel = velocity_[s];
-    if (vel.size() != n) vel.assign(n, 0.0F);
-    for (std::size_t i = 0; i < n; ++i) {
-      vel[i] = static_cast<float>(cfg_.momentum) * vel[i] + averaged[i];
-    }
-    for (std::size_t r = 0; r < world; ++r) {
-      if (!comm_.is_active(r)) continue;
-      apply_flat_update(replicas_[r]->layer(li), vel, lr);
-    }
+          auto& vel = velocity_[s];
+          if (vel.size() != n) vel.assign(n, 0.0F);
+          for (std::size_t i = 0; i < n; ++i) {
+            vel[i] = static_cast<float>(cfg_.momentum) * vel[i] + averaged[i];
+          }
+          for (std::size_t r = 0; r < world; ++r) {
+            if (!comm_.is_active(r)) continue;
+            apply_flat_update(replicas_[r]->layer(li), vel, lr);
+          }
+        },
+        /*is_comm=*/true);
+    for (const auto c : comp_ids) graph_.depends(exch, c);
   }
-  eng.wait_all();  // all tickets were waited above; this recycles the table
+  sched_stats_ = graph_.run(eng, hooks);
   hooks.count("sgd.orig_bytes", orig_bytes_);
   hooks.count("sgd.comp_bytes", comp_bytes_);
 }

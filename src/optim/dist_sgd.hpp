@@ -20,6 +20,7 @@
 #include "src/compress/compressor.hpp"
 #include "src/nn/model.hpp"
 #include "src/optim/recovery.hpp"
+#include "src/optim/step_graph.hpp"
 
 #include <vector>
 
@@ -61,6 +62,12 @@ class DistSgd {
   std::uint64_t last_original_bytes() const noexcept { return orig_bytes_; }
   std::uint64_t last_compressed_bytes() const noexcept { return comp_bytes_; }
 
+  /// Schedule-shape counters of the last step() (see StepGraph::Stats):
+  /// how many collectives ran with compute in flight, how many ran idle.
+  const StepGraph::Stats& last_sched_stats() const noexcept {
+    return sched_stats_;
+  }
+
   /// Serializes the full optimizer state (velocity, EF residuals, recovery
   /// counters) for checkpointing; restore with load_state. The byte layout
   /// is internal to the checkpoint format (core/checkpoint.hpp).
@@ -83,6 +90,9 @@ class DistSgd {
 
   compress::CompressionEngine* engine_ = nullptr;
   compress::CompressionEngine serial_engine_{0};  ///< inline fallback.
+  /// The step's task graph + the schedule-shape counters of its last run.
+  StepGraph graph_;
+  StepGraph::Stats sched_stats_;
   // Per-step workspaces (persistent so steady-state steps reuse capacity):
   // gradient snapshots and payloads indexed [slot][rank], decode buffers
   // indexed [rank].

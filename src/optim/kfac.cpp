@@ -92,18 +92,25 @@ void KfacLayerState::restore(Tensor a, Tensor g,
 }
 
 Tensor combined_gradient(nn::Layer& layer) {
+  Tensor c;
+  combined_gradient_into(layer, c);
+  return c;
+}
+
+void combined_gradient_into(nn::Layer& layer, Tensor& c) {
   auto* wg = layer.weight_grad();
   auto* bg = layer.bias_grad();
   if (wg == nullptr || bg == nullptr) {
     throw std::invalid_argument("combined_gradient: layer has no params");
   }
   const std::size_t out = wg->rows(), in = wg->cols();
-  Tensor c({out, in + 1});
+  if (c.rank() != 2 || c.rows() != out || c.cols() != in + 1) {
+    c = Tensor({out, in + 1});
+  }
   for (std::size_t r = 0; r < out; ++r) {
     for (std::size_t j = 0; j < in; ++j) c.at(r, j) = wg->at(r, j);
     c.at(r, in) = (*bg)[r];
   }
-  return c;
 }
 
 void apply_combined_update(nn::Layer& layer, const Tensor& combined,

@@ -68,6 +68,9 @@ class KfacLayerState {
 
 /// Builds the combined (out, in+1) gradient [dW | db] from a Linear layer.
 Tensor combined_gradient(nn::Layer& layer);
+/// Same, into a caller-owned tensor (reshaped in place when needed) so
+/// steady-state steps reuse the buffer instead of allocating per call.
+void combined_gradient_into(nn::Layer& layer, Tensor& out);
 /// Splits a combined (preconditioned) gradient back into dW / db and
 /// applies `param -= lr * K` (with optional momentum handled by caller).
 void apply_combined_update(nn::Layer& layer, const Tensor& combined,

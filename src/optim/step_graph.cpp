@@ -1,0 +1,192 @@
+#include "src/optim/step_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace compso::optim {
+
+StepGraph::TaskId StepGraph::add_compute(std::string name, int priority,
+                                         std::function<void()> fn) {
+  tasks_.push_back({std::move(name), priority, std::move(fn), /*compute=*/true,
+                    /*comm=*/false, {}});
+  return tasks_.size() - 1;
+}
+
+StepGraph::TaskId StepGraph::add_main(std::string name, int priority,
+                                      std::function<void()> fn, bool is_comm) {
+  tasks_.push_back({std::move(name), priority, std::move(fn),
+                    /*compute=*/false, is_comm, {}});
+  return tasks_.size() - 1;
+}
+
+void StepGraph::depends(TaskId task, TaskId on) {
+  if (task >= tasks_.size() || on >= tasks_.size()) {
+    throw std::logic_error("StepGraph::depends: unknown task id");
+  }
+  if (task == on) {
+    throw std::logic_error("StepGraph::depends: task cannot depend on itself");
+  }
+  tasks_[task].deps.push_back(on);
+}
+
+void StepGraph::clear() { tasks_.clear(); }
+
+std::vector<StepGraph::TaskId> StepGraph::order() const {
+  const std::size_t n = tasks_.size();
+  std::vector<std::size_t> missing(n, 0);
+  std::vector<std::vector<TaskId>> dependents(n);
+  for (TaskId t = 0; t < n; ++t) {
+    missing[t] = tasks_[t].deps.size();
+    for (TaskId d : tasks_[t].deps) dependents[d].push_back(t);
+  }
+  // Kahn's algorithm with a deterministic selection rule: among ready
+  // tasks, compute before main (so submissions are as eager as the
+  // edges allow), then priority descending, then insertion order. The
+  // ready set is small (tens of tasks), so a linear scan beats heap
+  // bookkeeping and keeps ties trivially stable.
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < n; ++t) {
+    if (missing[t] == 0) ready.push_back(t);
+  }
+  std::vector<TaskId> out;
+  out.reserve(n);
+  while (!ready.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      const Task& a = tasks_[ready[i]];
+      const Task& b = tasks_[ready[best]];
+      const bool wins =
+          a.compute != b.compute
+              ? a.compute
+              : (a.priority != b.priority ? a.priority > b.priority
+                                          : ready[i] < ready[best]);
+      if (wins) best = i;
+    }
+    const TaskId t = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    out.push_back(t);
+    for (TaskId d : dependents[t]) {
+      if (--missing[d] == 0) ready.push_back(d);
+    }
+  }
+  if (out.size() != n) {
+    throw std::logic_error("StepGraph: dependency cycle");
+  }
+  return out;
+}
+
+StepGraph::Stats StepGraph::run(compress::CompressionEngine& engine,
+                                const obs::ObsHooks& hooks) {
+  const std::vector<TaskId> ord = order();
+  const std::size_t n = tasks_.size();
+  Stats st;
+  st.tasks = n;
+  for (const Task& t : tasks_) {
+    if (t.compute) {
+      ++st.compute_tasks;
+    } else {
+      ++st.main_tasks;
+      if (t.comm) ++st.comm_tasks;
+    }
+  }
+
+  const bool tracing = hooks.tracer != nullptr;
+  std::vector<compress::CompressionEngine::Ticket> ticket(n, 0);
+  std::vector<std::uint8_t> reaped(n, 0);
+  std::vector<std::uint64_t> submit_tick(n, 0);
+  std::uint64_t tick = 0;  ///< one per scheduling event, main thread only.
+  std::size_t in_flight = 0;
+  std::size_t unsubmitted_compute = st.compute_tasks;
+
+  // Reaps compute task `d`: waits its ticket (rethrowing its exception)
+  // and records the [submission, reap) span on the task's own track.
+  // The reap point sits in the total order, so `tick`, `in_flight` and
+  // the recorded spans are identical at any engine thread count.
+  const auto reap = [&](TaskId d) {
+    const auto record_span = [&](std::uint64_t end) {
+      if (tracing) {
+        hooks.complete(
+            obs::kSchedTrackBase + 1 + static_cast<std::uint32_t>(d),
+            "sched." + tasks_[d].name, "sched.task", submit_tick[d],
+            end - submit_tick[d], {{"task", d}});
+      }
+    };
+    reaped[d] = 1;
+    --in_flight;
+    const std::uint64_t end = tick++;
+    try {
+      engine.wait(ticket[d]);
+    } catch (...) {
+      record_span(end);
+      throw;
+    }
+    record_span(end);
+  };
+
+  try {
+    for (TaskId t : ord) {
+      // A task's main-task deps already ran (they precede it in the
+      // order); compute deps may still be in flight — reap them now, at
+      // the last admissible point.
+      for (TaskId d : tasks_[t].deps) {
+        if (tasks_[d].compute && !reaped[d]) reap(d);
+      }
+      Task& task = tasks_[t];
+      if (task.compute) {
+        submit_tick[t] = tick++;
+        --unsubmitted_compute;
+        ticket[t] = engine.submit(std::move(task.fn), task.name);
+        ++in_flight;
+        st.max_in_flight = std::max(st.max_in_flight, in_flight);
+      } else {
+        if (task.comm) {
+          if (in_flight > 0) {
+            ++st.overlapped_comm;
+          } else if (unsubmitted_compute > 0) {
+            ++st.idle_comm;
+          }
+        }
+        const std::uint64_t start = tick++;
+        const auto record = [&] {
+          if (tracing) {
+            hooks.complete(obs::kSchedTrackBase, "sched." + task.name,
+                           task.comm ? "sched.comm" : "sched.main", start, 1,
+                           {{"task", t}});
+          }
+          ++tick;
+        };
+        try {
+          task.fn();
+        } catch (...) {
+          record();
+          throw;
+        }
+        record();
+      }
+    }
+    // Reap every compute task nothing depended on, in submission order.
+    for (TaskId t : ord) {
+      if (tasks_[t].compute && !reaped[t]) reap(t);
+    }
+  } catch (...) {
+    // Outstanding tasks capture optimizer state; reap them before the
+    // exception unwinds past our caller. Their own errors must not mask
+    // the original exception.
+    try {
+      engine.wait_all();
+    } catch (...) {
+    }
+    throw;
+  }
+
+  hooks.count("sched.tasks", st.tasks);
+  hooks.count("sched.compute_tasks", st.compute_tasks);
+  hooks.count("sched.comm_tasks", st.comm_tasks);
+  hooks.count("sched.overlapped_comm", st.overlapped_comm);
+  hooks.count("sched.idle_comm", st.idle_comm);
+  hooks.observe("sched.max_in_flight", st.max_in_flight);
+  return st;
+}
+
+}  // namespace compso::optim

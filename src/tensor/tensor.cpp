@@ -11,14 +11,19 @@ std::size_t shape_size(std::span<const std::size_t> shape) noexcept {
   return shape.empty() ? 0 : n;
 }
 
+std::atomic<std::uint64_t> Tensor::allocations_{0};
+
 Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0F) {}
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0F) {
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+}
 
 Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   if (data_.size() != shape_size(shape_)) {
     throw std::invalid_argument("Tensor: data size does not match shape");
   }
+  allocations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Tensor Tensor::full(std::vector<std::size_t> shape, float value) {

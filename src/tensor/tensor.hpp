@@ -5,8 +5,10 @@
 // All heavy math lives in matrix_ops / eigen; Tensor is a container with
 // element-wise conveniences.
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -81,7 +83,17 @@ class Tensor {
 
   std::string shape_string() const;
 
+  /// Process-wide count of shape-constructing allocations (the explicit
+  /// shape / shape+data constructors, including zeros/full/eye). Tests
+  /// diff this across steps to assert steady-state code paths reuse
+  /// their workspaces instead of re-materialising zero tensors.
+  static std::uint64_t allocation_count() noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static std::atomic<std::uint64_t> allocations_;
+
   std::vector<std::size_t> shape_;
   std::vector<float> data_;
 };
