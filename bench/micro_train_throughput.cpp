@@ -111,6 +111,27 @@ Run run_trainer(bool smoke, std::size_t engine_threads, std::size_t steps,
   return r;
 }
 
+/// Faulted-throughput leg (DESIGN.md §14): the same serial pipeline under
+/// a scripted membership storm — a heartbeat silence, a deadline-blowing
+/// straggler, and (when the timed window is long enough) a full
+/// crash -> evict -> recover -> rejoin cycle with its checkpoint-framed
+/// re-sync. recovery_overhead = clean steps/s / faulted steps/s in wall
+/// time; the deadline waits themselves land on the *simulated* clocks, so
+/// the wall-time ratio isolates the detection + resync machinery.
+Run run_faulted(bool smoke, std::size_t steps) {
+  core::FaultTolerantTrainer trainer(bench_config(smoke, 0));
+  auto plan = comm::FaultPlan{}.silence(1, 1, 1).straggler(2, 1, 10.0);
+  if (steps >= 12) plan.crash(3, 1).recover(9, 1);
+  trainer.set_fault_plan(plan, 40);
+  trainer.run(1);  // warmup, same as the clean legs.
+  const double secs = bench::time_once(g_metrics, "bench.train.faulted",
+                                       [&] { trainer.run(steps); });
+  Run r;
+  r.steps_per_s = static_cast<double>(steps) / secs;
+  r.params = trainer.parameters();
+  return r;
+}
+
 bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -258,6 +279,8 @@ int main(int argc, char** argv) {
   const Run parallel =
       run_trainer(smoke, threads, steps, "bench.train.parallel");
   const bool identical = bitwise_equal(serial.params, parallel.params);
+  const Run faulted = run_faulted(smoke, steps);
+  const double recovery_overhead = serial.steps_per_s / faulted.steps_per_s;
 
   const auto cfg = bench_config(smoke, 0);
   std::printf(
@@ -272,6 +295,9 @@ int main(int argc, char** argv) {
               gate_enforced ? "enforced" : "skipped");
   std::printf("  parameters: %s\n",
               identical ? "bit-identical" : "MISMATCH");
+  std::printf("  faulted (membership storm): %7.3f steps/s  "
+              "(recovery overhead %.3fx)\n",
+              faulted.steps_per_s, recovery_overhead);
 
   ObsGate gate;
   if (with_obs_gate) {
@@ -305,6 +331,10 @@ int main(int argc, char** argv) {
                parallel.steps_per_s);
   std::fprintf(f, "  \"parallel_speedup\": %.4f,\n",
                parallel.steps_per_s / serial.steps_per_s);
+  std::fprintf(f,
+               "  \"recovery_overhead\": {\"clean_steps_per_s\": %.4f,"
+               " \"faulted_steps_per_s\": %.4f, \"ratio\": %.4f},\n",
+               serial.steps_per_s, faulted.steps_per_s, recovery_overhead);
   std::fprintf(f, "  \"speedup_gate\": %.2f,\n", kMinParallelSpeedup);
   std::fprintf(f, "  \"speedup_gate_enforced\": %s,\n",
                gate_enforced ? "true" : "false");

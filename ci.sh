@@ -9,8 +9,17 @@
 #
 # The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
 # AddressSanitizer + UBSan, which is what gives the fault/recovery paths
-# their teeth: an out-of-bounds decode of a corrupted payload fails the
-# build's tests even if it happens not to crash.
+# their teeth: an out-of-bounds decode of a corrupted payload or a damaged
+# checkpoint frame (test_ckpt_fuzz mutates every checkpoint section ≥1000
+# times) fails the build's tests even if it happens not to crash.
+#
+# The fault lane (ctest -L fault) runs in all three configs and covers the
+# recovery policies (test_fault), checkpoint round-trips (test_checkpoint),
+# the membership/liveness ladder + rejoin re-sync (test_membership), the
+# 200-step fault-storm bit-determinism soak (test_fault_storm), the
+# checkpoint fuzz contract (test_ckpt_fuzz), and the end-to-end drill
+# (example_fault_drill, which exits nonzero unless the crashed rank
+# rejoins and the resumed run is bit-exact).
 #
 # The TSan config (-DCOMPSO_TSAN=ON) runs everything under
 # ThreadSanitizer — that is what keeps the parallel compression engine

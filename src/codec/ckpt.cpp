@@ -1,10 +1,10 @@
-#include "src/core/checkpoint.hpp"
+#include "src/codec/ckpt.hpp"
 
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
-namespace compso::core::ckpt {
+namespace compso::codec::ckpt {
 
 void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
 
@@ -49,6 +49,13 @@ void put_rng(Bytes& out, const tensor::RngState& state) {
 
 std::vector<float> get_floats(codec::wire::Reader& reader, const char* field) {
   const auto n = reader.bounded_u64(codec::wire::kMaxElementCount, field);
+  // Bound the allocation by the bytes actually present: a corrupted count
+  // that survives the CRC must fail with a typed error, not a 16 GiB
+  // vector resize.
+  if (n * sizeof(float) > reader.remaining()) {
+    throw PayloadError(std::string("checkpoint: float count overruns body in ") +
+                       field);
+  }
   std::vector<float> v(n);
   for (auto& x : v) x = reader.f32();
   return v;
@@ -130,4 +137,4 @@ Bytes read_file(const std::string& path) {
   return data;
 }
 
-}  // namespace compso::core::ckpt
+}  // namespace compso::codec::ckpt

@@ -16,7 +16,10 @@ std::string RecoveryStats::to_string() const {
      << " fallback=" << fallback_steps << " degraded=" << degraded_layers
      << " evict=" << evictions << " nan_skip=" << nonfinite_skips
      << " tighten=" << bound_tightenings << " ckpt_save=" << checkpoint_saves
-     << " ckpt_restore=" << checkpoint_restores << "]";
+     << " ckpt_restore=" << checkpoint_restores
+     << "] membership[miss=" << heartbeat_misses << " suspect=" << suspicions
+     << " wait=" << deadline_waits << " exclude=" << deadline_exclusions
+     << " readmit=" << readmissions << " resync=" << resyncs << "]";
   return os.str();
 }
 
@@ -29,6 +32,22 @@ double SimClocks::max_time() const noexcept {
 void SimClocks::sync_advance(double dt) noexcept {
   const double start = max_time();
   for (auto& t : t_) t = start + dt;
+}
+
+void SimClocks::sync_advance_masked(
+    double dt, const std::vector<std::uint8_t>& mask) noexcept {
+  double start = 0.0;
+  bool any = false;
+  for (std::size_t r = 0; r < t_.size(); ++r) {
+    if (r < mask.size() && mask[r] != 0) {
+      start = any ? std::max(start, t_[r]) : t_[r];
+      any = true;
+    }
+  }
+  if (!any) return;
+  for (std::size_t r = 0; r < t_.size(); ++r) {
+    if (r < mask.size() && mask[r] != 0) t_[r] = start + dt;
+  }
 }
 
 LinkParams Communicator::ring_bottleneck() const noexcept {
@@ -61,6 +80,35 @@ std::size_t Communicator::first_active_rank() const {
     if (active_[r] != 0) return r;
   }
   throw std::logic_error("Communicator: every rank has been evicted");
+}
+
+std::size_t Communicator::participant_count() const noexcept {
+  std::size_t n = 0;
+  for (auto p : participating_) n += p != 0 ? 1 : 0;
+  return n;
+}
+
+std::vector<std::size_t> Communicator::participant_ranks() const {
+  std::vector<std::size_t> out;
+  out.reserve(participating_.size());
+  for (std::size_t r = 0; r < participating_.size(); ++r) {
+    if (participating_[r] != 0) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Communicator::first_participant() const {
+  for (std::size_t r = 0; r < participating_.size(); ++r) {
+    if (participating_[r] != 0) return r;
+  }
+  throw std::logic_error("Communicator: no participating ranks");
+}
+
+bool Communicator::is_rejoining(std::size_t rank) const noexcept {
+  for (std::size_t r : rejoining_) {
+    if (r == rank) return true;
+  }
+  return false;
 }
 
 void Communicator::record_collective(std::string_view op, double dt,
@@ -97,34 +145,157 @@ void Communicator::evict(std::size_t rank) {
     throw std::logic_error("Communicator: cannot evict the last rank");
   }
   active_[rank] = 0;
+  participating_[rank] = 0;
+  membership_.mark_evicted(rank);
   ++recovery_.evictions;
   obs_.count("recovery.evictions");
+  obs_.instant(obs::kMainTrack, "membership.evict", "membership",
+               {{"rank", rank}, {"iteration", last_tick_}});
+}
+
+void Communicator::readmit_at(std::size_t rank, std::size_t iter) {
+  if (rank >= active_.size() || active_[rank] != 0) return;
+  active_[rank] = 1;
+  participating_[rank] = 0;
+  membership_.mark_rejoining(rank, iter);
+  // The rejoiner re-enters at the group's front: it fetches a survivor's
+  // state during the resync step and marches with everyone afterwards.
+  double front = clocks_.at(rank);
+  for (std::size_t r = 0; r < participating_.size(); ++r) {
+    if (participating_[r] != 0) front = std::max(front, clocks_.at(r));
+  }
+  clocks_.advance(rank, front - clocks_.at(rank));
+  ++recovery_.readmissions;
+  obs_.count("recovery.readmissions");
+  obs_.instant(obs::kMainTrack, "membership.readmit", "membership",
+               {{"rank", rank}, {"iteration", iter}});
+}
+
+void Communicator::readmit(std::size_t rank) {
+  // Called between steps: the *next* iteration is the resync step.
+  readmit_at(rank, last_tick_ + 1);
+  rejoining_.clear();
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    if (membership_.phase(r) == RankPhase::kRejoining) rejoining_.push_back(r);
+  }
+}
+
+void Communicator::refresh_participation() {
+  participating_.assign(active_.size(), 0);
+  rejoining_.clear();
+  bool any = false;
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    if (active_[r] == 0) continue;
+    if (membership_.phase(r) == RankPhase::kRejoining) rejoining_.push_back(r);
+    if (membership_.phase(r) == RankPhase::kHealthy) {
+      participating_[r] = 1;
+      any = true;
+    }
+  }
+  if (!any && active_count() > 0) participating_[first_active_rank()] = 1;
 }
 
 void Communicator::set_active_mask(const std::vector<std::uint8_t>& mask) {
   if (mask.size() != active_.size()) {
     throw std::invalid_argument("set_active_mask: size mismatch");
   }
+  bool any = false;
+  for (auto m : mask) any = any || m != 0;
+  if (!any) {
+    // Mirrors evict()'s last-rank guard: the group can never go empty.
+    throw std::invalid_argument(
+        "set_active_mask: at least one rank must stay active");
+  }
+  for (std::size_t r = 0; r < mask.size(); ++r) {
+    if (active_[r] != 0 && mask[r] == 0) {
+      membership_.mark_evicted(r);
+      ++recovery_.evictions;
+      obs_.count("recovery.evictions");
+    } else if (active_[r] == 0 && mask[r] != 0) {
+      // Reactivating an evicted rank is a readmission, never a silent
+      // mask flip. The checkpoint-restore path overwrites the counters and
+      // the membership ledger right after, so continuity is preserved.
+      membership_.mark_healthy(r);
+      ++recovery_.readmissions;
+      obs_.count("recovery.readmissions");
+    }
+  }
   active_ = mask;
+  refresh_participation();
 }
 
 void Communicator::begin_iteration(std::size_t t) {
-  if (injector_ == nullptr) return;
-  injector_->begin_iteration(t);
-  for (const auto& e : injector_->take_all(FaultKind::kCrash)) {
-    evict(e.rank);
-  }
-  for (const auto& e : injector_->take_all(FaultKind::kStraggler)) {
-    if (is_active(e.rank)) {
-      clocks_.advance(e.rank, e.slowdown_s);
-      ++recovery_.straggler_events;
-      obs_.count("recovery.straggler_events");
+  last_tick_ = t;
+  if (injector_ != nullptr) {
+    injector_->begin_iteration(t);
+    // Physical plane only: the plan changes what the cluster *does* (who
+    // is alive, whose heartbeats get lost, who runs slow). Detection below
+    // never reads these events — it watches the heartbeat ledger.
+    for (const auto& e : injector_->take_all(FaultKind::kCrash)) {
+      membership_.set_alive(e.rank, false);
     }
+    for (const auto& e : injector_->take_all(FaultKind::kSilence)) {
+      membership_.silence(e.rank, t, e.duration);
+    }
+    for (const auto& e : injector_->take_all(FaultKind::kRecover)) {
+      membership_.set_alive(e.rank, true);
+    }
+    for (const auto& e : injector_->take_all(FaultKind::kStraggler)) {
+      if (is_active(e.rank)) {
+        clocks_.advance(e.rank, e.slowdown_s);
+        ++recovery_.straggler_events;
+        obs_.count("recovery.straggler_events");
+      }
+    }
+  }
+  auto d = membership_.tick(t, clocks_.times(), active_);
+  participating_ = std::move(d.participating);
+  if (d.misses > 0) {
+    recovery_.heartbeat_misses += d.misses;
+    obs_.count("recovery.heartbeat_misses", d.misses);
+  }
+  for (std::size_t r : d.suspected) {
+    ++recovery_.suspicions;
+    obs_.count("recovery.suspicions");
+    obs_.instant(obs::kMainTrack, "membership.suspect", "membership",
+                 {{"rank", r}, {"iteration", t}});
+  }
+  for (std::size_t r : d.excluded) {
+    ++recovery_.deadline_exclusions;
+    obs_.count("recovery.deadline_exclusions");
+    obs_.instant(obs::kMainTrack, "membership.exclude", "membership",
+                 {{"rank", r}, {"iteration", t}});
+  }
+  if (d.waited_for > 0) {
+    // Ladder rung 1: the group stalls at the barrier for the full deadline
+    // before continuing without the absentees (one wait per step).
+    recovery_.deadline_waits += d.waited_for;
+    obs_.count("recovery.deadline_waits", d.waited_for);
+    clocks_.sync_advance_masked(membership_.config().straggler_deadline_s,
+                                participating_);
+  }
+  for (std::size_t r : d.evicted) {
+    if (active_count() > 1) {
+      evict(r);
+    }
+    // Last-rank guard: an unevictable suspect keeps being probed; the
+    // ladder retries on subsequent ticks.
+  }
+  for (std::size_t r : d.redeemed) {
+    obs_.instant(obs::kMainTrack, "membership.redeem", "membership",
+                 {{"rank", r}, {"iteration", t}});
+  }
+  for (std::size_t r : d.readmitted) {
+    readmit_at(r, t);
+  }
+  rejoining_.clear();
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    if (membership_.phase(r) == RankPhase::kRejoining) rejoining_.push_back(r);
   }
 }
 
 double Communicator::allreduce_time(std::size_t bytes) const noexcept {
-  const std::size_t p = active_count();
+  const std::size_t p = participant_count();
   if (p <= 1 || bytes == 0) return 0.0;
   const LinkParams link = ring_bottleneck();
   const double pd = static_cast<double>(p);
@@ -134,7 +305,7 @@ double Communicator::allreduce_time(std::size_t bytes) const noexcept {
 
 double Communicator::allgather_time(std::size_t bytes_per_rank)
     const noexcept {
-  const std::size_t p = active_count();
+  const std::size_t p = participant_count();
   if (p <= 1 || bytes_per_rank == 0) return 0.0;
   const LinkParams link = ring_bottleneck();
   const double pd = static_cast<double>(p);
@@ -144,7 +315,7 @@ double Communicator::allgather_time(std::size_t bytes_per_rank)
 
 double Communicator::allgatherv_time(
     std::span<const std::size_t> bytes_per_rank) const noexcept {
-  const std::size_t p = active_count();
+  const std::size_t p = participant_count();
   if (p <= 1 || bytes_per_rank.empty()) return 0.0;
   const LinkParams link = ring_bottleneck();
   std::size_t total = 0;
@@ -161,7 +332,7 @@ double Communicator::allgatherv_time(
 }
 
 double Communicator::broadcast_time(std::size_t bytes) const noexcept {
-  const std::size_t p = active_count();
+  const std::size_t p = participant_count();
   if (p <= 1 || bytes == 0) return 0.0;
   // Hierarchical binomial: tree over nodes on the interconnect, then a tree
   // over the node's GPUs on NVLink.
@@ -180,7 +351,7 @@ double Communicator::broadcast_time(std::size_t bytes) const noexcept {
 
 double Communicator::pipelined_broadcast_time(std::size_t bytes)
     const noexcept {
-  const std::size_t p = active_count();
+  const std::size_t p = participant_count();
   if (p <= 1 || bytes == 0) return 0.0;
   const LinkParams link = ring_bottleneck();
   const auto rounds = static_cast<double>(std::bit_width(p - 1));
@@ -189,7 +360,7 @@ double Communicator::pipelined_broadcast_time(std::size_t bytes)
 }
 
 double Communicator::reduce_scatter_time(std::size_t bytes) const noexcept {
-  const std::size_t p = active_count();
+  const std::size_t p = participant_count();
   if (p <= 1 || bytes == 0) return 0.0;
   const LinkParams link = ring_bottleneck();
   const double pd = static_cast<double>(p);
@@ -201,26 +372,26 @@ void Communicator::allreduce_sum(std::vector<std::span<float>> bufs) {
   if (bufs.size() != world_size()) {
     throw std::invalid_argument("allreduce_sum: need one buffer per rank");
   }
-  const std::size_t lead = first_active_rank();
+  const std::size_t lead = first_participant();
   const std::size_t n = bufs[lead].size();
   for (std::size_t r = 0; r < bufs.size(); ++r) {
-    if (is_active(r) && bufs[r].size() != n) {
+    if (is_participating(r) && bufs[r].size() != n) {
       throw std::invalid_argument("allreduce_sum: buffer size mismatch");
     }
   }
-  // Functional: sum active ranks into the first active rank's view, then
-  // replicate to the other active ranks. Evicted ranks neither contribute
-  // nor receive (world-shrink semantics).
+  // Functional: sum participating ranks into the lead participant's view,
+  // then replicate to the other participants. Evicted and step-excluded
+  // ranks neither contribute nor receive (renormalized averages).
   for (std::size_t r = lead + 1; r < bufs.size(); ++r) {
-    if (!is_active(r)) continue;
+    if (!is_participating(r)) continue;
     for (std::size_t i = 0; i < n; ++i) bufs[lead][i] += bufs[r][i];
   }
   for (std::size_t r = 0; r < bufs.size(); ++r) {
-    if (r == lead || !is_active(r)) continue;
+    if (r == lead || !is_participating(r)) continue;
     std::copy(bufs[lead].begin(), bufs[lead].end(), bufs[r].begin());
   }
   const double dt = allreduce_time(n * sizeof(float));
-  clocks_.sync_advance(dt);
+  clocks_.sync_advance_masked(dt, participating_);
   stats_.allreduce_s += dt;
   stats_.allreduce_bytes += n * sizeof(float);
   record_collective("allreduce", dt, n * sizeof(float));
@@ -234,16 +405,16 @@ void Communicator::allgather(const std::vector<std::vector<float>>& send,
   std::vector<float> gathered;
   std::size_t max_chunk = 0;
   for (std::size_t r = 0; r < send.size(); ++r) {
-    if (!is_active(r)) continue;
+    if (!is_participating(r)) continue;
     gathered.insert(gathered.end(), send[r].begin(), send[r].end());
     max_chunk = std::max(max_chunk, send[r].size());
   }
   recv.assign(world_size(), {});
   for (std::size_t r = 0; r < world_size(); ++r) {
-    if (is_active(r)) recv[r] = gathered;
+    if (is_participating(r)) recv[r] = gathered;
   }
   const double dt = allgather_time(max_chunk * sizeof(float));
-  clocks_.sync_advance(dt);
+  clocks_.sync_advance_masked(dt, participating_);
   stats_.allgather_s += dt;
   const std::uint64_t bytes =
       (gathered.size() - (send.empty() ? 0 : send[0].size())) * sizeof(float);
@@ -262,11 +433,11 @@ void Communicator::allgatherv(
   sizes.reserve(send.size());
   std::size_t total_bytes = 0;
   for (std::size_t r = 0; r < send.size(); ++r) {
-    if (is_active(r)) total_bytes += send[r].size();
+    if (is_participating(r)) total_bytes += send[r].size();
   }
   gathered.reserve(total_bytes);  // one allocation for the whole stream.
   for (std::size_t r = 0; r < send.size(); ++r) {
-    if (!is_active(r)) continue;
+    if (!is_participating(r)) continue;
     if (injector_ == nullptr) {
       // Fast path: no per-entry fault hooks, so append without the
       // intermediate chunk copy.
@@ -300,10 +471,10 @@ void Communicator::allgatherv(
   if (fault_) fault_(gathered);
   recv.assign(world_size(), {});
   for (std::size_t r = 0; r < world_size(); ++r) {
-    if (is_active(r)) recv[r] = gathered;
+    if (is_participating(r)) recv[r] = gathered;
   }
   const double dt = allgatherv_time(sizes);
-  clocks_.sync_advance(dt);
+  clocks_.sync_advance_masked(dt, participating_);
   stats_.allgather_s += dt;
   stats_.allgather_bytes += gathered.size();
   record_collective("allgather", dt, gathered.size());
@@ -314,19 +485,19 @@ void Communicator::broadcast(std::vector<std::span<float>> bufs,
   if (bufs.size() != world_size() || root >= world_size()) {
     throw std::invalid_argument("broadcast: bad arguments");
   }
-  if (!is_active(root)) {
+  if (!is_participating(root)) {
     throw std::invalid_argument("broadcast: root has been evicted");
   }
   const auto src = bufs[root];
   for (std::size_t r = 0; r < bufs.size(); ++r) {
-    if (r == root || !is_active(r)) continue;
+    if (r == root || !is_participating(r)) continue;
     if (bufs[r].size() != src.size()) {
       throw std::invalid_argument("broadcast: buffer size mismatch");
     }
     std::copy(src.begin(), src.end(), bufs[r].begin());
   }
   const double dt = broadcast_time(src.size() * sizeof(float));
-  clocks_.sync_advance(dt);
+  clocks_.sync_advance_masked(dt, participating_);
   stats_.broadcast_s += dt;
   record_collective("broadcast", dt, src.size() * sizeof(float));
 }
@@ -366,7 +537,7 @@ void Communicator::broadcast_bytes(
   if (bufs.size() != world_size() || root >= world_size()) {
     throw std::invalid_argument("broadcast_bytes: bad arguments");
   }
-  if (!is_active(root)) {
+  if (!is_participating(root)) {
     throw std::invalid_argument("broadcast_bytes: root has been evicted");
   }
   // Faults hit the delivered copy, never the root's own buffer — exactly a
@@ -387,10 +558,10 @@ void Communicator::broadcast_bytes(
   }
   if (fault_) fault_(delivered);
   for (std::size_t r = 0; r < bufs.size(); ++r) {
-    if (r != root && is_active(r)) bufs[r] = delivered;
+    if (r != root && is_participating(r)) bufs[r] = delivered;
   }
   const double dt = broadcast_time(bufs[root].size());
-  clocks_.sync_advance(dt);
+  clocks_.sync_advance_masked(dt, participating_);
   stats_.broadcast_s += dt;
   record_collective("broadcast", dt, bufs[root].size());
 }

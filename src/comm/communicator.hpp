@@ -15,6 +15,7 @@
 // The bottleneck link is inter-node whenever the topology spans nodes.
 
 #include "src/comm/fault_injector.hpp"
+#include "src/comm/membership.hpp"
 #include "src/comm/network_model.hpp"
 #include "src/comm/topology.hpp"
 #include "src/obs/obs.hpp"
@@ -35,10 +36,15 @@ class SimClocks {
 
   std::size_t world_size() const noexcept { return t_.size(); }
   double at(std::size_t rank) const noexcept { return t_[rank]; }
+  std::span<const double> times() const noexcept { return t_; }
   void advance(std::size_t rank, double dt) noexcept { t_[rank] += dt; }
   double max_time() const noexcept;
   /// Advance every clock to max(clock) + dt (a synchronizing step).
   void sync_advance(double dt) noexcept;
+  /// Advance the masked clocks to max(masked clock) + dt; the rest are
+  /// frozen (evicted / excluded ranks do not march with the group).
+  void sync_advance_masked(double dt,
+                           const std::vector<std::uint8_t>& mask) noexcept;
   void reset() noexcept { for (auto& t : t_) t = 0.0; }
 
  private:
@@ -74,18 +80,26 @@ struct RecoveryStats {
   std::uint64_t decode_failures = 0;   ///< retries exhausted on a collective.
   std::uint64_t fallback_steps = 0;    ///< layer-steps on the uncompressed path.
   std::uint64_t degraded_layers = 0;   ///< layers permanently on fallback.
-  std::uint64_t evictions = 0;         ///< ranks removed after a crash.
+  std::uint64_t evictions = 0;         ///< ranks removed by the liveness ladder.
   std::uint64_t nonfinite_skips = 0;   ///< layer updates skipped on NaN/Inf.
   std::uint64_t bound_tightenings = 0; ///< adaptive-schedule tightenings.
   std::uint64_t checkpoint_saves = 0;
   std::uint64_t checkpoint_restores = 0;
+  // --- membership / liveness ladder (DESIGN.md §14) ---
+  std::uint64_t heartbeat_misses = 0;    ///< detection-plane missed beats.
+  std::uint64_t suspicions = 0;          ///< ranks entering kSuspect.
+  std::uint64_t deadline_waits = 0;      ///< barrier waits for absent ranks.
+  std::uint64_t deadline_exclusions = 0; ///< continue-without step exclusions.
+  std::uint64_t readmissions = 0;        ///< evicted ranks readmitted.
+  std::uint64_t resyncs = 0;             ///< rejoining replicas re-synced.
 
   std::uint64_t faults_injected() const noexcept {
     return corrupt_injected + drops_injected + truncations_injected +
            straggler_events;
   }
   std::uint64_t recovery_actions() const noexcept {
-    return decode_retries + fallback_steps + evictions + nonfinite_skips;
+    return decode_retries + fallback_steps + evictions + nonfinite_skips +
+           readmissions + resyncs;
   }
   std::string to_string() const;
 };
@@ -99,7 +113,8 @@ class Communicator {
 
   Communicator(Topology topo, NetworkModel net)
       : topo_(topo), net_(std::move(net)), clocks_(topo.world_size()),
-        active_(topo.world_size(), 1) {}
+        membership_(topo.world_size()), active_(topo.world_size(), 1),
+        participating_(topo.world_size(), 1) {}
 
   const Topology& topology() const noexcept { return topo_; }
   const NetworkModel& network() const noexcept { return net_; }
@@ -121,24 +136,55 @@ class Communicator {
   void set_obs(obs::ObsHooks hooks) noexcept { obs_ = hooks; }
   const obs::ObsHooks& obs() const noexcept { return obs_; }
 
-  // --- rank liveness (world-shrink after a crash) ---
-  /// Ranks still participating in collectives. Evicted ranks keep their
-  /// buffer slots in every call (SPMD style) but contribute nothing and
-  /// receive nothing.
+  // --- rank liveness / elastic membership (DESIGN.md §14) ---
+  /// Ranks in the collective group. Evicted ranks keep their buffer slots
+  /// in every call (SPMD style) but contribute nothing and receive nothing.
   bool is_active(std::size_t rank) const noexcept {
     return rank < active_.size() && active_[rank] != 0;
   }
   std::size_t active_count() const noexcept;
   std::vector<std::size_t> active_ranks() const;
   std::size_t first_active_rank() const;
+  /// Ranks participating in *this step's* compute and collectives: active,
+  /// healthy, and arrived at the barrier. Excluded stragglers, suspects,
+  /// and ranks mid-rejoin stay active but sit the step out.
+  bool is_participating(std::size_t rank) const noexcept {
+    return rank < participating_.size() && participating_[rank] != 0;
+  }
+  std::size_t participant_count() const noexcept;
+  std::vector<std::size_t> participant_ranks() const;
+  std::size_t first_participant() const;
+  /// Ranks running this step's rejoin/resync ladder (active, not yet
+  /// participating; the optimizers copy a survivor's state into them).
+  const std::vector<std::size_t>& rejoining_ranks() const noexcept {
+    return rejoining_;
+  }
+  bool is_rejoining(std::size_t rank) const noexcept;
   /// Removes a rank from the collective group (idempotent); counts an
   /// eviction in RecoveryStats on the first call per rank.
   void evict(std::size_t rank);
-  /// Restores liveness state from a checkpoint (no stats side effects).
+  /// Returns an evicted rank to the group through the rejoin ladder: it
+  /// sits out one resync step (rejoining_ranks) and participates from the
+  /// next. Its clock fast-forwards to the group's front. Idempotent for
+  /// ranks that are already active.
+  void readmit(std::size_t rank);
+  /// Replaces the liveness mask (checkpoint restore, admin override). The
+  /// mask must match the world size and keep at least one rank active;
+  /// every 1->0 edge is routed through the membership layer as an eviction
+  /// and every 0->1 edge as a readmission, so RecoveryStats/obs never
+  /// silently drift from the group state.
   void set_active_mask(const std::vector<std::uint8_t>& mask);
   const std::vector<std::uint8_t>& active_mask() const noexcept {
     return active_;
   }
+  Membership& membership() noexcept { return membership_; }
+  const Membership& membership() const noexcept { return membership_; }
+  void set_membership_config(const MembershipConfig& cfg) noexcept {
+    membership_.set_config(cfg);
+  }
+  /// Recomputes this step's participation from the membership ledger
+  /// (restore path: call after Membership::deserialize).
+  void refresh_participation();
 
   // --- fault injection ---
   /// Attaches a fault injector (nullptr detaches). Not owned.
@@ -146,9 +192,12 @@ class Communicator {
     injector_ = injector;
   }
   FaultInjector* fault_injector() const noexcept { return injector_; }
-  /// Starts training iteration `t`: arms the injector's events for it,
-  /// advances straggler clocks, and evicts freshly crashed ranks. Call once
-  /// per iteration before the iteration's collectives.
+  /// Starts training iteration `t`: arms the injector's events, feeds
+  /// crash/silence/recover edges into the membership layer's physical
+  /// plane, advances straggler clocks, and runs one liveness tick — the
+  /// heartbeat ledger decides suspicion, deadline exclusion, eviction, and
+  /// readmission (never the FaultPlan). Call once per iteration before the
+  /// iteration's collectives.
   void begin_iteration(std::size_t t);
 
   // --- analytic timing queries (used by the perf-model lookup table) ---
@@ -199,6 +248,9 @@ class Communicator {
   /// calls/bytes counters and a duration histogram.
   void record_collective(std::string_view op, double dt, std::uint64_t bytes);
 
+  /// Applies the readmit transition with `iter` as the resync step.
+  void readmit_at(std::size_t rank, std::size_t iter);
+
   Topology topo_;
   NetworkModel net_;
   SimClocks clocks_;
@@ -206,7 +258,11 @@ class Communicator {
   RecoveryStats recovery_;
   PayloadFault fault_;
   FaultInjector* injector_ = nullptr;
-  std::vector<std::uint8_t> active_;  ///< 1 = participating, 0 = evicted.
+  Membership membership_;
+  std::vector<std::uint8_t> active_;         ///< 1 = in group, 0 = evicted.
+  std::vector<std::uint8_t> participating_;  ///< 1 = in this step's barrier.
+  std::vector<std::size_t> rejoining_;       ///< resyncing this step.
+  std::size_t last_tick_ = 0;                ///< latest begin_iteration t.
   obs::ObsHooks obs_;
 };
 

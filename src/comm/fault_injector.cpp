@@ -12,6 +12,8 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kNanGradient: return "nan-gradient";
+    case FaultKind::kSilence: return "silence";
+    case FaultKind::kRecover: return "recover";
   }
   return "unknown";
 }
@@ -44,6 +46,15 @@ FaultPlan& FaultPlan::crash(std::size_t iteration, std::size_t rank) {
 
 FaultPlan& FaultPlan::nan_gradient(std::size_t iteration, std::size_t rank) {
   return add({iteration, rank, FaultKind::kNanGradient, 0.0});
+}
+
+FaultPlan& FaultPlan::silence(std::size_t iteration, std::size_t rank,
+                              std::size_t duration) {
+  return add({iteration, rank, FaultKind::kSilence, 0.0, duration});
+}
+
+FaultPlan& FaultPlan::recover(std::size_t iteration, std::size_t rank) {
+  return add({iteration, rank, FaultKind::kRecover, 0.0});
 }
 
 FaultPlan FaultPlan::random(std::size_t count, std::size_t iterations,

@@ -13,9 +13,18 @@
 //  - kStraggler        rank r's SimClocks clock jumps forward by slowdown_s
 //                      at the start of the iteration, delaying every
 //                      synchronizing collective that follows.
-//  - kCrash            rank r dies permanently at the iteration start; the
-//                      Communicator evicts it (world-shrink) and collectives
-//                      run over the surviving ranks.
+//  - kCrash            rank r dies at the iteration start: it stops
+//                      producing heartbeats and stops arriving at the step
+//                      barrier. Detection and eviction happen through the
+//                      membership layer's heartbeat ladder (membership.hpp)
+//                      — the plan is never consulted as an oracle.
+//  - kSilence          rank r keeps computing but its heartbeats are lost
+//                      for `duration` iterations (a control-plane
+//                      partition). Short silences are invisible; long ones
+//                      drive the suspicion ladder.
+//  - kRecover          a crashed rank comes back online: it heartbeats
+//                      again and the membership layer readmits it through
+//                      the rejoin/resync ladder.
 //  - kNanGradient      rank r's local gradient is poisoned with NaNs before
 //                      the optimizer step (consumed by the training loop,
 //                      not the Communicator) — exercises the non-finite
@@ -23,8 +32,11 @@
 //
 // Events are one-shot: each fires at most once, so a bounded retry of the
 // same collective sees clean data — exactly the transient-fault model the
-// recovery policies are written against (kCrash is the one persistent
-// fault; it flips the rank's active flag forever).
+// recovery policies are written against. kCrash / kSilence / kRecover are
+// one-shot *edges* into the persistent physical-health state the
+// membership layer keeps; none of them consumes the injector's RNG, so
+// they are safe across checkpoint resume (unlike kCorruptPayload, whose
+// damage bytes depend on unreplayed RNG state).
 //
 // Payload corruption defaults to flipping a random bit inside the first 16
 // bytes of the chunk (guaranteed to trip the wire-format magic/CRC layer).
@@ -48,6 +60,8 @@ enum class FaultKind : std::uint8_t {
   kStraggler,
   kCrash,
   kNanGradient,
+  kSilence,
+  kRecover,
 };
 
 const char* to_string(FaultKind kind) noexcept;
@@ -56,7 +70,8 @@ struct FaultEvent {
   std::size_t iteration = 0;
   std::size_t rank = 0;
   FaultKind kind = FaultKind::kCorruptPayload;
-  double slowdown_s = 0.0;  ///< kStraggler only: simulated-clock delay.
+  double slowdown_s = 0.0;    ///< kStraggler only: simulated-clock delay.
+  std::size_t duration = 0;   ///< kSilence only: iterations without heartbeat.
 };
 
 /// A deterministic schedule of fault events. Build explicitly with the
@@ -73,6 +88,13 @@ class FaultPlan {
                        double slowdown_s);
   FaultPlan& crash(std::size_t iteration, std::size_t rank);
   FaultPlan& nan_gradient(std::size_t iteration, std::size_t rank);
+  /// Suppresses rank's heartbeats for iterations [iteration, iteration +
+  /// duration) while it keeps computing (control-plane partition).
+  FaultPlan& silence(std::size_t iteration, std::size_t rank,
+                     std::size_t duration);
+  /// Brings a crashed rank back online at `iteration`; the membership layer
+  /// sees its heartbeats again and readmits it through the rejoin ladder.
+  FaultPlan& recover(std::size_t iteration, std::size_t rank);
 
   const std::vector<FaultEvent>& events() const noexcept { return events_; }
   bool empty() const noexcept { return events_.empty(); }

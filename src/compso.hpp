@@ -11,6 +11,7 @@
 
 #include "src/comm/communicator.hpp"
 #include "src/comm/fault_injector.hpp"
+#include "src/comm/membership.hpp"
 #include "src/comm/network_model.hpp"
 #include "src/comm/topology.hpp"
 #include "src/compress/compressor.hpp"

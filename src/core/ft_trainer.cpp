@@ -36,6 +36,7 @@ FaultTolerantTrainer::FaultTolerantTrainer(FtTrainerConfig config)
       engine_(cfg_.engine_threads),
       data_rng_(cfg_.base.seed ^ 0xBA7C4ULL),
       sr_rng_(cfg_.base.seed ^ 0x5121ULL) {
+  comm_.set_membership_config(cfg_.membership);
   std::vector<nn::Model*> ptrs;
   for (auto& m : replicas_) ptrs.push_back(&m);
   if (cfg_.optimizer == OptimizerKind::kKfac) {
@@ -109,13 +110,17 @@ double FaultTolerantTrainer::step() {
   obs_.count("trainer.steps");
   auto step_span = obs_.span(obs::kMainTrack, "trainer.step", "trainer");
   step_span.add_arg("iteration", t);
-  comm_.begin_iteration(t);  // consumes crash + straggler events for t.
+  // Consumes crash/silence/recover/straggler events for t and runs the
+  // membership tick: heartbeat ledger, deadline waits, step exclusions,
+  // suspicion/eviction, readmissions.
+  comm_.begin_iteration(t);
+  if (!comm_.rejoining_ranks().empty()) resync_shared_state(t);
 
   auto compute_span =
       obs_.span(obs::kMainTrack, "trainer.forward_backward", "trainer");
   double loss = 0.0;
   for (std::size_t r = 0; r < cfg_.base.world; ++r) {
-    if (!comm_.is_active(r)) continue;
+    if (!comm_.is_participating(r)) continue;
     const auto batch = dataset_.sample(cfg_.base.batch_per_rank, data_rng_);
     const auto logits = replicas_[r].forward(batch.x);
     tensor::Tensor grad;
@@ -126,7 +131,7 @@ double FaultTolerantTrainer::step() {
       poison_gradients(replicas_[r]);
     }
   }
-  loss /= static_cast<double>(comm_.active_count());
+  loss /= static_cast<double>(comm_.participant_count());
   compute_span.end();
 
   std::unique_ptr<compress::GradientCompressor> compressor;
@@ -153,6 +158,48 @@ double FaultTolerantTrainer::step() {
   return loss;
 }
 
+void FaultTolerantTrainer::resync_shared_state(std::size_t t) {
+  const auto& rejoining = comm_.rejoining_ranks();
+  auto span = obs_.span(obs::kMainTrack, "membership.resync_state", "recovery");
+  span.add_arg("iteration", t);
+  // Survivor side: serialize the shared state into a sealed CKPT frame —
+  // the same framing + CRC a checkpoint restore validates.
+  ckpt::Bytes body;
+  ckpt::put_u64(body, t);
+  ckpt::put_u8(body, tightened_ ? 1 : 0);
+  if (kfac_ != nullptr) {
+    kfac_->save_state(body);
+  } else {
+    sgd_->save_state(body);
+  }
+  ckpt::put_rng(body, data_rng_.save_state());
+  ckpt::put_rng(body, sr_rng_.save_state());
+  const ckpt::Bytes frame = ckpt::seal_frame(body);
+  // Rejoiner side: validate and load. The simulator stores this state
+  // once, so the load is a bitwise no-op — the point is that the frame
+  // goes through the full open/parse/validate path the real protocol
+  // would, and that the accounting reflects the transfer.
+  const auto view = ckpt::open_frame(frame);
+  codec::wire::Reader reader(view);
+  if (reader.u64() != t) {
+    throw PayloadError("resync: iteration cursor mismatch");
+  }
+  tightened_ = reader.u8() != 0;
+  if (kfac_ != nullptr) {
+    kfac_->load_state(reader);
+  } else {
+    sgd_->load_state(reader);
+  }
+  data_rng_.restore_state(ckpt::get_rng(reader));
+  sr_rng_.restore_state(ckpt::get_rng(reader));
+  if (reader.remaining() != 0) {
+    throw PayloadError("resync: trailing bytes");
+  }
+  comm_.recovery().resyncs += rejoining.size();
+  obs_.count("recovery.resyncs", rejoining.size());
+  span.end();
+}
+
 std::vector<double> FaultTolerantTrainer::run(std::size_t iterations) {
   std::vector<double> losses;
   losses.reserve(iterations);
@@ -168,8 +215,12 @@ double FaultTolerantTrainer::evaluate() {
 }
 
 std::vector<float> FaultTolerantTrainer::parameters() {
+  return replica_parameters(comm_.first_participant());
+}
+
+std::vector<float> FaultTolerantTrainer::replica_parameters(std::size_t rank) {
   std::vector<float> out;
-  auto& model = lead_replica();
+  auto& model = replicas_.at(rank);
   for (std::size_t li : model.trainable_layers()) {
     auto& layer = model.layer(li);
     const auto w = layer.weight()->span();
@@ -180,9 +231,17 @@ std::vector<float> FaultTolerantTrainer::parameters() {
   return out;
 }
 
-ckpt::Bytes FaultTolerantTrainer::checkpoint() {
+ckpt::Bytes FaultTolerantTrainer::checkpoint(
+    std::vector<CkptSection>* sections) {
   ckpt::Bytes body;
+  if (sections != nullptr) sections->clear();
+  const auto section = [&](const char* name) {
+    if (sections == nullptr) return;
+    if (!sections->empty()) sections->back().end = body.size();
+    sections->push_back({name, body.size(), body.size()});
+  };
   // --- config echo (validated on restore) ---
+  section("config");
   ckpt::put_u8(body, static_cast<std::uint8_t>(cfg_.optimizer));
   ckpt::put_u64(body, cfg_.base.world);
   ckpt::put_u64(body, cfg_.base.features);
@@ -190,23 +249,32 @@ ckpt::Bytes FaultTolerantTrainer::checkpoint() {
   ckpt::put_u64(body, cfg_.base.hidden);
   ckpt::put_u64(body, cfg_.base.depth);
   // --- schedule cursor + policy state ---
+  section("cursor");
   ckpt::put_u64(body, iteration_);
   ckpt::put_u8(body, tightened_ ? 1 : 0);
   // --- rank liveness ---
+  section("mask");
   const auto& mask = comm_.active_mask();
   ckpt::put_u64(body, mask.size());
   for (auto m : mask) ckpt::put_u8(body, m);
+  // --- membership ledger (phases, heartbeat/probe cursors) ---
+  section("membership");
+  comm_.membership().serialize(body);
   // --- recovery counters (reporting continuity across resume) ---
+  section("counters");
   const auto& rc = comm_.recovery();
   for (std::uint64_t c :
        {rc.corrupt_injected, rc.drops_injected, rc.truncations_injected,
         rc.straggler_events, rc.decode_retries, rc.decode_failures,
         rc.fallback_steps, rc.degraded_layers, rc.evictions,
         rc.nonfinite_skips, rc.bound_tightenings, rc.checkpoint_saves,
-        rc.checkpoint_restores}) {
+        rc.checkpoint_restores, rc.heartbeat_misses, rc.suspicions,
+        rc.deadline_waits, rc.deadline_exclusions, rc.readmissions,
+        rc.resyncs}) {
     ckpt::put_u64(body, c);
   }
   // --- model parameters (replicas are identical; save the lead) ---
+  section("params");
   auto& model = lead_replica();
   const auto trainable = model.trainable_layers();
   ckpt::put_u64(body, trainable.size());
@@ -216,20 +284,26 @@ ckpt::Bytes FaultTolerantTrainer::checkpoint() {
     ckpt::put_tensor(body, *layer.bias());
   }
   // --- optimizer state ---
+  section("optimizer");
   if (kfac_ != nullptr) {
     kfac_->save_state(body);
   } else {
     sgd_->save_state(body);
   }
   // --- RNG streams ---
+  section("rng");
   ckpt::put_rng(body, data_rng_.save_state());
   ckpt::put_rng(body, sr_rng_.save_state());
   // --- simulated per-rank clocks (so a resumed run reproduces the exact
   // simulated timeline, and sim-clock-driven traces stay byte-identical) ---
+  section("clocks");
   const auto& clocks = comm_.clocks();
   ckpt::put_u64(body, clocks.world_size());
   for (std::size_t r = 0; r < clocks.world_size(); ++r) {
     ckpt::put_f64(body, clocks.at(r));
+  }
+  if (sections != nullptr && !sections->empty()) {
+    sections->back().end = body.size();
   }
 
   ++comm_.recovery().checkpoint_saves;
@@ -263,15 +337,34 @@ void FaultTolerantTrainer::restore(ckpt::ByteView frame) {
     throw PayloadError("checkpoint: active mask size mismatch");
   }
   std::vector<std::uint8_t> mask(mask_len);
-  for (auto& m : mask) m = reader.u8();
+  bool any_active = false;
+  for (auto& m : mask) {
+    m = reader.u8();
+    any_active = any_active || m != 0;
+  }
+  // An all-zero mask can only come from a damaged frame (evict() and
+  // set_active_mask both keep the group non-empty), so report it as
+  // payload damage rather than letting set_active_mask's admin-API
+  // invalid_argument escape a restore.
+  if (!any_active) {
+    throw PayloadError("checkpoint: active mask empty");
+  }
   comm_.set_active_mask(mask);
+  // The ledger overwrites the edge-derived membership state set_active_mask
+  // just synthesized, restoring the exact phases, miss counts, and probe
+  // cursors of the saved run (so a resume mid-suspicion or mid-rejoin
+  // continues the identical ladder timeline).
+  comm_.membership().deserialize(reader);
+  comm_.refresh_participation();
   auto& rc = comm_.recovery();
   for (std::uint64_t* c :
        {&rc.corrupt_injected, &rc.drops_injected, &rc.truncations_injected,
         &rc.straggler_events, &rc.decode_retries, &rc.decode_failures,
         &rc.fallback_steps, &rc.degraded_layers, &rc.evictions,
         &rc.nonfinite_skips, &rc.bound_tightenings, &rc.checkpoint_saves,
-        &rc.checkpoint_restores}) {
+        &rc.checkpoint_restores, &rc.heartbeat_misses, &rc.suspicions,
+        &rc.deadline_waits, &rc.deadline_exclusions, &rc.readmissions,
+        &rc.resyncs}) {
     *c = reader.u64();
   }
   const auto trainable = replicas_[0].trainable_layers();

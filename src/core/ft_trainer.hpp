@@ -38,6 +38,9 @@ struct FtTrainerConfig {
   optim::DistKfacConfig kfac{};
   optim::DistSgdConfig sgd{};
   optim::RecoveryPolicy recovery{};  ///< default: disabled (fail fast).
+  /// Heartbeat / straggler-ladder knobs for the membership layer
+  /// (suspicion timeout, probe backoff, straggler deadline; DESIGN.md §14).
+  comm::MembershipConfig membership{};
   /// StepLR owned by the trainer, so a resumed run rebuilds the identical
   /// schedule from config alone.
   double base_lr = 0.05;
@@ -77,6 +80,9 @@ class FaultTolerantTrainer {
   /// Flattened parameters of the first surviving replica (for drift /
   /// bit-exactness checks in tests).
   std::vector<float> parameters();
+  /// Flattened parameters of a specific replica — lets tests prove a
+  /// rejoined rank's weights are bit-identical to a survivor's.
+  std::vector<float> replica_parameters(std::size_t rank);
 
   std::size_t iteration() const noexcept { return iteration_; }
   bool bounds_tightened() const noexcept { return tightened_; }
@@ -98,8 +104,18 @@ class FaultTolerantTrainer {
   /// comm::sim_time_clock(comm().clocks()).
   void set_obs(obs::ObsHooks hooks);
 
-  /// Serializes the full training state as one checkpoint frame.
-  ckpt::Bytes checkpoint();
+  /// One named body section of a checkpoint frame: [begin, end) byte
+  /// offsets into the frame's *body* (after the 17-byte header). The fuzz
+  /// harness uses the map to aim mutations at every section in turn.
+  struct CkptSection {
+    std::string name;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// Serializes the full training state as one checkpoint frame. When
+  /// `sections` is non-null it receives the body section map.
+  ckpt::Bytes checkpoint(std::vector<CkptSection>* sections = nullptr);
   void save_checkpoint(const std::string& path);
   /// Restores from a frame produced by checkpoint() under the same config;
   /// throws PayloadError on damage or config mismatch.
@@ -108,7 +124,13 @@ class FaultTolerantTrainer {
 
  private:
   void poison_gradients(nn::Model& model);
-  nn::Model& lead_replica() { return replicas_[comm_.first_active_rank()]; }
+  nn::Model& lead_replica() { return replicas_[comm_.first_participant()]; }
+  /// Re-syncs the shared (rank-agnostic) training state — schedule cursor,
+  /// tightening flag, optimizer state, RNG streams — from a survivor to a
+  /// rejoining rank through a sealed CKPT frame, before the step runs. The
+  /// simulator stores that state once, so the transfer is a bitwise no-op;
+  /// what it buys is the real protocol's validation path and accounting.
+  void resync_shared_state(std::size_t t);
 
   FtTrainerConfig cfg_;
   nn::ClusterDataset dataset_;

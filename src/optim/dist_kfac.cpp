@@ -1,5 +1,6 @@
 #include "src/optim/dist_kfac.hpp"
 
+#include "src/codec/ckpt.hpp"
 #include "src/tensor/matrix_ops.hpp"
 
 #include <cmath>
@@ -70,8 +71,8 @@ DistKfac::DistKfac(DistKfacConfig config, comm::Communicator& comm,
 void DistKfac::exchange_covariances(
     std::vector<Tensor>& local, const std::vector<compress::Bytes>* send) {
   const std::size_t world = comm_.world_size();
-  const std::size_t active = comm_.active_count();
-  const std::size_t lead = comm_.first_active_rank();
+  const std::size_t active = comm_.participant_count();
+  const std::size_t lead = comm_.first_participant();
   if (send == nullptr) {
     std::vector<std::span<float>> views;
     views.reserve(world);
@@ -102,7 +103,7 @@ void DistKfac::exchange_covariances(
       jobs.reserve(active);
       std::size_t off = 0;
       for (std::size_t r = 0; r < world; ++r) {
-        if (!comm_.is_active(r)) continue;
+        if (!comm_.is_participating(r)) continue;
         if ((*send)[r].size() > gathered.size() - off) {
           throw PayloadError("DistKfac: gathered stream truncated");
         }
@@ -121,7 +122,7 @@ void DistKfac::exchange_covariances(
       Tensor avg(local[lead]);
       avg.fill(0.0F);
       for (std::size_t r = 0; r < world; ++r) {
-        if (!comm_.is_active(r)) continue;
+        if (!comm_.is_participating(r)) continue;
         const auto& rec = decode_bufs_[r];
         for (std::size_t i = 0; i < n; ++i) {
           avg[i] += rec[i] / static_cast<float>(active);
@@ -343,8 +344,8 @@ void DistKfac::step(std::size_t iteration, double lr,
                     const compress::GradientCompressor* compressor,
                     tensor::Rng& rng) {
   const std::size_t world = comm_.world_size();
-  const std::size_t active = comm_.active_count();
-  const std::size_t lead = comm_.first_active_rank();
+  const std::size_t active = comm_.participant_count();
+  const std::size_t lead = comm_.first_participant();
   const std::size_t slots = layer_indices_.size();
   factor_orig_bytes_ = 0;
   factor_comp_bytes_ = 0;
@@ -399,10 +400,10 @@ void DistKfac::step(std::size_t iteration, double lr,
   if (fcomp) {
     for (std::size_t s = 0; s < slots; ++s) {
       for (std::size_t r = 0; r < world; ++r) {
-        if (comm_.is_active(r)) tid_a[s * world + r] = task_counter_++;
+        if (comm_.is_participating(r)) tid_a[s * world + r] = task_counter_++;
       }
       for (std::size_t r = 0; r < world; ++r) {
-        if (comm_.is_active(r)) tid_g[s * world + r] = task_counter_++;
+        if (comm_.is_participating(r)) tid_g[s * world + r] = task_counter_++;
       }
     }
   }
@@ -467,11 +468,12 @@ void DistKfac::step(std::size_t iteration, double lr,
     // has to block just to submit a dependent.
     std::vector<StepGraph::TaskId> cov_ids;
     for (std::size_t r = 0; r < world; ++r) {
-      if (!comm_.is_active(r)) {
-        // allreduce_sum overwrites every view with the sum, so inactive
-        // slots must be re-zeroed every step — in place: re-allocating a
-        // zero tensor per evicted rank per layer per step was measurable
-        // churn (see the steady-state allocation test).
+      if (!comm_.is_participating(r)) {
+        // allreduce_sum overwrites every view with the sum, so
+        // non-participating slots must be re-zeroed every step — in
+        // place: re-allocating a zero tensor per evicted rank per layer
+        // per step was measurable churn (see the steady-state allocation
+        // test).
         if (local_a[r].rank() != 2 || local_a[r].rows() != shape_a ||
             local_a[r].cols() != shape_a) {
           local_a[r] = Tensor({shape_a, shape_a});
@@ -520,7 +522,7 @@ void DistKfac::step(std::size_t iteration, double lr,
         [this, s, fcomp, world] {
           if (fcomp) {
             for (std::size_t r = 0; r < world; ++r) {
-              if (!comm_.is_active(r)) continue;
+              if (!comm_.is_participating(r)) continue;
               factor_orig_bytes_ +=
                   (cov_a_[s][r].size() + cov_g_[s][r].size()) * sizeof(float);
               factor_comp_bytes_ +=
@@ -551,7 +553,7 @@ void DistKfac::step(std::size_t iteration, double lr,
           gw.resize(world);
           const auto& shape = momentum_[s].shape();
           for (std::size_t r = 0; r < world; ++r) {
-            if (comm_.is_active(r)) {
+            if (comm_.is_participating(r)) {
               combined_gradient_into(replicas_[r]->layer(li), gw[r]);
             } else if (gw[r].rank() != 2 || gw[r].shape() != shape) {
               gw[r] = Tensor(shape);
@@ -724,8 +726,46 @@ void DistKfac::step(std::size_t iteration, double lr,
   for (const auto gc : gcomp_ids) graph_.depends(gather, gc);
   for (std::size_t s = 0; s < slots; ++s) graph_.depends(gather, guard_id[s]);
 
-  // Momentum + weight update, identically on every surviving replica,
-  // ascending slots (the deterministic float-update order).
+  // Rejoin re-sync (DESIGN.md §14): one compute task per layer copies the
+  // lead replica's parameters into every rejoining replica through a
+  // sealed CKPT mini-frame — the same framing + CRC validation a
+  // checkpoint restore goes through — so a rejoiner's state is
+  // bit-identical to a survivor's, not merely close. The tasks overlap
+  // the other layers' collectives on the engine pool; `update` waits for
+  // them and then applies the step to rejoiners too, keeping them in
+  // lockstep from this iteration on.
+  std::vector<StepGraph::TaskId> resync_ids;
+  const std::vector<std::size_t> rejoining = comm_.rejoining_ranks();
+  if (!rejoining.empty()) {
+    resync_ids.reserve(slots);
+    for (std::size_t s = 0; s < slots; ++s) {
+      const std::size_t li = layer_indices_[s];
+      resync_ids.push_back(graph_.add_compute(
+          "resync" + std::to_string(s), static_cast<int>(s),
+          [this, li, lead, rejoining] {
+            auto& src = replicas_[lead]->layer(li);
+            codec::ckpt::Bytes body;
+            codec::ckpt::put_tensor(body, *src.weight());
+            codec::ckpt::put_tensor(body, *src.bias());
+            const codec::ckpt::Bytes frame = codec::ckpt::seal_frame(body);
+            const auto view = codec::ckpt::open_frame(frame);
+            codec::wire::Reader reader(view);
+            Tensor w = codec::ckpt::get_tensor(reader, src.weight()->shape(),
+                                              "resync weight");
+            Tensor b = codec::ckpt::get_tensor(reader, src.bias()->shape(),
+                                              "resync bias");
+            for (std::size_t j : rejoining) {
+              auto& dst = replicas_[j]->layer(li);
+              *dst.weight() = w;
+              *dst.bias() = b;
+            }
+          }));
+    }
+  }
+
+  // Momentum + weight update, identically on every surviving replica
+  // (participants plus freshly re-synced rejoiners), ascending slots (the
+  // deterministic float-update order).
   const auto update = graph_.add_main(
       "update", kPrioGather - 1, [this, lr, world, slots] {
         for (std::size_t s = 0; s < slots; ++s) {
@@ -744,13 +784,16 @@ void DistKfac::step(std::size_t iteration, double lr,
           momentum_[s].axpby(static_cast<float>(cfg_.momentum), 1.0F,
                              preconditioned_[s]);
           for (std::size_t r = 0; r < world; ++r) {
-            if (!comm_.is_active(r)) continue;
+            if (!comm_.is_participating(r) && !comm_.is_rejoining(r)) {
+              continue;
+            }
             apply_combined_update(replicas_[r]->layer(layer_indices_[s]),
                                   momentum_[s], lr);
           }
         }
       });
   graph_.depends(update, gather);
+  for (const auto rs : resync_ids) graph_.depends(update, rs);
 
   sched_stats_ = graph_.run(eng, hooks);
 }

@@ -91,10 +91,11 @@ class DistKfac {
 
   std::size_t layer_count() const noexcept { return layer_indices_.size(); }
   /// Owner rank of trainable layer slot `i`: round-robin (KAISA style) over
-  /// the *surviving* ranks, so ownership re-partitions automatically when
-  /// the Communicator evicts a crashed rank.
+  /// this step's *participating* ranks, so ownership re-partitions
+  /// automatically when the membership layer excludes a straggler for a
+  /// step or evicts a crashed rank.
   std::size_t owner_of(std::size_t i) const {
-    return comm_.active_ranks()[i % comm_.active_count()];
+    return comm_.participant_ranks()[i % comm_.participant_count()];
   }
 
   /// Recovery policy (see recovery.hpp): bounded re-send retries on decode

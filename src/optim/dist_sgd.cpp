@@ -1,5 +1,7 @@
 #include "src/optim/dist_sgd.hpp"
 
+#include "src/codec/ckpt.hpp"
+
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -52,6 +54,11 @@ void put_f32_vec(std::vector<std::uint8_t>& out,
 
 std::vector<float> get_f32_vec(codec::wire::Reader& r) {
   const auto n = r.bounded_u64(codec::wire::kMaxElementCount, "sgd vec size");
+  // A corrupted count that survives re-sealing must fail typed, not drive
+  // a multi-GiB allocation (the ckpt fuzz harness aims exactly here).
+  if (n * sizeof(float) > r.remaining()) {
+    throw PayloadError("DistSgd: vec size overruns checkpoint body");
+  }
   std::vector<float> v(n);
   for (auto& x : v) x = r.f32();
   return v;
@@ -78,7 +85,7 @@ bool DistSgd::compressed_average(
     const compress::GradientCompressor& compressor,
     std::vector<float>& averaged) {
   const std::size_t world = comm_.world_size();
-  const std::size_t active = comm_.active_count();
+  const std::size_t active = comm_.participant_count();
 
   const std::size_t attempts =
       policy_.enabled ? policy_.max_decode_retries + 1 : 1;
@@ -92,12 +99,12 @@ bool DistSgd::compressed_average(
       // per-rank decodes are independent, so they run as one engine batch
       // (parallel when a pool is attached); accumulation stays on this
       // thread in rank order, keeping the float sum deterministic.
-      const compress::ByteView gathered(recv[comm_.first_active_rank()]);
+      const compress::ByteView gathered(recv[comm_.first_participant()]);
       std::vector<std::function<void()>> jobs;
       jobs.reserve(active);
       std::size_t off = 0;
       for (std::size_t r = 0; r < world; ++r) {
-        if (!comm_.is_active(r)) continue;
+        if (!comm_.is_participating(r)) continue;
         if (send[r].size() > gathered.size() - off) {
           throw PayloadError("DistSgd: gathered stream truncated");
         }
@@ -114,7 +121,7 @@ bool DistSgd::compressed_average(
       engine().run_batch(std::move(jobs));
       averaged.assign(n, 0.0F);
       for (std::size_t r = 0; r < world; ++r) {
-        if (!comm_.is_active(r)) continue;
+        if (!comm_.is_participating(r)) continue;
         const auto& rec = decode_bufs_[r];
         for (std::size_t i = 0; i < n; ++i) {
           averaged[i] += rec[i] / static_cast<float>(active);
@@ -147,7 +154,7 @@ bool DistSgd::compressed_average(
 void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
                    tensor::Rng& rng) {
   const std::size_t world = comm_.world_size();
-  const std::size_t active = comm_.active_count();
+  const std::size_t active = comm_.participant_count();
   const std::size_t slots = layer_indices_.size();
   orig_bytes_ = 0;
   comp_bytes_ = 0;
@@ -178,7 +185,7 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
     send_payloads_[s].resize(world);
     bool grads_finite = true;
     for (std::size_t r = 0; r < world; ++r) {
-      if (!comm_.is_active(r)) continue;
+      if (!comm_.is_participating(r)) continue;
       flat_gradient_into(replicas_[r]->layer(li), step_grads_[s][r]);
       layer_n[s] = step_grads_[s][r].size();
       // A non-finite local gradient must not enter the compressor (NaN
@@ -203,13 +210,50 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
   // slots s-1..0 — the host-side analogue of the paper's
   // compression/communication overlap.
   graph_.clear();
+  // Rejoin re-sync (DESIGN.md §14): per-layer compute tasks copy the lead
+  // replica's parameters into each rejoining replica through a sealed CKPT
+  // mini-frame (validated framing, like a checkpoint restore) and reset
+  // the rejoiner's error-feedback residual — a rejoiner starts with an
+  // empty compressor memory, exactly like a fresh rank. Each slot's
+  // exchange waits on its resync (the exchange both reads the lead's and
+  // writes the rejoiner's parameters), so re-sync of later layers
+  // overlaps earlier layers' collectives.
+  const std::vector<std::size_t> rejoining = comm_.rejoining_ranks();
+  const std::size_t lead_rank = comm_.first_participant();
+  std::vector<StepGraph::TaskId> resync_ids(slots, 0);
+  if (!rejoining.empty()) {
+    for (std::size_t s = 0; s < slots; ++s) {
+      const std::size_t li = layer_indices_[s];
+      resync_ids[s] = graph_.add_compute(
+          "resync" + std::to_string(s), static_cast<int>(s),
+          [this, li, s, lead_rank, rejoining] {
+            auto& src = replicas_[lead_rank]->layer(li);
+            codec::ckpt::Bytes body;
+            codec::ckpt::put_tensor(body, *src.weight());
+            codec::ckpt::put_tensor(body, *src.bias());
+            const codec::ckpt::Bytes frame = codec::ckpt::seal_frame(body);
+            const auto view = codec::ckpt::open_frame(frame);
+            codec::wire::Reader reader(view);
+            tensor::Tensor w = codec::ckpt::get_tensor(
+                reader, src.weight()->shape(), "resync weight");
+            tensor::Tensor b = codec::ckpt::get_tensor(
+                reader, src.bias()->shape(), "resync bias");
+            for (std::size_t j : rejoining) {
+              auto& dst = replicas_[j]->layer(li);
+              *dst.weight() = w;
+              *dst.bias() = b;
+              residual_[j][s].assign(w.size() + b.size(), 0.0F);
+            }
+          });
+    }
+  }
   for (std::size_t s = 0; s < slots; ++s) {
     const std::size_t li = layer_indices_[s];
     const std::size_t n = layer_n[s];
     std::vector<StepGraph::TaskId> comp_ids;
     if (use_comp[s]) {
       for (std::size_t r = 0; r < world; ++r) {
-        if (!comm_.is_active(r)) continue;
+        if (!comm_.is_participating(r)) continue;
         comp_ids.push_back(graph_.add_compute(
             "grad_compress" + std::to_string(s), static_cast<int>(s),
             [this, compressor, step_seed, s, r, n, world] {
@@ -251,7 +295,7 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
           bool averaged_ok = false;
           if (use) {
             for (std::size_t r = 0; r < world; ++r) {
-              if (!comm_.is_active(r)) continue;
+              if (!comm_.is_participating(r)) continue;
               comp_bytes_ += send_payloads_[s][r].size();
             }
             averaged_ok = compressed_average(s, n, send_payloads_[s],
@@ -273,7 +317,7 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
             views.reserve(world);
             for (auto& g : step_grads_[s]) views.push_back(g);
             comm_.allreduce_sum(views);
-            const std::size_t lead = comm_.first_active_rank();
+            const std::size_t lead = comm_.first_participant();
             for (std::size_t i = 0; i < n; ++i) {
               averaged[i] =
                   step_grads_[s][lead][i] / static_cast<float>(active);
@@ -300,12 +344,15 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
             vel[i] = static_cast<float>(cfg_.momentum) * vel[i] + averaged[i];
           }
           for (std::size_t r = 0; r < world; ++r) {
-            if (!comm_.is_active(r)) continue;
+            if (!comm_.is_participating(r) && !comm_.is_rejoining(r)) {
+              continue;
+            }
             apply_flat_update(replicas_[r]->layer(li), vel, lr);
           }
         },
         /*is_comm=*/true);
     for (const auto c : comp_ids) graph_.depends(exch, c);
+    if (!rejoining.empty()) graph_.depends(exch, resync_ids[s]);
   }
   sched_stats_ = graph_.run(eng, hooks);
   hooks.count("sgd.orig_bytes", orig_bytes_);

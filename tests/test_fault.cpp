@@ -135,16 +135,48 @@ TEST(Eviction, LastRankCannotBeEvicted) {
   EXPECT_THROW(comm.evict(1), std::logic_error);
 }
 
-TEST(Eviction, CrashEventEvictsAtIterationStart) {
+// A crash is detected, not announced: the plan only stops the rank's
+// heartbeats, and eviction comes out of the membership ladder — missed
+// beats at the crash step (deadline wait + step exclusion), suspicion at
+// the second miss, backed-off probes, then eviction. The FaultPlan is
+// never consulted as an oracle.
+TEST(Eviction, CrashDetectionWalksTheHeartbeatLadder) {
   cm::Communicator comm(cm::Topology::with_gpus(4),
                         cm::NetworkModel::platform1());
   cm::FaultInjector injector(cm::FaultPlan{}.crash(2, 3), 5);
   comm.set_fault_injector(&injector);
   comm.begin_iteration(1);
   EXPECT_TRUE(comm.is_active(3));
+  EXPECT_TRUE(comm.is_participating(3));
+
+  // Crash step: first missed heartbeat. The group waits out the straggler
+  // deadline, then continues without rank 3 — no eviction yet.
   comm.begin_iteration(2);
+  EXPECT_TRUE(comm.is_active(3));
+  EXPECT_FALSE(comm.is_participating(3));
+  EXPECT_EQ(comm.membership().phase(3), cm::RankPhase::kHealthy);
+  EXPECT_EQ(comm.recovery().heartbeat_misses, 1U);
+  EXPECT_EQ(comm.recovery().deadline_waits, 1U);
+  EXPECT_EQ(comm.recovery().deadline_exclusions, 1U);
+  EXPECT_EQ(comm.recovery().evictions, 0U);
+
+  // Second miss: suspicion. Probes back off (t+1, then t+2) and only
+  // their exhaustion evicts.
+  comm.begin_iteration(3);
+  EXPECT_EQ(comm.membership().phase(3), cm::RankPhase::kSuspect);
+  EXPECT_EQ(comm.recovery().suspicions, 1U);
+  EXPECT_EQ(comm.recovery().evictions, 0U);
+  comm.begin_iteration(4);  // probe 1 fails, interval doubles
+  EXPECT_EQ(comm.recovery().evictions, 0U);
+  comm.begin_iteration(5);  // inside backoff window: no probe
+  comm.begin_iteration(6);  // probe 2 fails -> evict
   EXPECT_FALSE(comm.is_active(3));
+  EXPECT_EQ(comm.membership().phase(3), cm::RankPhase::kEvicted);
   EXPECT_EQ(comm.recovery().evictions, 1U);
+  // After eviction the ledger stops charging misses for the dead rank.
+  const auto misses = comm.recovery().heartbeat_misses;
+  comm.begin_iteration(7);
+  EXPECT_EQ(comm.recovery().heartbeat_misses, misses);
 }
 
 // Transient transport faults are absorbed by the bounded re-send retry:
