@@ -6,6 +6,7 @@
 #   ./ci.sh perf       bench smoke gates only (ctest -L perf)
 #   ./ci.sh obs        observability suites only (ctest -L obs)
 #   ./ci.sh sched      step-graph scheduler suites only (ctest -L sched)
+#   ./ci.sh pipeline   chunked streaming suites only (ctest -L pipeline)
 #
 # The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
 # AddressSanitizer + UBSan, which is what gives the fault/recovery paths
@@ -44,6 +45,18 @@
 # the ASan+UBSan and TSan configs keep the graph's submit/reap lifetime
 # and cross-thread task handoff honest.
 #
+# The pipeline lane (ctest -L pipeline) also runs in all three configs
+# (DESIGN.md §15): test_pipeline covers chunk-frame/cursor round trips
+# and mid-stream resume, the >= 1000-mutation-per-category chunk fuzz
+# (header, CRC, mid-chunk truncation, duplicate — whose OOB teeth come
+# from the ASan+UBSan config), the chunk-scoped fault plan, the
+# per-round chunk collective, and the chunked == unchunked bit-exact
+# trajectory gates (clean, fault-injected + retried, and across
+# checkpoint resume; the TSan config drives the per-round frame tasks
+# on the engine pool). The bench_pipeline_smoke gate (ablation_overlap
+# --smoke) enforces chunked >= 1.3x unchunked at Slingshot-10 plus
+# byte-identity and transport/model agreement.
+#
 # The full default pass includes the two bench smoke gates
 # (bench/micro_math_throughput --smoke, bench/micro_train_throughput
 # --smoke): they enforce the blocked >= 4x naive gemm criterion at 512^3
@@ -67,6 +80,8 @@ run_suite() {
     ctest --test-dir "$dir" -L obs --output-on-failure -j "$JOBS"
   elif [[ "$LABEL" == "sched" ]]; then
     ctest --test-dir "$dir" -L sched --output-on-failure -j "$JOBS"
+  elif [[ "$LABEL" == "pipeline" ]]; then
+    ctest --test-dir "$dir" -L pipeline --output-on-failure -j "$JOBS"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
   fi

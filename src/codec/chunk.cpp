@@ -1,0 +1,191 @@
+#include "src/codec/chunk.hpp"
+
+#include "src/common/payload_error.hpp"
+
+#include <cstring>
+
+namespace compso::codec::chunk {
+namespace {
+
+constexpr std::size_t kCrcOffset = kChunkHeaderSize - 4;  // CRC is last.
+
+void put_u32_at(std::uint8_t* out, std::size_t at, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void put_u64_at(std::uint8_t* out, std::size_t at, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint32_t get_u32(ByteView in, std::size_t at) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(ByteView in, std::size_t at) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool is_chunked(ByteView bytes) noexcept {
+  return bytes.size() >= 5 && get_u32(bytes, 0) == kChunkMagic &&
+         bytes[4] == kChunkVersion;
+}
+
+std::size_t chunk_count_for(std::size_t payload_bytes,
+                            std::size_t chunk_bytes) noexcept {
+  if (chunk_bytes == 0 || payload_bytes == 0) return 1;
+  return (payload_bytes + chunk_bytes - 1) / chunk_bytes;
+}
+
+std::size_t wire_bytes_for(std::size_t payload_bytes,
+                           std::size_t chunk_bytes) noexcept {
+  return payload_bytes +
+         chunk_count_for(payload_bytes, chunk_bytes) * kChunkHeaderSize;
+}
+
+void write_chunk_frame(std::uint8_t* out, ByteView payload,
+                       std::size_t index, std::size_t count,
+                       std::size_t begin, std::size_t body) {
+  put_u32_at(out, 0, kChunkMagic);
+  out[4] = kChunkVersion;
+  put_u32_at(out, 5, static_cast<std::uint32_t>(index));
+  put_u32_at(out, 9, static_cast<std::uint32_t>(count));
+  put_u64_at(out, 13, payload.size());
+  put_u32_at(out, 21, static_cast<std::uint32_t>(body));
+  const ByteView body_view = payload.subspan(begin, body);
+  put_u32_at(out, kCrcOffset,
+             wire::crc32_parts(ByteView(out, kCrcOffset), body_view));
+  if (body != 0) {
+    std::memcpy(out + kChunkHeaderSize, body_view.data(), body);
+  }
+}
+
+ChunkHeader read_chunk_header(ByteView frame) {
+  if (frame.size() < kChunkHeaderSize) {
+    throw PayloadError("chunk: frame shorter than a chunk header");
+  }
+  if (get_u32(frame, 0) != kChunkMagic) {
+    throw PayloadError("chunk: bad chunk magic");
+  }
+  if (frame[4] != kChunkVersion) {
+    throw PayloadError("chunk: unsupported chunk version");
+  }
+  ChunkHeader h;
+  h.index = get_u32(frame, 5);
+  h.count = get_u32(frame, 9);
+  h.total = get_u64(frame, 13);
+  h.body = get_u32(frame, 21);
+  h.crc = get_u32(frame, kCrcOffset);
+  if (h.count == 0 || h.count > kMaxChunkCount) {
+    throw PayloadError("chunk: chunk count out of range");
+  }
+  if (h.index >= h.count) {
+    throw PayloadError("chunk: chunk index out of range");
+  }
+  if (h.total > kMaxPayloadBytes) {
+    throw PayloadError("chunk: payload size out of range");
+  }
+  if (h.body > h.total) {
+    throw PayloadError("chunk: chunk body exceeds payload size");
+  }
+  if (frame.size() != kChunkHeaderSize + h.body) {
+    throw PayloadError("chunk: frame size does not match chunk body");
+  }
+  const std::uint32_t crc = wire::crc32_parts(
+      frame.first(kCrcOffset), frame.subspan(kChunkHeaderSize));
+  if (crc != h.crc) {
+    throw PayloadError("chunk: chunk CRC mismatch");
+  }
+  return h;
+}
+
+ByteView chunk_body(ByteView frame) noexcept {
+  return frame.subspan(kChunkHeaderSize);
+}
+
+void Cursor::reset() noexcept {
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+  payload_.clear();
+}
+
+void Cursor::feed(ByteView frame) {
+  const ChunkHeader h = read_chunk_header(frame);
+  if (count_ == 0) {
+    count_ = h.count;
+    total_ = h.total;
+  } else if (h.count != count_ || h.total != total_) {
+    throw PayloadError("chunk: inconsistent stream metadata");
+  }
+  if (h.index < next_) {
+    throw PayloadError("chunk: duplicate chunk");
+  }
+  if (h.index > next_) {
+    throw PayloadError("chunk: out-of-order chunk");
+  }
+  if (payload_.size() + h.body > total_) {
+    throw PayloadError("chunk: body overruns declared payload size");
+  }
+  if (h.index + 1 == count_ && payload_.size() + h.body != total_) {
+    throw PayloadError("chunk: reassembled size mismatch");
+  }
+  const ByteView body = chunk_body(frame);
+  payload_.insert(payload_.end(), body.begin(), body.end());
+  ++next_;
+}
+
+ByteView Cursor::payload() const {
+  if (!complete()) {
+    throw PayloadError("chunk: stream truncated mid-payload");
+  }
+  return ByteView(payload_);
+}
+
+void Cursor::serialize(Bytes& out) const {
+  auto put_u64 = [&out](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u64(next_);
+  put_u64(count_);
+  put_u64(total_);
+  put_u64(payload_.size());
+  out.insert(out.end(), payload_.begin(), payload_.end());
+}
+
+void Cursor::deserialize(wire::Reader& reader) {
+  const auto next = reader.bounded_u64(kMaxChunkCount, "chunk cursor next");
+  const auto count = reader.bounded_u64(kMaxChunkCount, "chunk cursor count");
+  const auto total =
+      reader.bounded_u64(kMaxPayloadBytes, "chunk cursor total");
+  const auto bytes = reader.bounded_u64(total, "chunk cursor bytes");
+  if (next > count || (count == 0 && (next != 0 || total != 0))) {
+    throw PayloadError("chunk: corrupt cursor state");
+  }
+  const ByteView blob = reader.blob(bytes);
+  next_ = static_cast<std::uint32_t>(next);
+  count_ = static_cast<std::uint32_t>(count);
+  total_ = total;
+  payload_.assign(blob.begin(), blob.end());
+}
+
+}  // namespace compso::codec::chunk

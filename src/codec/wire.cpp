@@ -107,6 +107,13 @@ std::uint32_t crc32(ByteView data) noexcept {
   return crc32_update(0xFFFFFFFFU, data) ^ 0xFFFFFFFFU;
 }
 
+std::uint32_t crc32_parts(ByteView a, ByteView b) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFU;
+  crc = crc32_update(crc, a);
+  crc = crc32_update(crc, b);
+  return crc ^ 0xFFFFFFFFU;
+}
+
 void begin_payload(Bytes& out, std::uint32_t magic, std::uint64_t count) {
   put_u32(out, magic);
   out.push_back(kFormatVersion);

@@ -40,6 +40,11 @@ constexpr std::uint64_t kMaxElementCount = std::uint64_t{1} << 32;
 /// IEEE CRC-32 (reflected, poly 0xEDB88320) of `data`.
 std::uint32_t crc32(ByteView data) noexcept;
 
+/// CRC-32 of the concatenation `a || b` without materializing it — frame
+/// layouts that keep the CRC field between a header prefix and the body
+/// (v1 payloads, v2 chunk frames) validate with zero copies.
+std::uint32_t crc32_parts(ByteView a, ByteView b) noexcept;
+
 struct PayloadHeader {
   std::uint32_t magic = 0;
   std::uint8_t version = 0;

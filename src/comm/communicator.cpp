@@ -480,6 +480,52 @@ void Communicator::allgatherv(
   record_collective("allgather", dt, gathered.size());
 }
 
+void Communicator::allgatherv_chunks(
+    const std::vector<std::span<const std::uint8_t>>& send,
+    std::vector<std::vector<std::uint8_t>>& recv, std::size_t round) {
+  if (send.size() != world_size()) {
+    throw std::invalid_argument("allgatherv_chunks: need one frame per rank");
+  }
+  std::vector<std::size_t> sizes;
+  sizes.reserve(send.size());
+  recv.assign(world_size(), {});
+  std::uint64_t delivered = 0;
+  for (std::size_t r = 0; r < send.size(); ++r) {
+    if (!is_participating(r)) continue;
+    // Intended (pre-fault) sizes drive the wire time, matching allgatherv.
+    sizes.push_back(send[r].size());
+    std::vector<std::uint8_t> frame(send[r].begin(), send[r].end());
+    if (injector_ != nullptr && !frame.empty()) {
+      // Chunk-scoped one-shot faults, matched on this round's index, so a
+      // per-chunk retry of the same round sees clean data.
+      if (injector_->take_chunk(FaultKind::kCorruptPayload, r, round)) {
+        injector_->corrupt_payload(frame);
+        ++recovery_.corrupt_injected;
+        obs_.count("recovery.corrupt_injected");
+      }
+      if (injector_->take_chunk(FaultKind::kTruncateEntry, r, round)) {
+        injector_->truncate_payload(frame);
+        ++recovery_.truncations_injected;
+        obs_.count("recovery.truncations_injected");
+      }
+      if (injector_->take_chunk(FaultKind::kDropEntry, r, round)) {
+        frame.clear();
+        ++recovery_.drops_injected;
+        obs_.count("recovery.drops_injected");
+      }
+    }
+    delivered += frame.size();
+    recv[r] = std::move(frame);
+  }
+  const double dt = allgatherv_time(sizes);
+  clocks_.sync_advance_masked(dt, participating_);
+  stats_.allgather_s += dt;
+  stats_.allgather_bytes += delivered;
+  record_collective("allgather", dt, delivered);
+  obs_.count("chunk.rounds");
+  obs_.count("chunk.bytes", delivered);
+}
+
 void Communicator::broadcast(std::vector<std::span<float>> bufs,
                              std::size_t root) {
   if (bufs.size() != world_size() || root >= world_size()) {

@@ -223,6 +223,23 @@ class Communicator {
   /// ranks' entries in flight (one-shot events for the current iteration).
   void allgatherv(const std::vector<std::vector<std::uint8_t>>& send,
                   std::vector<std::vector<std::uint8_t>>& recv);
+  /// One round of a chunked allgatherv (DESIGN.md §15): each participating
+  /// rank contributes its round-`round` chunk frame (`send[r]`, empty when
+  /// that rank has no chunk this round), and on return `recv[src]` holds
+  /// the bytes delivered from `src` — every participant sees the same copy
+  /// (SPMD), non-participants get empty entries. Delivery is per-source
+  /// slot, so damage to one rank's frame never shifts another's (real
+  /// allgatherv places segments at receiver-known offsets). Chunk-scoped
+  /// transient faults (FaultPlan::*_chunk, matched on `round`) corrupt /
+  /// truncate / drop individual frames one-shot; whole-payload events and
+  /// the PayloadFault hook do not apply here. Timing and stats: exactly
+  /// one allgatherv_time over this round's intended frame sizes — the
+  /// per-round wire occupancy the network model charges — accumulated
+  /// under the same "allgather" op so CommStats/obs reconciliation is
+  /// unchanged, plus `chunk.rounds` / `chunk.bytes` counters.
+  void allgatherv_chunks(
+      const std::vector<std::span<const std::uint8_t>>& send,
+      std::vector<std::vector<std::uint8_t>>& recv, std::size_t round);
   /// Installs (or clears, with nullptr) the byte-payload fault hook. The
   /// hook sees the concatenated stream of `allgatherv` and the delivered
   /// copy of `broadcast_bytes` — both byte-moving collectives are

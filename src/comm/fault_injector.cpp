@@ -57,6 +57,21 @@ FaultPlan& FaultPlan::recover(std::size_t iteration, std::size_t rank) {
   return add({iteration, rank, FaultKind::kRecover, 0.0});
 }
 
+FaultPlan& FaultPlan::corrupt_chunk(std::size_t iteration, std::size_t rank,
+                                    std::size_t chunk) {
+  return add({iteration, rank, FaultKind::kCorruptPayload, 0.0, 0, chunk});
+}
+
+FaultPlan& FaultPlan::drop_chunk(std::size_t iteration, std::size_t rank,
+                                 std::size_t chunk) {
+  return add({iteration, rank, FaultKind::kDropEntry, 0.0, 0, chunk});
+}
+
+FaultPlan& FaultPlan::truncate_chunk(std::size_t iteration, std::size_t rank,
+                                     std::size_t chunk) {
+  return add({iteration, rank, FaultKind::kTruncateEntry, 0.0, 0, chunk});
+}
+
 FaultPlan FaultPlan::random(std::size_t count, std::size_t iterations,
                             std::size_t world, std::uint64_t seed) {
   FaultPlan plan;
@@ -84,7 +99,22 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
 bool FaultInjector::take(FaultKind kind, std::size_t rank) noexcept {
   for (std::size_t i = 0; i < events_.size(); ++i) {
     if (!used_[i] && events_[i].iteration == iteration_ &&
-        events_[i].rank == rank && events_[i].kind == kind) {
+        events_[i].rank == rank && events_[i].kind == kind &&
+        events_[i].chunk == kNoChunk) {
+      used_[i] = true;
+      ++fired_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::take_chunk(FaultKind kind, std::size_t rank,
+                               std::size_t chunk) noexcept {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (!used_[i] && events_[i].iteration == iteration_ &&
+        events_[i].rank == rank && events_[i].kind == kind &&
+        events_[i].chunk == chunk) {
       used_[i] = true;
       ++fired_;
       return true;

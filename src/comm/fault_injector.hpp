@@ -66,12 +66,20 @@ enum class FaultKind : std::uint8_t {
 
 const char* to_string(FaultKind kind) noexcept;
 
+/// Sentinel chunk index: the event targets the whole payload (the v1
+/// path), not an individual chunk of a chunked stream.
+inline constexpr std::size_t kNoChunk = ~std::size_t{0};
+
 struct FaultEvent {
   std::size_t iteration = 0;
   std::size_t rank = 0;
   FaultKind kind = FaultKind::kCorruptPayload;
   double slowdown_s = 0.0;    ///< kStraggler only: simulated-clock delay.
   std::size_t duration = 0;   ///< kSilence only: iterations without heartbeat.
+  /// Chunk-granular faults (DESIGN.md §15): when != kNoChunk, the event
+  /// targets chunk round `chunk` of rank's chunked collective and is
+  /// consumed by take_chunk, never by the whole-payload take().
+  std::size_t chunk = kNoChunk;
 };
 
 /// A deterministic schedule of fault events. Build explicitly with the
@@ -95,6 +103,17 @@ class FaultPlan {
   /// Brings a crashed rank back online at `iteration`; the membership layer
   /// sees its heartbeats again and readmits it through the rejoin ladder.
   FaultPlan& recover(std::size_t iteration, std::size_t rank);
+
+  /// Chunk-granular transient faults: damage lands on chunk round `chunk`
+  /// of rank's chunked collective only (consumed via take_chunk), leaving
+  /// every other chunk of the same payload clean — the model the per-chunk
+  /// retry ladder is written against.
+  FaultPlan& corrupt_chunk(std::size_t iteration, std::size_t rank,
+                           std::size_t chunk);
+  FaultPlan& drop_chunk(std::size_t iteration, std::size_t rank,
+                        std::size_t chunk);
+  FaultPlan& truncate_chunk(std::size_t iteration, std::size_t rank,
+                            std::size_t chunk);
 
   const std::vector<FaultEvent>& events() const noexcept { return events_; }
   bool empty() const noexcept { return events_.empty(); }
@@ -125,9 +144,15 @@ class FaultInjector {
   void begin_iteration(std::size_t t) noexcept { iteration_ = t; }
   std::size_t iteration() const noexcept { return iteration_; }
 
-  /// Consumes the pending event of `kind` for `rank` at the current
-  /// iteration, if any. Returns true when the event fired (one-shot).
+  /// Consumes the pending whole-payload event of `kind` for `rank` at the
+  /// current iteration, if any. Returns true when the event fired
+  /// (one-shot). Chunk-scoped events are never matched here.
   bool take(FaultKind kind, std::size_t rank) noexcept;
+
+  /// Consumes the pending event of `kind` for `rank` scoped to chunk round
+  /// `chunk` at the current iteration (one-shot, like take()).
+  bool take_chunk(FaultKind kind, std::size_t rank,
+                  std::size_t chunk) noexcept;
 
   /// Consumes and returns every pending event of `kind` at the current
   /// iteration (used for crash / straggler processing at iteration start).

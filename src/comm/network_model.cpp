@@ -1,5 +1,7 @@
 #include "src/comm/network_model.hpp"
 
+#include <algorithm>
+
 namespace compso::comm {
 
 double NetworkModel::p2p_time(const Topology& topo, std::size_t src,
@@ -22,6 +24,15 @@ NetworkModel NetworkModel::platform1() {
   return NetworkModel("Platform1/Slingshot10",
                       LinkParams{2e-6, 300.0e9},
                       LinkParams{4e-6, 0.65 * 12.5e9});
+}
+
+double chunk_pipeline_makespan(std::size_t chunks, double compress_s,
+                               double wire_s, double decode_s) noexcept {
+  if (chunks == 0) return 0.0;
+  const double fill = compress_s + wire_s + decode_s;
+  const double beat =
+      std::max(compress_s, std::max(wire_s, decode_s));
+  return fill + static_cast<double>(chunks - 1) * beat;
 }
 
 NetworkModel NetworkModel::platform2() {

@@ -57,4 +57,12 @@ class NetworkModel {
   LinkParams inter_;
 };
 
+/// Makespan of a 3-stage chunk pipeline (compress -> wire -> decode), each
+/// stage taking the given per-chunk time: the first chunk pays the full
+/// serial fill (a + b + c), and every further chunk adds one beat of the
+/// slowest stage. This is the analytic model the chunked transport and the
+/// PerfSimulator both use, so they agree by construction (DESIGN.md §15).
+double chunk_pipeline_makespan(std::size_t chunks, double compress_s,
+                               double wire_s, double decode_s) noexcept;
+
 }  // namespace compso::comm

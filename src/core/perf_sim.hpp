@@ -84,6 +84,30 @@ class PerfSimulator {
       const compress::GradientCompressor& compressor,
       std::size_t aggregation) const;
 
+  /// Analytic payload pipeline of the per-step compressed stream
+  /// (DESIGN.md §15): compression, wire, and decompression charged in
+  /// series (the unchunked path, Eq. 5's denominator) vs the chunked
+  /// 3-stage makespan over `chunk_bytes`-sized frames. All groups feed
+  /// one stream — matching the transport, where chunk_pack concatenates
+  /// every group before framing. Both sides use the identical per-group
+  /// compression ratios, modeled codec throughputs, and network model as
+  /// with_compressor, so the analytic ratio and the real transport agree
+  /// by construction.
+  struct ChunkedPipeline {
+    double serial_s = 0.0;    ///< unchunked: comp + wire + decomp in series.
+    double pipeline_s = 0.0;  ///< chunked 3-stage makespan of the stream.
+    double comp_s = 0.0;      ///< codec compress stage (summed groups).
+    double decomp_s = 0.0;    ///< codec decompress stage (summed groups).
+    std::size_t chunks = 0;   ///< chunk frames in the stream.
+    std::size_t comp_bytes = 0;
+    double ratio() const noexcept {
+      return pipeline_s > 0.0 ? serial_s / pipeline_s : 1.0;
+    }
+  };
+  ChunkedPipeline with_chunked_compressor(
+      const compress::GradientCompressor& compressor,
+      std::size_t aggregation, std::size_t chunk_bytes) const;
+
   /// Per-rank original allgather bytes (layer-partitioned, max over ranks).
   std::size_t max_rank_bytes() const noexcept;
   /// Aggregated layer-group original sizes for the owner with most data.

@@ -639,54 +639,265 @@ void DistKfac::step(std::size_t iteration, double lr,
     gcomp_ids.push_back(gc);
   }
 
-  // The preconditioned-gradient allgatherv + decode + recovery loop —
-  // one collective for all layers, so it runs after every group task.
-  const auto gather = graph_.add_main(
-      "gather", kPrioGather,
-      [this, groups, gather_comp, step_seed, world, lead] {
-        auto gather_span =
-            comm_.obs().span(obs::kMainTrack, "kfac.gather", "kfac");
-        // Frame the payloads into the per-rank send buffers
-        // ([u64 n][u64 sid x n][u64 psize][payload] groups).
-        std::vector<std::vector<std::uint8_t>> send(world);
-        for (std::size_t g = 0; g < groups.size(); ++g) {
-          const GroupPlan& grp = groups[g];
-          const auto& payload = group_payloads_[g];
-          auto& buf = send[grp.rank];
-          put_u64(buf, grp.count);
-          for (std::size_t j = 0; j < grp.count; ++j) {
-            put_u64(buf, owned_[grp.rank][grp.first + j]);
+  // The preconditioned-gradient exchange — one logical collective for all
+  // layers. Monolithic mode (chunk_bytes == 0): a single
+  // allgatherv + decode + recovery task. Chunked mode (DESIGN.md §15): a
+  // pack task frames the per-rank send buffers and lays out their chunk
+  // grids, then per-round frame (CRC) compute nodes pipeline against
+  // per-round chunk collectives, and a finish task reassembles + decodes.
+  // The bytes reaching decode_gathered are identical in both modes.
+  StepGraph::TaskId gather{};
+  if (cfg_.chunk_bytes == 0) {
+    gather = graph_.add_main(
+        "gather", kPrioGather,
+        [this, groups, gather_comp, step_seed, world, lead] {
+          auto gather_span =
+              comm_.obs().span(obs::kMainTrack, "kfac.gather", "kfac");
+          // Frame the payloads into the per-rank send buffers
+          // ([u64 n][u64 sid x n][u64 psize][payload] groups).
+          std::vector<std::vector<std::uint8_t>> send(world);
+          for (std::size_t g = 0; g < groups.size(); ++g) {
+            const GroupPlan& grp = groups[g];
+            const auto& payload = group_payloads_[g];
+            auto& buf = send[grp.rank];
+            put_u64(buf, grp.count);
+            for (std::size_t j = 0; j < grp.count; ++j) {
+              put_u64(buf, owned_[grp.rank][grp.first + j]);
+            }
+            put_u64(buf, payload.size());
+            buf.insert(buf.end(), payload.begin(), payload.end());
+            comp_bytes_ += payload.size();
           }
-          put_u64(buf, payload.size());
-          buf.insert(buf.end(), payload.begin(), payload.end());
-          comp_bytes_ += payload.size();
-        }
-        // Decode on every rank (identical bytes -> identical updates).
-        // Decode once from the first active rank's stream and apply
-        // everywhere. On decode failure: bounded re-send of the same
-        // payloads, then an uncompressed re-send (fallback); repeated
-        // failing steps degrade the gather to the uncompressed path for
-        // the rest of the run.
-        const obs::ObsHooks& hooks = comm_.obs();
-        const std::size_t attempts =
-            policy_.enabled ? policy_.max_decode_retries + 1 : 1;
-        bool decoded = false;
-        for (std::size_t attempt = 0; attempt < attempts && !decoded;
-             ++attempt) {
-          std::vector<std::vector<std::uint8_t>> recv;
-          comm_.allgatherv(send, recv);
+          // Decode on every rank (identical bytes -> identical updates).
+          // Decode once from the first active rank's stream and apply
+          // everywhere. On decode failure: bounded re-send of the same
+          // payloads, then an uncompressed re-send (fallback); repeated
+          // failing steps degrade the gather to the uncompressed path for
+          // the rest of the run.
+          const obs::ObsHooks& hooks = comm_.obs();
+          const std::size_t attempts =
+              policy_.enabled ? policy_.max_decode_retries + 1 : 1;
+          bool decoded = false;
+          for (std::size_t attempt = 0; attempt < attempts && !decoded;
+               ++attempt) {
+            std::vector<std::vector<std::uint8_t>> recv;
+            comm_.allgatherv(send, recv);
+            try {
+              decode_gathered(recv[lead], preconditioned_, gather_comp);
+              decoded = true;
+              gather_failures_ = 0;
+            } catch (const PayloadError&) {
+              if (!policy_.enabled) throw;
+              if (attempt + 1 < attempts) {
+                ++comm_.recovery().decode_retries;
+                hooks.count("recovery.decode_retries");
+                hooks.instant(obs::kMainTrack, "kfac.gather_retry",
+                              "recovery");
+                continue;
+              }
+              ++comm_.recovery().decode_failures;
+              ++comm_.recovery().fallback_steps;
+              hooks.count("recovery.decode_failures");
+              hooks.count("recovery.fallback_steps");
+              hooks.instant(obs::kMainTrack, "kfac.gather_fallback",
+                            "recovery");
+              if (++gather_failures_ >= policy_.fallback_after &&
+                  gather_degraded_ == 0) {
+                gather_degraded_ = 1;
+                ++comm_.recovery().degraded_layers;
+                hooks.count("recovery.degraded_layers");
+              }
+            }
+          }
+          if (!decoded) {
+            // Uncompressed fallback exchange: raw payloads cannot fail
+            // decode (framing damage would surface as PayloadError on the
+            // retried collective, but injector events are one-shot, so
+            // this is clean).
+            comp_bytes_ = 0;
+            send =
+                build_gather_payloads(preconditioned_, owned_, nullptr,
+                                      step_seed);
+            std::vector<std::vector<std::uint8_t>> recv;
+            comm_.allgatherv(send, recv);
+            decode_gathered(recv[lead], preconditioned_, nullptr);
+          }
+          gather_span.add_arg("orig_bytes", orig_bytes_);
+          gather_span.add_arg("comp_bytes", comp_bytes_);
+          gather_span.end();
+          hooks.count("kfac.gather.orig_bytes", orig_bytes_);
+          hooks.count("kfac.gather.comp_bytes", comp_bytes_);
+          hooks.count("kfac.factor.orig_bytes", factor_orig_bytes_);
+          hooks.count("kfac.factor.comp_bytes", factor_comp_bytes_);
+        },
+        /*is_comm=*/true);
+    for (const auto gc : gcomp_ids) graph_.depends(gather, gc);
+    for (std::size_t s = 0; s < slots; ++s) {
+      graph_.depends(gather, guard_id[s]);
+    }
+  } else {
+    // --- Chunked streaming pipeline (DESIGN.md §15) ---
+    const std::size_t chunkb = cfg_.chunk_bytes;
+    // Round count, fixed before any compression runs (the graph is built
+    // on this thread while the pool is still compressing): the worst-case
+    // payload bound of every group (GradientCompressor::max_payload_bytes)
+    // plus the gather framing. Actual rounds never exceed it; surplus
+    // round nodes no-op for a few cycles.
+    std::vector<std::size_t> worst_rank(world, 0);
+    for (const GroupPlan& grp : groups) {
+      std::size_t elems = 0;
+      for (std::size_t j = 0; j < grp.count; ++j) {
+        elems += momentum_[owned_[grp.rank][grp.first + j]].size();
+      }
+      worst_rank[grp.rank] +=
+          8 * (grp.count + 2) +
+          (gather_comp != nullptr ? gather_comp->max_payload_bytes(elems)
+                                  : elems * sizeof(float));
+    }
+    std::size_t max_rounds = 1;
+    for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_participating(r)) continue;
+      max_rounds = std::max(
+          max_rounds, codec::chunk::chunk_count_for(worst_rank[r], chunkb));
+    }
+    chunk_failed_ = 0;
+
+    // Pack: frame the group payloads into the per-rank send buffers (the
+    // exact bytes the monolithic path would allgatherv), lay out each
+    // buffer's chunk grid, and reset the receive cursors. Runs on the
+    // pool, overlapping earlier slots' collectives.
+    const auto pack = graph_.add_compute(
+        "chunk_pack", /*priority=*/0,
+        [this, groups, worst_rank, world, chunkb] {
+          if (chunk_send_.size() < world) chunk_send_.resize(world);
+          if (chunk_producers_.size() < world) {
+            chunk_producers_.resize(world);
+          }
+          if (chunk_consumers_.size() < world) {
+            chunk_consumers_.resize(world);
+          }
+          for (std::size_t r = 0; r < world; ++r) chunk_send_[r].clear();
+          for (std::size_t g = 0; g < groups.size(); ++g) {
+            const GroupPlan& grp = groups[g];
+            const auto& payload = group_payloads_[g];
+            auto& buf = chunk_send_[grp.rank];
+            put_u64(buf, grp.count);
+            for (std::size_t j = 0; j < grp.count; ++j) {
+              put_u64(buf, owned_[grp.rank][grp.first + j]);
+            }
+            put_u64(buf, payload.size());
+            buf.insert(buf.end(), payload.begin(), payload.end());
+            comp_bytes_ += payload.size();
+          }
+          for (std::size_t r = 0; r < world; ++r) {
+            chunk_consumers_[r].reset();
+            if (!comm_.is_participating(r)) continue;
+            chunk_producers_[r].reserve_for(worst_rank[r], chunkb);
+            chunk_producers_[r].prepare(
+                compress::ByteView(chunk_send_[r]), chunkb);
+          }
+        });
+    for (const auto gc : gcomp_ids) graph_.depends(pack, gc);
+    for (std::size_t s = 0; s < slots; ++s) graph_.depends(pack, guard_id[s]);
+
+    // Rounds: frame (header + CRC) on the pool while the previous round's
+    // frames are on the wire, ship, and feed the cursors. Lower rounds
+    // frame first so the pipeline never starves at the head.
+    StepGraph::TaskId prev_send{};
+    for (std::size_t k = 0; k < max_rounds; ++k) {
+      const auto fr = graph_.add_compute(
+          "chunk_frame" + std::to_string(k),
+          static_cast<int>(max_rounds - k), [this, k, world] {
+            for (std::size_t r = 0; r < world; ++r) {
+              if (!comm_.is_participating(r)) continue;
+              if (k < chunk_producers_[r].chunk_count()) {
+                chunk_producers_[r].frame_chunk(k);
+              }
+            }
+          });
+      graph_.depends(fr, pack);
+      const auto cs = graph_.add_main(
+          "chunk_send" + std::to_string(k), kPrioGather,
+          [this, k, world] {
+            std::vector<std::span<const std::uint8_t>> frames(world);
+            bool any = false;
+            for (std::size_t r = 0; r < world; ++r) {
+              if (!comm_.is_participating(r)) continue;
+              if (k < chunk_producers_[r].chunk_count()) {
+                frames[r] = chunk_producers_[r].chunk(k);
+                any = true;
+              }
+            }
+            // Every stream drained (round-bound slack), or an earlier
+            // round already failed past its retries: nothing to ship.
+            if (!any || chunk_failed_ != 0) return;
+            auto round_span =
+                comm_.obs().span(obs::kMainTrack, "chunk.send", "chunk");
+            round_span.add_arg("round", k);
+            const std::size_t attempts =
+                policy_.enabled ? policy_.max_decode_retries + 1 : 1;
+            std::vector<std::vector<std::uint8_t>> recv;
+            for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+              comm_.allgatherv_chunks(frames, recv, k);
+              try {
+                for (std::size_t r = 0; r < world; ++r) {
+                  if (frames[r].empty()) continue;
+                  // A failed attempt may have fed some ranks before
+                  // another's frame threw; chunks_fed > k marks those
+                  // as already done for this round.
+                  if (chunk_consumers_[r].chunks_fed() > k) continue;
+                  chunk_consumers_[r].feed(compress::ByteView(recv[r]));
+                }
+                round_span.end();
+                return;
+              } catch (const PayloadError&) {
+                if (!policy_.enabled) throw;
+                if (attempt + 1 < attempts) {
+                  ++comm_.recovery().decode_retries;
+                  comm_.obs().count("recovery.decode_retries");
+                  comm_.obs().instant(obs::kMainTrack, "chunk.retry",
+                                      "recovery");
+                  continue;
+                }
+                // Retries exhausted mid-stream: reassembly is dead for
+                // this step; the finish task runs the fallback ladder.
+                chunk_failed_ = 1;
+              }
+            }
+            round_span.end();
+          },
+          /*is_comm=*/true);
+      graph_.depends(cs, fr);
+      if (k > 0) graph_.depends(cs, prev_send);
+      prev_send = cs;
+    }
+
+    // Finish: concatenate the reassembled per-rank payloads in rank order
+    // (byte-identical to the monolithic recv stream) and run the same
+    // decode + fallback/degradation ladder.
+    gather = graph_.add_main(
+        "gather", kPrioGather,
+        [this, gather_comp, step_seed, world, lead] {
+          auto gather_span =
+              comm_.obs().span(obs::kMainTrack, "kfac.gather", "kfac");
+          const obs::ObsHooks& hooks = comm_.obs();
+          bool decoded = false;
           try {
-            decode_gathered(recv[lead], preconditioned_, gather_comp);
+            if (chunk_failed_ != 0) {
+              throw PayloadError("DistKfac: chunk stream failed");
+            }
+            chunk_concat_.clear();
+            for (std::size_t r = 0; r < world; ++r) {
+              if (!comm_.is_participating(r)) continue;
+              const auto part = chunk_consumers_[r].payload();
+              chunk_concat_.insert(chunk_concat_.end(), part.begin(),
+                                   part.end());
+            }
+            decode_gathered(chunk_concat_, preconditioned_, gather_comp);
             decoded = true;
             gather_failures_ = 0;
           } catch (const PayloadError&) {
             if (!policy_.enabled) throw;
-            if (attempt + 1 < attempts) {
-              ++comm_.recovery().decode_retries;
-              hooks.count("recovery.decode_retries");
-              hooks.instant(obs::kMainTrack, "kfac.gather_retry", "recovery");
-              continue;
-            }
             ++comm_.recovery().decode_failures;
             ++comm_.recovery().fallback_steps;
             hooks.count("recovery.decode_failures");
@@ -700,31 +911,25 @@ void DistKfac::step(std::size_t iteration, double lr,
               hooks.count("recovery.degraded_layers");
             }
           }
-        }
-        if (!decoded) {
-          // Uncompressed fallback exchange: raw payloads cannot fail
-          // decode (framing damage would surface as PayloadError on the
-          // retried collective, but injector events are one-shot, so
-          // this is clean).
-          comp_bytes_ = 0;
-          send =
-              build_gather_payloads(preconditioned_, owned_, nullptr,
-                                    step_seed);
-          std::vector<std::vector<std::uint8_t>> recv;
-          comm_.allgatherv(send, recv);
-          decode_gathered(recv[lead], preconditioned_, nullptr);
-        }
-        gather_span.add_arg("orig_bytes", orig_bytes_);
-        gather_span.add_arg("comp_bytes", comp_bytes_);
-        gather_span.end();
-        hooks.count("kfac.gather.orig_bytes", orig_bytes_);
-        hooks.count("kfac.gather.comp_bytes", comp_bytes_);
-        hooks.count("kfac.factor.orig_bytes", factor_orig_bytes_);
-        hooks.count("kfac.factor.comp_bytes", factor_comp_bytes_);
-      },
-      /*is_comm=*/true);
-  for (const auto gc : gcomp_ids) graph_.depends(gather, gc);
-  for (std::size_t s = 0; s < slots; ++s) graph_.depends(gather, guard_id[s]);
+          if (!decoded) {
+            comp_bytes_ = 0;
+            auto send = build_gather_payloads(preconditioned_, owned_,
+                                              nullptr, step_seed);
+            std::vector<std::vector<std::uint8_t>> recv;
+            comm_.allgatherv(send, recv);
+            decode_gathered(recv[lead], preconditioned_, nullptr);
+          }
+          gather_span.add_arg("orig_bytes", orig_bytes_);
+          gather_span.add_arg("comp_bytes", comp_bytes_);
+          gather_span.end();
+          hooks.count("kfac.gather.orig_bytes", orig_bytes_);
+          hooks.count("kfac.gather.comp_bytes", comp_bytes_);
+          hooks.count("kfac.factor.orig_bytes", factor_orig_bytes_);
+          hooks.count("kfac.factor.comp_bytes", factor_comp_bytes_);
+        },
+        /*is_comm=*/true);
+    graph_.depends(gather, prev_send);
+  }
 
   // Rejoin re-sync (DESIGN.md §14): one compute task per layer copies the
   // lead replica's parameters into every rejoining replica through a

@@ -18,6 +18,7 @@
 
 #include "src/codec/wire.hpp"
 #include "src/comm/communicator.hpp"
+#include "src/compress/chunked_stream.hpp"
 #include "src/compress/compression_engine.hpp"
 #include "src/compress/compressor.hpp"
 #include "src/nn/model.hpp"
@@ -39,6 +40,15 @@ struct DistKfacConfig {
   /// its layers' preconditioned gradients per compression call, amortizing
   /// codec overhead and improving small-layer ratios.
   std::size_t aggregation = 1;
+  /// Chunked streaming pipeline (DESIGN.md §15): when > 0, the
+  /// preconditioned-gradient gather ships each rank's send buffer as
+  /// fixed-size chunk frames — per-round frame (CRC) compute nodes
+  /// pipelined against per-round chunk collectives on the StepGraph — and
+  /// reassembles on resumable cursors. 0 = the monolithic allgatherv.
+  /// Payload bytes and training trajectories are bit-identical either way
+  /// (the chunk layer frames the *finished* payload; no RNG stream or
+  /// float op changes).
+  std::size_t chunk_bytes = 0;
 };
 
 /// Paper §7 future-work item 2: compressing the intermediate factor
@@ -161,6 +171,15 @@ class DistKfac {
   std::vector<std::vector<float>> group_concat_;
   std::vector<compress::Bytes> group_payloads_;
   std::vector<std::vector<float>> group_values_;
+  // Chunked-gather workspaces (persistent; see DESIGN.md §15): per-rank
+  // send buffers + producers on the send side, per-rank resumable cursors
+  // on the receive side, and the reassembled concatenation the decoder
+  // reads (byte-identical to the unchunked recv stream).
+  std::vector<compress::Bytes> chunk_send_;
+  std::vector<compress::ChunkedProducer> chunk_producers_;
+  std::vector<compress::ChunkedConsumer> chunk_consumers_;
+  compress::Bytes chunk_concat_;
+  std::uint8_t chunk_failed_ = 0;  ///< a round exhausted its retries.
 
   compress::CompressionEngine& engine() noexcept {
     return engine_ ? *engine_ : serial_engine_;

@@ -2,6 +2,7 @@
 
 #include "src/codec/ckpt.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -80,10 +81,136 @@ DistSgd::DistSgd(DistSgdConfig config, comm::Communicator& comm,
   consecutive_failures_.assign(layer_indices_.size(), 0);
 }
 
+bool DistSgd::chunked_average(
+    std::size_t slot, std::size_t n, const std::vector<compress::Bytes>& send,
+    const compress::GradientCompressor& compressor,
+    std::vector<float>& averaged) {
+  const std::size_t world = comm_.world_size();
+  const std::size_t active = comm_.participant_count();
+  const std::size_t chunkb = cfg_.chunk_bytes;
+  if (chunk_producers_.size() < world) chunk_producers_.resize(world);
+  if (chunk_consumers_.size() < world) chunk_consumers_.resize(world);
+
+  // Frame every rank's payload into its chunk grid as one engine batch
+  // (the CRC work parallelizes across ranks when a pool is attached).
+  std::size_t rounds = 0;
+  {
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t r = 0; r < world; ++r) {
+      chunk_consumers_[r].reset();
+      if (!comm_.is_participating(r)) continue;
+      chunk_producers_[r].reserve_for(compressor.max_payload_bytes(n),
+                                      chunkb);
+      chunk_producers_[r].prepare(compress::ByteView(send[r]), chunkb);
+      rounds = std::max(rounds, chunk_producers_[r].chunk_count());
+      jobs.push_back([this, r] {
+        for (std::size_t k = 0; k < chunk_producers_[r].chunk_count(); ++k) {
+          chunk_producers_[r].frame_chunk(k);
+        }
+      });
+    }
+    engine().run_batch(std::move(jobs));
+  }
+
+  // Ship round by round; the retry ladder operates per round — a damaged
+  // chunk re-sends one round's frames, never the whole payload (one-shot
+  // injector events mean the retried round is clean).
+  const std::size_t attempts =
+      policy_.enabled ? policy_.max_decode_retries + 1 : 1;
+  for (std::size_t k = 0; k < rounds; ++k) {
+    std::vector<std::span<const std::uint8_t>> frames(world);
+    bool any = false;
+    for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_participating(r)) continue;
+      if (k < chunk_producers_[r].chunk_count()) {
+        frames[r] = chunk_producers_[r].chunk(k);
+        any = true;
+      }
+    }
+    if (!any) break;
+    bool round_ok = false;
+    for (std::size_t attempt = 0; attempt < attempts && !round_ok;
+         ++attempt) {
+      std::vector<std::vector<std::uint8_t>> recv;
+      comm_.allgatherv_chunks(frames, recv, k);
+      try {
+        for (std::size_t r = 0; r < world; ++r) {
+          if (frames[r].empty()) continue;
+          // A failed attempt may have fed some ranks before another's
+          // frame threw; chunks_fed > k marks those as done this round.
+          if (chunk_consumers_[r].chunks_fed() > k) continue;
+          chunk_consumers_[r].feed(compress::ByteView(recv[r]));
+        }
+        round_ok = true;
+      } catch (const PayloadError&) {
+        if (!policy_.enabled) throw;
+        if (attempt + 1 < attempts) {
+          ++comm_.recovery().decode_retries;
+          comm_.obs().count("recovery.decode_retries");
+          comm_.obs().instant(obs::kMainTrack, "chunk.retry", "recovery");
+        }
+      }
+    }
+    if (!round_ok) {
+      ++comm_.recovery().decode_failures;
+      comm_.obs().count("recovery.decode_failures");
+      if (++consecutive_failures_[slot] >= policy_.fallback_after &&
+          degraded_[slot] == 0) {
+        degraded_[slot] = 1;
+        ++comm_.recovery().degraded_layers;
+        comm_.obs().count("recovery.degraded_layers");
+      }
+      return false;
+    }
+  }
+
+  // Decode the reassembled payloads (bit-identical to the unchunked send
+  // bytes) as one engine batch, then accumulate in rank order.
+  try {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(active);
+    for (std::size_t r = 0; r < world; ++r) {
+      if (!comm_.is_participating(r)) continue;
+      jobs.push_back([this, &compressor, r, n] {
+        auto& buf = decode_bufs_[r];
+        compressor.decompress_into(chunk_consumers_[r].payload(), buf);
+        if (buf.size() != n) {
+          throw PayloadError("DistSgd: decompressed size mismatch");
+        }
+      });
+    }
+    engine().run_batch(std::move(jobs));
+  } catch (const PayloadError&) {
+    if (!policy_.enabled) throw;
+    ++comm_.recovery().decode_failures;
+    comm_.obs().count("recovery.decode_failures");
+    if (++consecutive_failures_[slot] >= policy_.fallback_after &&
+        degraded_[slot] == 0) {
+      degraded_[slot] = 1;
+      ++comm_.recovery().degraded_layers;
+      comm_.obs().count("recovery.degraded_layers");
+    }
+    return false;
+  }
+  averaged.assign(n, 0.0F);
+  for (std::size_t r = 0; r < world; ++r) {
+    if (!comm_.is_participating(r)) continue;
+    const auto& rec = decode_bufs_[r];
+    for (std::size_t i = 0; i < n; ++i) {
+      averaged[i] += rec[i] / static_cast<float>(active);
+    }
+  }
+  consecutive_failures_[slot] = 0;
+  return true;
+}
+
 bool DistSgd::compressed_average(
     std::size_t slot, std::size_t n, const std::vector<compress::Bytes>& send,
     const compress::GradientCompressor& compressor,
     std::vector<float>& averaged) {
+  if (cfg_.chunk_bytes > 0) {
+    return chunked_average(slot, n, send, compressor, averaged);
+  }
   const std::size_t world = comm_.world_size();
   const std::size_t active = comm_.participant_count();
 

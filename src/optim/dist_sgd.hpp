@@ -16,6 +16,7 @@
 
 #include "src/codec/wire.hpp"
 #include "src/comm/communicator.hpp"
+#include "src/compress/chunked_stream.hpp"
 #include "src/compress/compression_engine.hpp"
 #include "src/compress/compressor.hpp"
 #include "src/nn/model.hpp"
@@ -29,6 +30,12 @@ namespace compso::optim {
 struct DistSgdConfig {
   double momentum = 0.9;
   bool error_feedback = true;  ///< only used when a compressor is attached.
+  /// Chunked streaming transport (DESIGN.md §15): when > 0, each layer's
+  /// compressed payloads ship as fixed-size chunk frames over per-round
+  /// chunk collectives and reassemble on resumable cursors, with the
+  /// retry ladder operating per round. 0 = monolithic allgatherv. Payload
+  /// bytes and training trajectories are bit-identical either way.
+  std::size_t chunk_bytes = 0;
 };
 
 class DistSgd {
@@ -99,6 +106,10 @@ class DistSgd {
   std::vector<std::vector<std::vector<float>>> step_grads_;
   std::vector<std::vector<compress::Bytes>> send_payloads_;
   std::vector<std::vector<float>> decode_bufs_;
+  // Chunked-transport workspaces (persistent; reused slot after slot —
+  // the per-slot exchanges run serially on the optimizer thread).
+  std::vector<compress::ChunkedProducer> chunk_producers_;
+  std::vector<compress::ChunkedConsumer> chunk_consumers_;
 
   compress::CompressionEngine& engine() noexcept {
     return engine_ ? *engine_ : serial_engine_;
@@ -106,11 +117,20 @@ class DistSgd {
 
   /// Exchange + decode of one layer's pre-compressed payloads; returns
   /// false when every retry failed and the caller must use the
-  /// uncompressed fallback.
+  /// uncompressed fallback. Dispatches to chunked_average when
+  /// cfg_.chunk_bytes > 0.
   bool compressed_average(std::size_t slot, std::size_t n,
                           const std::vector<compress::Bytes>& send,
                           const compress::GradientCompressor& compressor,
                           std::vector<float>& averaged);
+
+  /// The chunked-transport exchange (DESIGN.md §15): frames each rank's
+  /// payload (engine batch), ships per-round chunk collectives with
+  /// per-round bounded retries, reassembles on the cursors, and decodes.
+  bool chunked_average(std::size_t slot, std::size_t n,
+                       const std::vector<compress::Bytes>& send,
+                       const compress::GradientCompressor& compressor,
+                       std::vector<float>& averaged);
 };
 
 }  // namespace compso::optim

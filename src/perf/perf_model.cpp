@@ -9,7 +9,7 @@ namespace compso::perf {
 
 CommLookupTable::CommLookupTable(const comm::Communicator& comm,
                                  std::size_t min_bytes, std::size_t max_bytes,
-                                 std::size_t points) {
+                                 std::size_t points, CollectiveKind kind) {
   if (points < 2 || min_bytes == 0 || max_bytes <= min_bytes) {
     throw std::invalid_argument("CommLookupTable: bad sampling range");
   }
@@ -24,7 +24,9 @@ CommLookupTable::CommLookupTable(const comm::Communicator& comm,
     // keep sizes_ strictly increasing or interpolation divides by
     // log2(x1) - log2(x0) == 0 and returns NaN.
     if (!sizes_.empty() && bytes <= sizes_.back()) continue;
-    const double t = comm.allgather_time(bytes);
+    const double t = kind == CollectiveKind::kPipelinedBroadcast
+                         ? comm.pipelined_broadcast_time(bytes)
+                         : comm.allgather_time(bytes);
     sizes_.push_back(bytes);
     tput_.push_back(t > 0.0 ? static_cast<double>(bytes) / t : 1e18);
   }
@@ -92,6 +94,30 @@ double end_to_end_speedup(double comm_fraction, double comm_speedup) noexcept {
   const double r = std::clamp(comm_fraction, 0.0, 1.0);
   const double s = std::max(comm_speedup, 1e-9);
   return 1.0 / ((1.0 - r) + r / s);
+}
+
+double chunked_pipeline_speedup(std::size_t orig_bytes,
+                                std::size_t comp_bytes, std::size_t chunks,
+                                const CommLookupTable& table,
+                                double comp_throughput,
+                                double decomp_throughput) noexcept {
+  if (chunks <= 1 || comp_bytes == 0) return 1.0;
+  const double t_compress =
+      comp_throughput > 0.0
+          ? static_cast<double>(orig_bytes) / comp_throughput
+          : 0.0;
+  const double t_decompress =
+      decomp_throughput > 0.0
+          ? static_cast<double>(comp_bytes) / decomp_throughput
+          : 0.0;
+  const double t_wire = table.allgather_time(comp_bytes);
+  const double serial = t_compress + t_wire + t_decompress;
+  const auto n = static_cast<double>(chunks);
+  const std::size_t chunk_bytes = (comp_bytes + chunks - 1) / chunks;
+  const double pipeline = comm::chunk_pipeline_makespan(
+      chunks, t_compress / n, table.allgather_time(chunk_bytes),
+      t_decompress / n);
+  return pipeline > 0.0 ? serial / pipeline : 1.0;
 }
 
 AggregationDecision choose_aggregation_factor(

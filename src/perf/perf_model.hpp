@@ -19,17 +19,24 @@
 
 namespace compso::perf {
 
-/// Offline lookup table: effective allgather throughput (bytes/s per rank
-/// message) vs. message size, for one (platform, GPU count) pair. Built
-/// from the network model the same way the paper builds it from synthetic
-/// benchmarks.
+/// Which collective an offline CommLookupTable samples. The paper builds
+/// one table per collective actually used on the hot path; the KFAC
+/// gradient exchange here is the pipelined broadcast, while allgather is
+/// the default for the generic Eq. 5 decision flow.
+enum class CollectiveKind { kAllgather, kPipelinedBroadcast };
+
+/// Offline lookup table: effective collective throughput (bytes/s per
+/// rank message) vs. message size, for one (platform, GPU count) pair.
+/// Built from the network model the same way the paper builds it from
+/// synthetic benchmarks.
 class CommLookupTable {
  public:
   /// Samples sizes geometrically in [min_bytes, max_bytes].
   CommLookupTable(const comm::Communicator& comm,
                   std::size_t min_bytes = 1 << 10,
                   std::size_t max_bytes = std::size_t{1} << 28,
-                  std::size_t points = 24);
+                  std::size_t points = 24,
+                  CollectiveKind kind = CollectiveKind::kAllgather);
 
   /// Interpolated effective throughput (bytes/s) for a per-rank message of
   /// `bytes` in an allgather.
@@ -84,6 +91,20 @@ double communication_speedup(std::size_t orig_bytes, std::size_t comp_bytes,
 /// End-to-end gain ((1 - r) + r / s)^-1 for comm fraction r and
 /// communication speedup s.
 double end_to_end_speedup(double comm_fraction, double comm_speedup) noexcept;
+
+/// Eq. 5's denominator charges compression, wire, and decompression in
+/// series. The chunked streaming pipeline (DESIGN.md §15) splits the
+/// payload into `chunks` frames so the three stages overlap: the predicted
+/// speedup is serial (a+b+c) over the 3-stage makespan
+/// (a+b+c)/n * (2 + n) -> exactly (fill + (n-1) * slowest beat), with each
+/// chunk's wire time priced at its own (smaller) message size on the
+/// lookup table — the latency penalty of chunking is in the model, not
+/// assumed away. chunks == 0 or 1 returns 1.0.
+double chunked_pipeline_speedup(std::size_t orig_bytes,
+                                std::size_t comp_bytes, std::size_t chunks,
+                                const CommLookupTable& table,
+                                double comp_throughput,
+                                double decomp_throughput) noexcept;
 
 /// Result of the aggregation-factor search.
 struct AggregationDecision {
