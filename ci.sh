@@ -7,6 +7,7 @@
 #   ./ci.sh obs        observability suites only (ctest -L obs)
 #   ./ci.sh sched      step-graph scheduler suites only (ctest -L sched)
 #   ./ci.sh pipeline   chunked streaming suites only (ctest -L pipeline)
+#   ./ci.sh scale      1000-rank scale-out suites only (ctest -L scale)
 #
 # The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
 # AddressSanitizer + UBSan, which is what gives the fault/recovery paths
@@ -57,6 +58,20 @@
 # --smoke) enforces chunked >= 1.3x unchunked at Slingshot-10 plus
 # byte-identity and transport/model agreement.
 #
+# The scale lane (ctest -L scale) also runs in all three configs
+# (DESIGN.md §16): test_scale covers the Topology rank-map properties,
+# per-algorithm collective byte-identity against the flat canonical
+# reduction (adversarial world sizes, masked participation), the
+# selection/time-model invariants (legacy formulas bit-for-bit with
+# selection off; hierarchical beats the flat ring at >= 256 ranks), and
+# the sharded preconditioning contract: sharded-vs-KAISA bit-identity at
+# any engine thread count (TSan keeps the owner-grouped engine batches
+# honest), deterministic owner reassignment on eviction, and bit-exact
+# checkpoint resume between a reassignment and the next eigh refresh.
+# The bench_scale_smoke gate (scale_sweep --smoke) re-proves the
+# bit-identity and memory gates end to end and emits BENCH_scale.json —
+# every gate is deterministic, so it holds under both sanitizers.
+#
 # The full default pass includes the two bench smoke gates
 # (bench/micro_math_throughput --smoke, bench/micro_train_throughput
 # --smoke): they enforce the blocked >= 4x naive gemm criterion at 512^3
@@ -82,6 +97,8 @@ run_suite() {
     ctest --test-dir "$dir" -L sched --output-on-failure -j "$JOBS"
   elif [[ "$LABEL" == "pipeline" ]]; then
     ctest --test-dir "$dir" -L pipeline --output-on-failure -j "$JOBS"
+  elif [[ "$LABEL" == "scale" ]]; then
+    ctest --test-dir "$dir" -L scale --output-on-failure -j "$JOBS"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
   fi

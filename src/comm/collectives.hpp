@@ -1,0 +1,131 @@
+#pragma once
+// Collective algorithm layer (DESIGN.md §16): ring vs recursive-doubling
+// vs hierarchical two-level implementations of allreduce / broadcast /
+// allgatherv, with message-size- and topology-aware selection, priced
+// through the alpha-beta NetworkModel.
+//
+// Two halves, both pure functions so the Communicator, the perf-model
+// lookup tables, and the benches price collectives identically:
+//
+//  - *time models*: the per-algorithm alpha-beta cost under a Topology +
+//    NetworkModel. kRing reproduces the legacy flat-ring formulas bit for
+//    bit, so a Communicator with selection disabled (the default) times
+//    every collective exactly as before this layer existed.
+//
+//  - *functional implementations*: run_allreduce / run_broadcast move the
+//    real bytes along each algorithm's communication structure (ring
+//    segment rotation, recursive-doubling fold-in/fold-out pairing,
+//    node-leader two-level routing). Reduction arithmetic is
+//    *canonicalized*: every algorithm accumulates contributions in
+//    ascending-participating-rank order with linear association — the
+//    exact order the flat reference uses — so algorithm selection changes
+//    modeled time and traffic but never training bits. (Real NCCL
+//    algorithm switches do perturb float sums; this simulator's prized
+//    invariant is bit-exact reproducibility, so the reduction order is
+//    pinned and only the routing structure varies per algorithm. The
+//    property tests exercise that structure: a wrong segment bound,
+//    rotation index, fold partner, or node map leaves stale bytes in some
+//    participant's buffer.)
+
+#include "src/comm/network_model.hpp"
+#include "src/comm/topology.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace compso::comm {
+
+enum class CollectiveAlgo : std::uint8_t {
+  kRing = 0,               ///< flat ring (the legacy default timing model).
+  kRecursiveDoubling = 1,  ///< log2(p) rounds; latency-optimal.
+  kHierarchical = 2,       ///< intra-node (NVLink) level, then inter-node.
+};
+
+const char* to_string(CollectiveAlgo algo) noexcept;
+
+/// Message-size-aware selection knobs (mxnet kvstore-style switching).
+/// Defaults keep selection OFF: every collective uses its legacy model
+/// (ring for allreduce/allgather, hierarchical binomial for broadcast),
+/// so existing trajectories and timings are untouched until a caller
+/// opts in.
+struct CollectiveConfig {
+  bool auto_select = false;
+  /// At or below this many bytes the latency term dominates: recursive
+  /// doubling (log2(p) rounds) beats the ring's 2(p-1) rounds.
+  std::size_t small_message_bytes = 64 * 1024;
+  /// At or above this many bytes on a multi-node topology, the two-level
+  /// hierarchical algorithm wins: the inter-node phase runs over node
+  /// leaders only (latency ~ nodes, not ranks) and the intra-node phase
+  /// rides NVLink.
+  std::size_t hierarchical_min_bytes = 64 * 1024;
+};
+
+/// Selects the algorithm for a `bytes`-sized allreduce/allgather-family
+/// collective over `participants` ranks of `topo`. With auto_select off
+/// this always returns kRing (the legacy model).
+CollectiveAlgo select_algo(const CollectiveConfig& cfg, const Topology& topo,
+                           std::size_t participants,
+                           std::size_t bytes) noexcept;
+
+/// Cost-based allreduce selection: evaluates the three time models and
+/// returns the cheapest (ties prefer kRing, then kRecursiveDoubling).
+/// Fixed byte thresholds mis-pick at the extremes — at bandwidth-bound
+/// gigabyte messages the hierarchical algorithm's extra intra-node pass
+/// costs more than its inter-node saving, so the flat ring wins again —
+/// and the models are cheap to evaluate, so selection just prices them.
+/// With auto_select off this returns kRing (the legacy model).
+CollectiveAlgo select_allreduce_algo(const CollectiveConfig& cfg,
+                                     const Topology& topo,
+                                     const NetworkModel& net,
+                                     std::size_t participants,
+                                     std::size_t bytes) noexcept;
+
+// --- alpha-beta time models -------------------------------------------
+// All return 0 for p <= 1 or empty messages, like the legacy formulas.
+
+double allreduce_time(CollectiveAlgo algo, const Topology& topo,
+                      const NetworkModel& net, std::size_t participants,
+                      std::size_t bytes) noexcept;
+double broadcast_time(CollectiveAlgo algo, const Topology& topo,
+                      const NetworkModel& net, std::size_t participants,
+                      std::size_t bytes) noexcept;
+double allgatherv_time(CollectiveAlgo algo, const Topology& topo,
+                       const NetworkModel& net, std::size_t participants,
+                       std::span<const std::size_t> bytes_per_rank) noexcept;
+/// Equal-chunk allgather (every rank contributes `bytes_per_rank`).
+double allgather_time(CollectiveAlgo algo, const Topology& topo,
+                      const NetworkModel& net, std::size_t participants,
+                      std::size_t bytes_per_rank) noexcept;
+/// Reduce-to-root (the sharded factor exchange, DESIGN.md §16): binomial
+/// tree for small messages, reduce-scatter + gather-to-root
+/// (Rabenseifner) for large ones; the model takes the cheaper of the two.
+double reduce_time(CollectiveAlgo algo, const Topology& topo,
+                   const NetworkModel& net, std::size_t participants,
+                   std::size_t bytes) noexcept;
+
+// --- functional implementations ---------------------------------------
+// `bufs` has one entry per world rank; only ranks with `participating[r]
+// != 0` contribute and receive (others are untouched). All participating
+// buffers must share a length. Results are byte-identical to the flat
+// canonical reduction (ascending participating rank, linear association).
+
+void run_allreduce(CollectiveAlgo algo, const Topology& topo,
+                   std::vector<std::span<float>>& bufs,
+                   const std::vector<std::uint8_t>& participating);
+
+/// Delivers root's buffer to every participating rank along the
+/// algorithm's edges (ring chain / binomial tree / leader two-level).
+void run_broadcast(CollectiveAlgo algo, const Topology& topo,
+                   std::vector<std::span<float>>& bufs, std::size_t root,
+                   const std::vector<std::uint8_t>& participating);
+
+/// Sum-reduce every participating buffer into `bufs[root]` only, in the
+/// canonical ascending order — bufs[root] ends bit-identical to what
+/// run_allreduce would leave in it; other participants keep their local
+/// contribution (a real reduce does not write them back).
+void run_reduce(const std::vector<std::span<float>>& bufs, std::size_t root,
+                const std::vector<std::uint8_t>& participating);
+
+}  // namespace compso::comm

@@ -294,59 +294,57 @@ void Communicator::begin_iteration(std::size_t t) {
   }
 }
 
+CollectiveAlgo Communicator::allreduce_algo(std::size_t bytes)
+    const noexcept {
+  return select_allreduce_algo(coll_, topo_, net_, participant_count(),
+                               bytes);
+}
+
+CollectiveAlgo Communicator::allgather_algo(std::size_t bytes)
+    const noexcept {
+  return select_algo(coll_, topo_, participant_count(), bytes);
+}
+
+CollectiveAlgo Communicator::broadcast_algo(std::size_t bytes)
+    const noexcept {
+  // The legacy broadcast model is already the hierarchical binomial; with
+  // selection off it stays the default (not ring, unlike the reduce
+  // family).
+  if (!coll_.auto_select) return CollectiveAlgo::kHierarchical;
+  const CollectiveAlgo algo = select_algo(coll_, topo_, participant_count(),
+                                          bytes);
+  return algo == CollectiveAlgo::kRing ? CollectiveAlgo::kHierarchical : algo;
+}
+
 double Communicator::allreduce_time(std::size_t bytes) const noexcept {
-  const std::size_t p = participant_count();
-  if (p <= 1 || bytes == 0) return 0.0;
-  const LinkParams link = ring_bottleneck();
-  const double pd = static_cast<double>(p);
-  const double wire_bytes = 2.0 * (pd - 1.0) / pd * static_cast<double>(bytes);
-  return 2.0 * (pd - 1.0) * link.latency_s + wire_bytes / link.bandwidth_Bps;
+  // With selection off this is the legacy flat-ring formula bit for bit
+  // (comm::allreduce_time(kRing, ...) reproduces it exactly).
+  return comm::allreduce_time(allreduce_algo(bytes), topo_, net_,
+                              participant_count(), bytes);
 }
 
 double Communicator::allgather_time(std::size_t bytes_per_rank)
     const noexcept {
-  const std::size_t p = participant_count();
-  if (p <= 1 || bytes_per_rank == 0) return 0.0;
-  const LinkParams link = ring_bottleneck();
-  const double pd = static_cast<double>(p);
-  const double wire_bytes = (pd - 1.0) * static_cast<double>(bytes_per_rank);
-  return (pd - 1.0) * link.latency_s + wire_bytes / link.bandwidth_Bps;
+  return comm::allgather_time(allgather_algo(bytes_per_rank), topo_, net_,
+                              participant_count(), bytes_per_rank);
 }
 
 double Communicator::allgatherv_time(
     std::span<const std::size_t> bytes_per_rank) const noexcept {
-  const std::size_t p = participant_count();
-  if (p <= 1 || bytes_per_rank.empty()) return 0.0;
-  const LinkParams link = ring_bottleneck();
   std::size_t total = 0;
-  std::size_t min_own = bytes_per_rank[0];
-  for (std::size_t b : bytes_per_rank) {
-    total += b;
-    min_own = std::min(min_own, b);
-  }
-  // Each rank receives (total - own) bytes over its incoming link; the rank
-  // with the smallest own chunk receives the most.
-  const double wire_bytes = static_cast<double>(total - min_own);
-  return (static_cast<double>(p) - 1.0) * link.latency_s +
-         wire_bytes / link.bandwidth_Bps;
+  for (std::size_t b : bytes_per_rank) total += b;
+  return comm::allgatherv_time(allgather_algo(total), topo_, net_,
+                               participant_count(), bytes_per_rank);
 }
 
 double Communicator::broadcast_time(std::size_t bytes) const noexcept {
-  const std::size_t p = participant_count();
-  if (p <= 1 || bytes == 0) return 0.0;
-  // Hierarchical binomial: tree over nodes on the interconnect, then a tree
-  // over the node's GPUs on NVLink.
-  double t = 0.0;
-  if (topo_.nodes > 1) {
-    const auto rounds = static_cast<double>(std::bit_width(topo_.nodes - 1));
-    t += rounds * net_.inter_node().transfer_time(bytes);
-  }
-  if (topo_.gpus_per_node > 1) {
-    const auto rounds =
-        static_cast<double>(std::bit_width(topo_.gpus_per_node - 1));
-    t += rounds * net_.intra_node().transfer_time(bytes);
-  }
-  return t;
+  return comm::broadcast_time(broadcast_algo(bytes), topo_, net_,
+                              participant_count(), bytes);
+}
+
+double Communicator::reduce_time(std::size_t bytes) const noexcept {
+  return comm::reduce_time(allreduce_algo(bytes), topo_, net_,
+                           participant_count(), bytes);
 }
 
 double Communicator::pipelined_broadcast_time(std::size_t bytes)
@@ -379,19 +377,55 @@ void Communicator::allreduce_sum(std::vector<std::span<float>> bufs) {
       throw std::invalid_argument("allreduce_sum: buffer size mismatch");
     }
   }
-  // Functional: sum participating ranks into the lead participant's view,
-  // then replicate to the other participants. Evicted and step-excluded
-  // ranks neither contribute nor receive (renormalized averages).
-  for (std::size_t r = lead + 1; r < bufs.size(); ++r) {
-    if (!is_participating(r)) continue;
-    for (std::size_t i = 0; i < n; ++i) bufs[lead][i] += bufs[r][i];
-  }
-  for (std::size_t r = 0; r < bufs.size(); ++r) {
-    if (r == lead || !is_participating(r)) continue;
-    std::copy(bufs[lead].begin(), bufs[lead].end(), bufs[r].begin());
+  const CollectiveAlgo algo = allreduce_algo(n * sizeof(float));
+  ++algo_stats_.allreduce[static_cast<std::size_t>(algo)];
+  if (algo == CollectiveAlgo::kRing) {
+    // Functional: sum participating ranks into the lead participant's view,
+    // then replicate to the other participants. Evicted and step-excluded
+    // ranks neither contribute nor receive (renormalized averages). This is
+    // the canonical reduction every other algorithm reproduces bitwise.
+    for (std::size_t r = lead + 1; r < bufs.size(); ++r) {
+      if (!is_participating(r)) continue;
+      for (std::size_t i = 0; i < n; ++i) bufs[lead][i] += bufs[r][i];
+    }
+    for (std::size_t r = 0; r < bufs.size(); ++r) {
+      if (r == lead || !is_participating(r)) continue;
+      std::copy(bufs[lead].begin(), bufs[lead].end(), bufs[r].begin());
+    }
+  } else {
+    // Selected algorithm moves the bytes along its real routing structure;
+    // the reduction order is canonicalized, so the result is byte-identical
+    // to the ring path (DESIGN.md §16).
+    run_allreduce(algo, topo_, bufs, participating_);
   }
   const double dt = allreduce_time(n * sizeof(float));
   clocks_.sync_advance_masked(dt, participating_);
+  stats_.allreduce_s += dt;
+  stats_.allreduce_bytes += n * sizeof(float);
+  record_collective("allreduce", dt, n * sizeof(float));
+}
+
+void Communicator::reduce_sum(std::vector<std::span<float>> bufs,
+                              std::size_t root) {
+  if (bufs.size() != world_size() || root >= world_size()) {
+    throw std::invalid_argument("reduce_sum: bad arguments");
+  }
+  if (!is_participating(root)) {
+    throw std::invalid_argument("reduce_sum: root is not participating");
+  }
+  const std::size_t n = bufs[root].size();
+  for (std::size_t r = 0; r < bufs.size(); ++r) {
+    if (is_participating(r) && bufs[r].size() != n) {
+      throw std::invalid_argument("reduce_sum: buffer size mismatch");
+    }
+  }
+  run_reduce(bufs, root, participating_);
+  const CollectiveAlgo algo = allreduce_algo(n * sizeof(float));
+  ++algo_stats_.reduce[static_cast<std::size_t>(algo)];
+  const double dt = reduce_time(n * sizeof(float));
+  clocks_.sync_advance_masked(dt, participating_);
+  // Rides the allreduce row: the sharded factor exchange replaces a
+  // factor allreduce, and obs/CommStats reconciliation stays one-to-one.
   stats_.allreduce_s += dt;
   stats_.allreduce_bytes += n * sizeof(float);
   record_collective("allreduce", dt, n * sizeof(float));
@@ -413,6 +447,8 @@ void Communicator::allgather(const std::vector<std::vector<float>>& send,
   for (std::size_t r = 0; r < world_size(); ++r) {
     if (is_participating(r)) recv[r] = gathered;
   }
+  ++algo_stats_.allgather[static_cast<std::size_t>(
+      allgather_algo(max_chunk * sizeof(float)))];
   const double dt = allgather_time(max_chunk * sizeof(float));
   clocks_.sync_advance_masked(dt, participating_);
   stats_.allgather_s += dt;
@@ -473,6 +509,8 @@ void Communicator::allgatherv(
   for (std::size_t r = 0; r < world_size(); ++r) {
     if (is_participating(r)) recv[r] = gathered;
   }
+  ++algo_stats_.allgather[static_cast<std::size_t>(
+      allgather_algo(total_bytes))];
   const double dt = allgatherv_time(sizes);
   clocks_.sync_advance_masked(dt, participating_);
   stats_.allgather_s += dt;
@@ -517,6 +555,9 @@ void Communicator::allgatherv_chunks(
     delivered += frame.size();
     recv[r] = std::move(frame);
   }
+  std::size_t intended = 0;
+  for (std::size_t b : sizes) intended += b;
+  ++algo_stats_.allgather[static_cast<std::size_t>(allgather_algo(intended))];
   const double dt = allgatherv_time(sizes);
   clocks_.sync_advance_masked(dt, participating_);
   stats_.allgather_s += dt;
@@ -540,8 +581,13 @@ void Communicator::broadcast(std::vector<std::span<float>> bufs,
     if (bufs[r].size() != src.size()) {
       throw std::invalid_argument("broadcast: buffer size mismatch");
     }
-    std::copy(src.begin(), src.end(), bufs[r].begin());
   }
+  const CollectiveAlgo algo = broadcast_algo(src.size() * sizeof(float));
+  ++algo_stats_.broadcast[static_cast<std::size_t>(algo)];
+  // Delivery follows the selected algorithm's edges (chain / binomial /
+  // leader two-level); a broadcast only copies, so every algorithm is
+  // trivially byte-identical.
+  run_broadcast(algo, topo_, bufs, root, participating_);
   const double dt = broadcast_time(src.size() * sizeof(float));
   clocks_.sync_advance_masked(dt, participating_);
   stats_.broadcast_s += dt;
@@ -606,6 +652,8 @@ void Communicator::broadcast_bytes(
   for (std::size_t r = 0; r < bufs.size(); ++r) {
     if (r != root && is_participating(r)) bufs[r] = delivered;
   }
+  ++algo_stats_.broadcast[static_cast<std::size_t>(
+      broadcast_algo(bufs[root].size()))];
   const double dt = broadcast_time(bufs[root].size());
   clocks_.sync_advance_masked(dt, participating_);
   stats_.broadcast_s += dt;

@@ -14,6 +14,7 @@
 //  - reduce-scatter:   (p-1)/p * n bytes per rank
 // The bottleneck link is inter-node whenever the topology spans nodes.
 
+#include "src/comm/collectives.hpp"
 #include "src/comm/fault_injector.hpp"
 #include "src/comm/membership.hpp"
 #include "src/comm/network_model.hpp"
@@ -63,6 +64,17 @@ struct CommStats {
   double total_s() const noexcept {
     return allreduce_s + allgather_s + broadcast_s + reduce_scatter_s;
   }
+};
+
+/// Per-op × per-algorithm call counters (DESIGN.md §16), indexed by
+/// `static_cast<std::size_t>(CollectiveAlgo)`. Filled by the functional
+/// collectives so benches can audit which algorithm actually carried each
+/// op; timing-only queries do not count.
+struct AlgoStats {
+  std::uint64_t allreduce[3] = {0, 0, 0};
+  std::uint64_t allgather[3] = {0, 0, 0};
+  std::uint64_t broadcast[3] = {0, 0, 0};
+  std::uint64_t reduce[3] = {0, 0, 0};
 };
 
 /// Counters for every fault observed and every recovery action taken,
@@ -200,6 +212,23 @@ class Communicator {
   /// iteration's collectives.
   void begin_iteration(std::size_t t);
 
+  // --- collective algorithm selection (DESIGN.md §16) ---
+  /// Installs the message-size-aware algorithm selection knobs. The
+  /// default-constructed config keeps selection OFF: every collective uses
+  /// its legacy model (ring for the allreduce/allgather family,
+  /// hierarchical binomial for broadcast), bit-for-bit.
+  void set_collective_config(const CollectiveConfig& cfg) noexcept {
+    coll_ = cfg;
+  }
+  const CollectiveConfig& collective_config() const noexcept { return coll_; }
+  /// Algorithm a `bytes`-sized collective of each family would use under
+  /// the current config and participant count (selection is
+  /// deterministic, so these are pure queries).
+  CollectiveAlgo allreduce_algo(std::size_t bytes) const noexcept;
+  CollectiveAlgo allgather_algo(std::size_t bytes) const noexcept;
+  CollectiveAlgo broadcast_algo(std::size_t bytes) const noexcept;
+  const AlgoStats& algo_stats() const noexcept { return algo_stats_; }
+
   // --- analytic timing queries (used by the perf-model lookup table) ---
   double allreduce_time(std::size_t bytes) const noexcept;
   double allgather_time(std::size_t bytes_per_rank) const noexcept;
@@ -210,6 +239,9 @@ class Communicator {
   /// latency grows with log2(p), bandwidth term is a single traversal.
   double pipelined_broadcast_time(std::size_t bytes) const noexcept;
   double reduce_scatter_time(std::size_t bytes) const noexcept;
+  /// Reduce-to-root (sharded factor exchange): binomial tree / ring
+  /// reduce-scatter+gather / hierarchical per the selected algorithm.
+  double reduce_time(std::size_t bytes) const noexcept;
 
   // --- functional collectives (move data + advance clocks + stats) ---
   /// In-place sum-allreduce: every rank's buffer becomes the element sum.
@@ -250,6 +282,14 @@ class Communicator {
   /// Byte broadcast of root's payload; other entries are overwritten.
   void broadcast_bytes(std::vector<std::vector<std::uint8_t>>& bufs,
                        std::size_t root);
+  /// Sum-reduce into `bufs[root]` only: root's buffer becomes the element
+  /// sum over participating ranks in the canonical (ascending-rank,
+  /// linear) order — bit-identical to what allreduce_sum would leave in
+  /// it. Other participants keep their local contribution. Root must be
+  /// participating. Time and bytes accumulate under the "allreduce" op
+  /// (same row of CommStats/obs), so the sharded factor exchange
+  /// reconciles against the same counters as the replicated one.
+  void reduce_sum(std::vector<std::span<float>> bufs, std::size_t root);
   /// Sum-reduce-scatter: buffers must share a length divisible by the
   /// world size; on return each rank's buffer is resized to its chunk of
   /// the element-wise sum (rank r gets chunk r).
@@ -270,6 +310,8 @@ class Communicator {
 
   Topology topo_;
   NetworkModel net_;
+  CollectiveConfig coll_;
+  AlgoStats algo_stats_;
   SimClocks clocks_;
   CommStats stats_;
   RecoveryStats recovery_;

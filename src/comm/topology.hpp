@@ -24,8 +24,16 @@ struct Topology {
 
   /// Topology with the given total GPU count, packing 4 GPUs per node
   /// (the paper's node configuration) unless fewer GPUs are requested.
+  /// Zero GPUs (or a zero per-node packing) clamps to the minimal 1x1
+  /// topology: `gpus_per_node` would otherwise become 0 and the node
+  /// count would divide by it.
   static Topology with_gpus(std::size_t gpus, std::size_t per_node = 4) {
     Topology t;
+    if (gpus == 0 || per_node == 0) {
+      t.gpus_per_node = 1;
+      t.nodes = 1;
+      return t;
+    }
     t.gpus_per_node = gpus < per_node ? gpus : per_node;
     t.nodes = (gpus + t.gpus_per_node - 1) / t.gpus_per_node;
     return t;

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace compso::core {
 namespace {
@@ -23,6 +24,7 @@ double eigen_cost_flops(std::size_t dim) noexcept {
 
 PerfSimulator::PerfSimulator(PerfConfig config)
     : cfg_(std::move(config)), comm_(cfg_.topo, cfg_.net) {
+  comm_.set_collective_config(cfg_.collectives);
   baseline_ = compute_baseline();
 }
 
@@ -120,6 +122,51 @@ IterationBreakdown PerfSimulator::compute_baseline() const {
   b.others_s = 3.0 * param_bytes / cfg_.dev.effective_bandwidth() +
                0.30 * b.forward_backward_s;
   return b;
+}
+
+PerfSimulator::PrecondMemory PerfSimulator::precond_memory(
+    std::size_t world) const {
+  PrecondMemory out;
+  const std::size_t p = std::max<std::size_t>(world, 1);
+  // Factor dims and costs exactly as DistKfac::shard_stats accounts them:
+  // A is (in+1)^2, G is out^2, plus the two eigenvalue vectors; eigh cost
+  // is the 25 d^3 LAPACK estimate the LPT assignment balances on.
+  std::vector<std::size_t> bytes;
+  std::vector<double> cost;
+  for (const auto& l : cfg_.model.layers) {
+    if (l.embedding) continue;  // element-wise path: no covariance factors.
+    const std::size_t da = l.in + 1;
+    const std::size_t dg = l.out;
+    bytes.push_back((2 * (da * da + dg * dg) + da + dg) * sizeof(float));
+    const double a = static_cast<double>(da);
+    const double g = static_cast<double>(dg);
+    cost.push_back(a * a * a + g * g * g);
+  }
+  for (const std::size_t b : bytes) out.replicated_bytes += b;
+
+  // LPT greedy, same tie-breaks as DistKfac::compute_owners: heaviest
+  // cost first (ties -> lower slot), to the least-loaded rank (ties ->
+  // lower rank index).
+  std::vector<std::size_t> order(cost.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (cost[a] != cost[b]) return cost[a] > cost[b];
+              return a < b;
+            });
+  std::vector<double> load(p, 0.0);
+  std::vector<std::size_t> rank_bytes(p, 0);
+  for (const std::size_t s : order) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < p; ++k) {
+      if (load[k] < load[best]) best = k;
+    }
+    load[best] += cost[s];
+    rank_bytes[best] += bytes[s];
+  }
+  out.sharded_peak_bytes =
+      *std::max_element(rank_bytes.begin(), rank_bytes.end());
+  return out;
 }
 
 std::size_t PerfSimulator::max_rank_bytes() const noexcept {

@@ -39,6 +39,10 @@ struct PerfConfig {
   /// 0 = fully exposed (the default the Fig. 1/7/9 benches use; the
   /// paper's breakdown already nets out its overlap).
   double comm_overlap = 0.0;
+  /// Collective-algorithm selection (DESIGN.md §16). The default keeps
+  /// auto-selection off, so every modeled collective prices exactly as the
+  /// legacy flat-ring / binomial formulas.
+  comm::CollectiveConfig collectives;
   std::uint64_t seed = 2025;
 };
 
@@ -107,6 +111,18 @@ class PerfSimulator {
   ChunkedPipeline with_chunked_compressor(
       const compress::GradientCompressor& compressor,
       std::size_t aggregation, std::size_t chunk_bytes) const;
+
+  /// Per-rank peak factor-state memory under the two preconditioning
+  /// layouts (DESIGN.md §16): KAISA replicates every layer's covariance
+  /// factors on every rank (O(L)), the sharded DP-KFAC layout stores a
+  /// layer's factors only on its owner (O(L/P) with cost-balanced
+  /// assignment). Mirrors DistKfac::shard_stats' byte/cost accounting so
+  /// the modeled curve and the functional optimizer agree.
+  struct PrecondMemory {
+    std::size_t replicated_bytes = 0;    ///< every rank: all factors.
+    std::size_t sharded_peak_bytes = 0;  ///< heaviest owner under LPT.
+  };
+  PrecondMemory precond_memory(std::size_t world) const;
 
   /// Per-rank original allgather bytes (layer-partitioned, max over ranks).
   std::size_t max_rank_bytes() const noexcept;

@@ -3,8 +3,10 @@
 #include "src/codec/ckpt.hpp"
 #include "src/tensor/matrix_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
 
 namespace compso::optim {
@@ -68,8 +70,110 @@ DistKfac::DistKfac(DistKfacConfig config, comm::Communicator& comm,
   }
 }
 
-void DistKfac::exchange_covariances(
-    std::vector<Tensor>& local, const std::vector<compress::Bytes>* send) {
+std::vector<std::size_t> DistKfac::compute_owners(
+    const std::vector<std::size_t>& ranks) const {
+  const std::size_t slots = layer_indices_.size();
+  std::vector<std::size_t> owners(slots, ranks.empty() ? 0 : ranks[0]);
+  if (ranks.empty() || slots == 0) return owners;
+  if (cfg_.assignment == ShardAssignment::kRoundRobin) {
+    for (std::size_t s = 0; s < slots; ++s) {
+      owners[s] = ranks[s % ranks.size()];
+    }
+    return owners;
+  }
+  // Greedy LPT on the slot's eigh cost: both factors are eigendecomposed,
+  // so cost(s) = d_a^3 + d_g^3. Heaviest slot first (ties: lower slot),
+  // each to the least-loaded rank (ties: lower rank) — a pure function of
+  // the rank list and the model shape, so every rank computes the same
+  // map and eviction-triggered reassignment is deterministic.
+  std::vector<double> cost(slots, 0.0);
+  for (std::size_t s = 0; s < slots; ++s) {
+    const auto da = static_cast<double>(states_[s]->factor_a().rows());
+    const auto dg = static_cast<double>(states_[s]->factor_g().rows());
+    cost[s] = da * da * da + dg * dg * dg;
+  }
+  std::vector<std::size_t> order(slots);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&cost](std::size_t a, std::size_t b) {
+    if (cost[a] != cost[b]) return cost[a] > cost[b];
+    return a < b;
+  });
+  std::vector<double> load(ranks.size(), 0.0);
+  for (std::size_t s : order) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < ranks.size(); ++k) {
+      if (load[k] < load[best]) best = k;
+    }
+    owners[s] = ranks[best];
+    load[best] += cost[s];
+  }
+  return owners;
+}
+
+void DistKfac::refresh_assignment() const {
+  const std::size_t world = comm_.world_size();
+  std::vector<std::uint8_t> mask(world, 0);
+  for (std::size_t r = 0; r < world; ++r) {
+    mask[r] = comm_.is_participating(r) ? 1 : 0;
+  }
+  if (mask == shard_mask_ && shard_owner_.size() == layer_indices_.size()) {
+    return;
+  }
+  shard_owner_ = compute_owners(comm_.participant_ranks());
+  shard_mask_ = std::move(mask);
+}
+
+std::size_t DistKfac::owner_of(std::size_t i) const {
+  refresh_assignment();
+  if (i < shard_owner_.size()) return shard_owner_[i];
+  // Out-of-range slots keep the legacy round-robin answer.
+  return comm_.participant_ranks()[i % comm_.participant_count()];
+}
+
+const std::vector<std::size_t>& DistKfac::shard_owners() const {
+  refresh_assignment();
+  return shard_owner_;
+}
+
+DistKfac::ShardStats DistKfac::shard_stats() const {
+  refresh_assignment();
+  ShardStats st;
+  st.owners = shard_owner_;
+  const std::size_t world = comm_.world_size();
+  st.factor_bytes.assign(world, 0);
+  st.eigh_flops.assign(world, 0.0);
+  for (std::size_t s = 0; s < layer_indices_.size(); ++s) {
+    const std::size_t da = states_[s]->factor_a().rows();
+    const std::size_t dg = states_[s]->factor_g().rows();
+    // Resident shard state: A + G + both eigenvector matrices + both
+    // eigenvalue vectors, f32.
+    const std::uint64_t bytes =
+        (2 * (da * da + dg * dg) + da + dg) * sizeof(float);
+    const double dad = static_cast<double>(da);
+    const double dgd = static_cast<double>(dg);
+    const double flops = 25.0 * (dad * dad * dad + dgd * dgd * dgd);
+    if (cfg_.layout == PrecondLayout::kSharded) {
+      st.factor_bytes[st.owners[s]] += bytes;
+      st.eigh_flops[st.owners[s]] += flops;
+    } else {
+      for (std::size_t r = 0; r < world; ++r) {
+        if (!comm_.is_participating(r)) continue;
+        st.factor_bytes[r] += bytes;
+        st.eigh_flops[r] += flops;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < world; ++r) {
+    if (!comm_.is_participating(r)) continue;
+    st.peak_factor_bytes = std::max(st.peak_factor_bytes, st.factor_bytes[r]);
+    st.peak_eigh_flops = std::max(st.peak_eigh_flops, st.eigh_flops[r]);
+  }
+  return st;
+}
+
+void DistKfac::exchange_covariances(std::vector<Tensor>& local,
+                                    const std::vector<compress::Bytes>* send,
+                                    std::size_t owner) {
   const std::size_t world = comm_.world_size();
   const std::size_t active = comm_.participant_count();
   const std::size_t lead = comm_.first_participant();
@@ -77,6 +181,16 @@ void DistKfac::exchange_covariances(
     std::vector<std::span<float>> views;
     views.reserve(world);
     for (auto& t : local) views.push_back(t.span());
+    if (cfg_.layout == PrecondLayout::kSharded) {
+      // Reduce-to-owner (DP-KFAC): only the owner needs the averaged
+      // covariance — it alone blends and eigendecomposes this slot's
+      // factors. The canonical summation order makes the owner's value
+      // bit-identical to what the allreduce would have left at the lead.
+      comm_.reduce_sum(views, owner);
+      local[owner] *= 1.0F / static_cast<float>(active);
+      if (owner != 0) local[0] = local[owner];
+      return;
+    }
     comm_.allreduce_sum(views);
     local[lead] *= 1.0F / static_cast<float>(active);
     if (lead != 0) local[0] = local[lead];
@@ -517,9 +631,14 @@ void DistKfac::step(std::size_t iteration, double lr,
 
     // Factor exchange + blend: the slot's collective(s), driven on the
     // main thread while other slots' covariances compress on the pool.
+    // Under the sharded layout the slot's owner is the reduce root and
+    // the rank whose buffer feeds the precondition — identical bits, but
+    // the comm is a reduce and the memory/compute attribution is O(L/P).
+    const std::size_t own =
+        cfg_.layout == PrecondLayout::kSharded ? shard_owner_[s] : lead;
     const auto fx = graph_.add_main(
         "factor_exchange" + std::to_string(s), prio_fx(s),
-        [this, s, fcomp, world] {
+        [this, s, fcomp, world, own] {
           if (fcomp) {
             for (std::size_t r = 0; r < world; ++r) {
               if (!comm_.is_participating(r)) continue;
@@ -528,11 +647,11 @@ void DistKfac::step(std::size_t iteration, double lr,
               factor_comp_bytes_ +=
                   factor_send_a_[s][r].size() + factor_send_g_[s][r].size();
             }
-            exchange_covariances(cov_a_[s], &factor_send_a_[s]);
-            exchange_covariances(cov_g_[s], &factor_send_g_[s]);
+            exchange_covariances(cov_a_[s], &factor_send_a_[s], own);
+            exchange_covariances(cov_g_[s], &factor_send_g_[s], own);
           } else {
-            exchange_covariances(cov_a_[s], nullptr);
-            exchange_covariances(cov_g_[s], nullptr);
+            exchange_covariances(cov_a_[s], nullptr, own);
+            exchange_covariances(cov_g_[s], nullptr, own);
           }
           // Blend into the shared running-average state. (All ranks hold
           // the same state after the exchange; the simulator stores it
@@ -548,7 +667,7 @@ void DistKfac::step(std::size_t iteration, double lr,
     // overlaps earlier slots' compute.
     const auto gar = graph_.add_main(
         "grad_allreduce" + std::to_string(s), prio_gar(s),
-        [this, s, li, world, active, lead] {
+        [this, s, li, world, active, own] {
           auto& gw = grad_work_[s];
           gw.resize(world);
           const auto& shape = momentum_[s].shape();
@@ -565,7 +684,10 @@ void DistKfac::step(std::size_t iteration, double lr,
           views.reserve(world);
           for (auto& t : gw) views.push_back(t.span());
           comm_.allreduce_sum(views);
-          gw[lead] *= 1.0F / static_cast<float>(active);
+          // The slot owner's copy becomes the average it preconditions
+          // from (the allreduce replicated the sum, so any participant's
+          // copy is the same bits; `own` == lead under kKaisa).
+          gw[own] *= 1.0F / static_cast<float>(active);
         },
         /*is_comm=*/true);
 
@@ -575,10 +697,10 @@ void DistKfac::step(std::size_t iteration, double lr,
     // collectives — the §4.4 "eigh under comm" overlap.
     const auto ep = graph_.add_compute(
         (refresh ? "eigh_precond" : "precond") + std::to_string(s),
-        static_cast<int>(s), [this, s, refresh, lead] {
+        static_cast<int>(s), [this, s, refresh, own] {
           if (refresh) states_[s]->refresh_eigen();
           preconditioned_[s] =
-              states_[s]->precondition(grad_work_[s][lead], cfg_.damping);
+              states_[s]->precondition(grad_work_[s][own], cfg_.damping);
         });
     graph_.depends(ep, fx);
     graph_.depends(ep, gar);
@@ -966,6 +1088,46 @@ void DistKfac::step(std::size_t iteration, double lr,
             }
           }));
     }
+    if (cfg_.layout == PrecondLayout::kSharded) {
+      // Shard handoff (DESIGN.md §16): slots the *prospective* assignment
+      // (participants + rejoiners, the group that forms next step) gives
+      // to a rejoiner have their factor state shipped through the same
+      // sealed CKPT mini-frame a checkpoint restore uses — CRC-validated,
+      // so the new owner's shard is bit-identical to the survivor's copy.
+      // The simulator stores factor state once, so restoring the opened
+      // frame is the handoff; what matters is that the bytes made the
+      // validated round-trip. Ordered after the slot's guard: by then
+      // nothing touches states_[s] again this step.
+      std::vector<std::size_t> future = comm_.participant_ranks();
+      future.insert(future.end(), rejoining.begin(), rejoining.end());
+      std::sort(future.begin(), future.end());
+      const std::vector<std::size_t> prospective = compute_owners(future);
+      for (std::size_t s = 0; s < slots; ++s) {
+        const bool handoff =
+            std::find(rejoining.begin(), rejoining.end(), prospective[s]) !=
+            rejoining.end();
+        if (!handoff) continue;
+        hooks.count("kfac.shard_resyncs");
+        const auto fr = graph_.add_compute(
+            "factor_resync" + std::to_string(s), static_cast<int>(s),
+            [this, s] {
+              codec::ckpt::Bytes body;
+              codec::ckpt::put_tensor(body, states_[s]->factor_a());
+              codec::ckpt::put_tensor(body, states_[s]->factor_g());
+              const codec::ckpt::Bytes frame = codec::ckpt::seal_frame(body);
+              const auto view = codec::ckpt::open_frame(frame);
+              codec::wire::Reader reader(view);
+              Tensor a = codec::ckpt::get_tensor(
+                  reader, states_[s]->factor_a().shape(), "factor resync a");
+              Tensor g = codec::ckpt::get_tensor(
+                  reader, states_[s]->factor_g().shape(), "factor resync g");
+              states_[s]->factor_a() = std::move(a);
+              states_[s]->factor_g() = std::move(g);
+            });
+        graph_.depends(fr, guard_id[s]);
+        resync_ids.push_back(fr);
+      }
+    }
   }
 
   // Momentum + weight update, identically on every surviving replica
@@ -1023,6 +1185,15 @@ void DistKfac::save_state(std::vector<std::uint8_t>& out) const {
   }
   out.push_back(gather_degraded_);
   put_u64(out, gather_failures_);
+  // Shard section (DESIGN.md §16): layout + assignment policy and the
+  // slot -> owner table the step ran under, so a restore can verify the
+  // recomputed assignment (a pure function of membership + model shape)
+  // agrees with the checkpointed one.
+  out.push_back(static_cast<std::uint8_t>(cfg_.layout));
+  out.push_back(static_cast<std::uint8_t>(cfg_.assignment));
+  const auto& owners = shard_owners();
+  put_u64(out, owners.size());
+  for (std::size_t o : owners) put_u64(out, o);
 }
 
 void DistKfac::load_state(codec::wire::Reader& reader) {
@@ -1062,6 +1233,31 @@ void DistKfac::load_state(codec::wire::Reader& reader) {
   gather_degraded_ = reader.u8();
   gather_failures_ = static_cast<std::uint32_t>(
       reader.bounded_u64(~std::uint32_t{0}, "kfac gather failures"));
+  // Shard section: the layout/assignment the checkpoint was taken under
+  // must match this optimizer's config (restoring a sharded run into a
+  // replicated one would silently change comm and attribution), and every
+  // owner must be a valid rank. The cached assignment is invalidated
+  // rather than trusted: it recomputes deterministically from the
+  // restored membership, and load-order between optimizer and membership
+  // sections must not matter.
+  const std::uint8_t layout = reader.u8();
+  const std::uint8_t assignment = reader.u8();
+  if (layout != static_cast<std::uint8_t>(cfg_.layout) ||
+      assignment != static_cast<std::uint8_t>(cfg_.assignment)) {
+    throw PayloadError("DistKfac: checkpoint shard layout mismatch");
+  }
+  const auto owner_count = reader.bounded_u64(1 << 20, "kfac shard owners");
+  if (owner_count != layer_indices_.size()) {
+    throw PayloadError("DistKfac: checkpoint shard owner count mismatch");
+  }
+  for (std::size_t s = 0; s < owner_count; ++s) {
+    const auto o = reader.bounded_u64(comm_.world_size(), "kfac shard owner");
+    if (o >= comm_.world_size()) {
+      throw PayloadError("DistKfac: checkpoint shard owner out of range");
+    }
+  }
+  shard_owner_.clear();
+  shard_mask_.clear();
 }
 
 }  // namespace compso::optim

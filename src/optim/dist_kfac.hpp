@@ -31,6 +31,30 @@
 
 namespace compso::optim {
 
+/// Where each layer's KFAC factor state lives (DESIGN.md §16).
+enum class PrecondLayout : std::uint8_t {
+  /// KAISA: every rank holds and refreshes every layer's factors —
+  /// per-rank factor memory and eigh work grow O(L) with the model.
+  kKaisa = 0,
+  /// DP-KFAC-style sharding: covariances are reduce-summed to the layer's
+  /// owner, which alone holds/refreshes the factors and preconditions the
+  /// gradient; the preconditioned update reaches everyone through the
+  /// existing owner-grouped gather. Per-rank factor memory and eigh work
+  /// are O(L/P). Trajectories are bit-identical to kKaisa (the reduce
+  /// uses the same canonical summation order as the allreduce).
+  kSharded = 1,
+};
+
+/// How layer slots map to owner ranks.
+enum class ShardAssignment : std::uint8_t {
+  /// Legacy KAISA order: slot s -> participant_ranks()[s % p].
+  kRoundRobin = 0,
+  /// Greedy LPT on the per-slot eigh cost (d_a^3 + d_g^3): heaviest slot
+  /// first to the least-loaded participant. Deterministic (ties break to
+  /// the lower slot / lower rank), so every rank computes the same map.
+  kCostBalanced = 1,
+};
+
 struct DistKfacConfig {
   double momentum = 0.9;
   double damping = 3e-2;          ///< gamma in Eq. 2.
@@ -49,6 +73,12 @@ struct DistKfacConfig {
   /// (the chunk layer frames the *finished* payload; no RNG stream or
   /// float op changes).
   std::size_t chunk_bytes = 0;
+  /// Factor-state layout (see PrecondLayout). The default keeps the
+  /// legacy replicated KAISA behavior.
+  PrecondLayout layout = PrecondLayout::kKaisa;
+  /// Layer -> owner assignment policy (see ShardAssignment). kRoundRobin
+  /// reproduces the legacy `participant_ranks()[s % p]` map exactly.
+  ShardAssignment assignment = ShardAssignment::kRoundRobin;
 };
 
 /// Paper §7 future-work item 2: compressing the intermediate factor
@@ -100,13 +130,30 @@ class DistKfac {
   }
 
   std::size_t layer_count() const noexcept { return layer_indices_.size(); }
-  /// Owner rank of trainable layer slot `i`: round-robin (KAISA style) over
-  /// this step's *participating* ranks, so ownership re-partitions
-  /// automatically when the membership layer excludes a straggler for a
-  /// step or evicts a crashed rank.
-  std::size_t owner_of(std::size_t i) const {
-    return comm_.participant_ranks()[i % comm_.participant_count()];
-  }
+  /// Owner rank of trainable layer slot `i` under the configured
+  /// assignment policy, over this step's *participating* ranks — so
+  /// ownership re-partitions deterministically when the membership layer
+  /// excludes a straggler for a step or evicts a crashed rank. The
+  /// assignment is cached and refreshed lazily whenever the participation
+  /// mask changes.
+  std::size_t owner_of(std::size_t i) const;
+  /// The full slot -> owner map (refreshed like owner_of).
+  const std::vector<std::size_t>& shard_owners() const;
+
+  /// Per-rank factor memory / eigh cost attribution for the current
+  /// layout + assignment — the auditable O(L/P) claim (BENCH_scale.json).
+  /// Bytes count resident factor state (A, G, both eigenvector matrices,
+  /// both eigenvalue vectors); flops use the explicit-eigh 25*d^3 model.
+  /// Under kKaisa every participant is charged every layer (replicated);
+  /// under kSharded only the owner is charged.
+  struct ShardStats {
+    std::vector<std::size_t> owners;        ///< [slot] -> owner rank.
+    std::vector<std::uint64_t> factor_bytes;  ///< [world rank].
+    std::vector<double> eigh_flops;           ///< [world rank].
+    std::uint64_t peak_factor_bytes = 0;  ///< max over participants.
+    double peak_eigh_flops = 0.0;         ///< max over participants.
+  };
+  ShardStats shard_stats() const;
 
   /// Recovery policy (see recovery.hpp): bounded re-send retries on decode
   /// failure, fallback to the uncompressed exchange, non-finite step skip.
@@ -167,6 +214,10 @@ class DistKfac {
   std::vector<Tensor> preconditioned_;          ///< [slot].
   std::vector<std::uint8_t> skip_;              ///< [slot], non-finite.
   std::vector<std::vector<std::size_t>> owned_;  ///< [rank] -> slots.
+  /// Cached slot -> owner assignment + the participation mask it was
+  /// computed under (lazy refresh; see refresh_assignment).
+  mutable std::vector<std::size_t> shard_owner_;
+  mutable std::vector<std::uint8_t> shard_mask_;
   std::vector<std::vector<float>> decode_bufs_;
   std::vector<std::vector<float>> group_concat_;
   std::vector<compress::Bytes> group_payloads_;
@@ -185,12 +236,23 @@ class DistKfac {
     return engine_ ? *engine_ : serial_engine_;
   }
 
+  /// Deterministic slot -> owner map over `ranks` (ascending rank list)
+  /// under the configured assignment policy.
+  std::vector<std::size_t> compute_owners(
+      const std::vector<std::size_t>& ranks) const;
+  /// Refreshes the cached assignment if the participation mask changed
+  /// since it was computed (eviction/readmission reassigns shards).
+  void refresh_assignment() const;
+
   /// Exchanges per-rank covariance contributions: plain allreduce when
-  /// `send` is null, else the compressed allgatherv path using the
+  /// `send` is null (reduce-to-`owner` under the sharded layout — the
+  /// canonical summation order makes the owner's average bit-identical to
+  /// the allreduce lead's), else the compressed allgatherv path using the
   /// pre-compressed per-rank payloads. On return, the first active entry
   /// of `local` holds the rank average.
   void exchange_covariances(std::vector<Tensor>& local,
-                            const std::vector<compress::Bytes>* send);
+                            const std::vector<compress::Bytes>* send,
+                            std::size_t owner);
 
   /// Builds the per-owner send buffers for the preconditioned-gradient
   /// allgatherv ([u64 n][u64 sid x n][u64 psize][payload] groups). Group

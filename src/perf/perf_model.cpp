@@ -32,6 +32,50 @@ CommLookupTable::CommLookupTable(const comm::Communicator& comm,
   }
 }
 
+CommLookupGrid::CommLookupGrid(const comm::NetworkModel& net,
+                               std::vector<std::size_t> worlds,
+                               const comm::CollectiveConfig& coll,
+                               std::size_t min_bytes, std::size_t max_bytes,
+                               std::size_t points, CollectiveKind kind)
+    : worlds_(std::move(worlds)) {
+  if (worlds_.empty()) {
+    throw std::invalid_argument("CommLookupGrid: need at least one world");
+  }
+  for (std::size_t i = 0; i < worlds_.size(); ++i) {
+    if (worlds_[i] == 0 || (i > 0 && worlds_[i] <= worlds_[i - 1])) {
+      throw std::invalid_argument(
+          "CommLookupGrid: worlds must be strictly increasing");
+    }
+  }
+  tables_.reserve(worlds_.size());
+  for (std::size_t w : worlds_) {
+    comm::Communicator comm(comm::Topology::with_gpus(w), net);
+    comm.set_collective_config(coll);
+    tables_.emplace_back(comm, min_bytes, max_bytes, points, kind);
+  }
+}
+
+CommLookupGrid CommLookupGrid::scale_sweep(const comm::NetworkModel& net,
+                                           const comm::CollectiveConfig& coll) {
+  return CommLookupGrid(net, {256, 512, 1024, 2048, 4096}, coll);
+}
+
+double CommLookupGrid::throughput(std::size_t world,
+                                  std::size_t bytes) const noexcept {
+  if (world <= worlds_.front()) return tables_.front().throughput(bytes);
+  if (world >= worlds_.back()) return tables_.back().throughput(bytes);
+  const auto it = std::lower_bound(worlds_.begin(), worlds_.end(), world);
+  const std::size_t hi = static_cast<std::size_t>(it - worlds_.begin());
+  if (worlds_[hi] == world) return tables_[hi].throughput(bytes);
+  const std::size_t lo = hi - 1;
+  const double x0 = std::log2(static_cast<double>(worlds_[lo]));
+  const double x1 = std::log2(static_cast<double>(worlds_[hi]));
+  const double x = std::log2(static_cast<double>(world));
+  const double w = (x - x0) / (x1 - x0);
+  return tables_[lo].throughput(bytes) * (1.0 - w) +
+         tables_[hi].throughput(bytes) * w;
+}
+
 double CommLookupTable::throughput(std::size_t bytes) const noexcept {
   if (bytes == 0 || sizes_.empty()) return tput_.empty() ? 1e18 : tput_.front();
   if (bytes <= sizes_.front()) return tput_.front();

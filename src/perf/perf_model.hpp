@@ -55,6 +55,43 @@ class CommLookupTable {
   std::vector<double> tput_;
 };
 
+/// The Eq. 5 lookup extended across world sizes (DESIGN.md §16): one
+/// CommLookupTable per simulated world (default 256-4096 ranks), each
+/// built from a Communicator over Topology::with_gpus(world) with the
+/// given collective-selection config, plus log2-world interpolation so the
+/// predictor can price a collective at any rank count in range.
+class CommLookupGrid {
+ public:
+  /// `worlds` must be strictly increasing and non-empty.
+  CommLookupGrid(const comm::NetworkModel& net,
+                 std::vector<std::size_t> worlds,
+                 const comm::CollectiveConfig& coll = {},
+                 std::size_t min_bytes = 1 << 10,
+                 std::size_t max_bytes = std::size_t{1} << 28,
+                 std::size_t points = 24,
+                 CollectiveKind kind = CollectiveKind::kAllgather);
+
+  /// The 1000-rank scale-out grid: worlds {256, 512, 1024, 2048, 4096}.
+  static CommLookupGrid scale_sweep(const comm::NetworkModel& net,
+                                    const comm::CollectiveConfig& coll = {});
+
+  /// Interpolated effective throughput (bytes/s) at `world` ranks; worlds
+  /// outside the grid clamp to the nearest edge table.
+  double throughput(std::size_t world, std::size_t bytes) const noexcept;
+  double allgather_time(std::size_t world, std::size_t bytes) const noexcept {
+    return bytes == 0
+               ? 0.0
+               : static_cast<double>(bytes) / throughput(world, bytes);
+  }
+
+  const std::vector<std::size_t>& worlds() const noexcept { return worlds_; }
+  const CommLookupTable& table(std::size_t i) const { return tables_.at(i); }
+
+ private:
+  std::vector<std::size_t> worlds_;
+  std::vector<CommLookupTable> tables_;
+};
+
 /// Averages from the first k warm-up iterations (§4.4's online half).
 struct WarmupProfile {
   double compression_ratio = 1.0;   ///< L_o / L_c.
