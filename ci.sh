@@ -8,6 +8,7 @@
 #   ./ci.sh sched      step-graph scheduler suites only (ctest -L sched)
 #   ./ci.sh pipeline   chunked streaming suites only (ctest -L pipeline)
 #   ./ci.sh scale      1000-rank scale-out suites only (ctest -L scale)
+#   ./ci.sh convergence  compressor-family convergence suites (ctest -L convergence)
 #
 # The sanitized config (-DCOMPSO_SANITIZE=ON) runs everything under
 # AddressSanitizer + UBSan, which is what gives the fault/recovery paths
@@ -72,6 +73,20 @@
 # bit-identity and memory gates end to end and emits BENCH_scale.json —
 # every gate is deterministic, so it holds under both sanitizers.
 #
+# The convergence lane (ctest -L convergence) also runs in all three
+# configs (DESIGN.md §17): test_error_feedback covers the EF wrapper's
+# residual properties (plateau bound, EF-over-identity == identity SGD
+# bit-for-bit), the rollback-on-fallback / reset-on-rejoin lifecycle, the
+# versioned EF CKPT section's typed validation (ASan+UBSan gives the
+# damage paths their teeth), and the trainer determinism matrix for the
+# EF families (engine threads x corrupt/drop/NaN faults x resume);
+# test_sketch covers the sketch estimators' unbiasedness/variance over
+# >= 1000 seeded draws, counter-derived seed-stream determinism (TSan
+# keeps the concurrent per-stream counters honest), exact
+# max_payload_bytes, and payload/state damage rejection. The
+# bench_convergence_smoke gate fails unless EF-over-top-k beats plain
+# top-k at equal compression budget and every family's curve is finite.
+#
 # The full default pass includes the two bench smoke gates
 # (bench/micro_math_throughput --smoke, bench/micro_train_throughput
 # --smoke): they enforce the blocked >= 4x naive gemm criterion at 512^3
@@ -99,6 +114,8 @@ run_suite() {
     ctest --test-dir "$dir" -L pipeline --output-on-failure -j "$JOBS"
   elif [[ "$LABEL" == "scale" ]]; then
     ctest --test-dir "$dir" -L scale --output-on-failure -j "$JOBS"
+  elif [[ "$LABEL" == "convergence" ]]; then
+    ctest --test-dir "$dir" -L convergence --output-on-failure -j "$JOBS"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
   fi

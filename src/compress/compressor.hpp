@@ -84,6 +84,39 @@ class GradientCompressor {
     return codec::wire::kHeaderSize + 64 + values * 10;
   }
 
+  /// Stream-aware compress_into. A *stream* names one logical payload
+  /// slot that persists across steps — DistSgd uses slot*world+rank,
+  /// DistKfac's gather path uses (owner rank, first owned slot) — so
+  /// stateful compressors (error-feedback residuals, sketch seed
+  /// counters) can key their cross-step state without caring which pool
+  /// thread runs the task. Stateless compressors ignore the stream and
+  /// delegate to compress_into. Concurrent calls on *distinct* streams
+  /// must be safe; calls on the same stream are serialized by the step
+  /// graph (one compute task per stream per step).
+  virtual void compress_stream_into(std::uint64_t stream,
+                                    std::span<const float> values,
+                                    tensor::Rng& rng, Bytes& out) const {
+    (void)stream;
+    compress_into(values, rng, out);
+  }
+
+  /// Recovery-ladder hook: the payload most recently produced on
+  /// `stream` was abandoned (decode-retry ladder exhausted, transport
+  /// fell back to uncompressed). Stateful compressors roll back any
+  /// state the abandoned compression mutated — the EF wrapper restores
+  /// the pre-compress residual so gradient mass the fallback already
+  /// delivered uncompressed is not re-sent next step. Default: no-op.
+  virtual void notify_fallback(std::uint64_t stream) const noexcept {
+    (void)stream;
+  }
+
+  /// Membership hook: drop any cross-step state held for `stream`
+  /// (rank evicted, or a rejoiner resyncing from a snapshot that never
+  /// saw the stream). Default: no-op.
+  virtual void reset_stream(std::uint64_t stream) const noexcept {
+    (void)stream;
+  }
+
   /// Expected compressed-size ratio achieved on `values` (measured).
   double compression_ratio(std::span<const float> values,
                            tensor::Rng& rng) const;
@@ -93,6 +126,32 @@ class GradientCompressor {
   double modeled_throughput(const gpusim::DeviceModel& dev,
                             std::size_t input_bytes,
                             std::size_t output_bytes) const noexcept;
+};
+
+/// Cross-step compressor state that must survive checkpoint save/resume.
+/// ErrorFeedbackCompressor (per-stream residuals) and the sketch family
+/// (per-stream seed counters) implement this alongside GradientCompressor;
+/// FaultTolerantTrainer dynamic_casts its compressor and, when this
+/// interface is present, checkpoints the serialized state as its own
+/// versioned CKPT section ("compressor", DESIGN.md §17).
+class StatefulCompressor {
+ public:
+  virtual ~StatefulCompressor() = default;
+
+  /// Appends a self-delimiting versioned state blob to `out`. The
+  /// encoding is deterministic (streams in sorted id order) so two
+  /// bit-identical trainers serialize bit-identical state regardless of
+  /// the thread interleaving that created the streams.
+  virtual void serialize_state(Bytes& out) const = 0;
+
+  /// Restores state written by serialize_state, replacing any current
+  /// state. Validates the blob's magic/version and every embedded count
+  /// against the remaining bytes; malformed input throws
+  /// compso::PayloadError and leaves no partially-applied state behind.
+  virtual void deserialize_state(codec::wire::Reader& reader) = 0;
+
+  /// Drops all cross-step state (fresh-start semantics).
+  virtual void reset_state() = 0;
 };
 
 /// --- concrete compressor configs ---
@@ -132,5 +191,24 @@ std::unique_ptr<GradientCompressor> make_topk(double keep_fraction);
 
 /// Identity (no compression) — the paper's "KFAC (No Comp.)" baseline.
 std::unique_ptr<GradientCompressor> make_identity();
+
+/// Error-feedback wrapper over any compressor (DESIGN.md §17): sends
+/// C(g + e), keeps e' = (g + e) - decode(C(g + e)) per stream. The
+/// concrete class lives in error_feedback.hpp; this factory builds it
+/// from any inner compressor (including COMPSO itself).
+std::unique_ptr<GradientCompressor> make_error_feedback(
+    std::unique_ptr<GradientCompressor> inner);
+
+/// Seeded randomized-linear compressors (DESIGN.md §17): count-sketch
+/// (rows × width sign-hash accumulation, mean-of-rows unbiased decode)
+/// and block random projection (seeded ±1 projection, (1/m)·Aᵀy
+/// unbiased reconstruction). Payload seeds are counter-derived per
+/// stream, so parallel payloads are bit-identical to serial and the
+/// counters survive checkpoint resume. Declared in sketch.hpp.
+std::unique_ptr<GradientCompressor> make_count_sketch(double ratio,
+                                                      unsigned rows,
+                                                      std::uint64_t seed);
+std::unique_ptr<GradientCompressor> make_random_projection(double ratio,
+                                                           std::uint64_t seed);
 
 }  // namespace compso::compress

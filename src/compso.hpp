@@ -15,6 +15,8 @@
 #include "src/comm/network_model.hpp"
 #include "src/comm/topology.hpp"
 #include "src/compress/compressor.hpp"
+#include "src/compress/error_feedback.hpp"
+#include "src/compress/sketch.hpp"
 #include "src/core/adaptive_schedule.hpp"
 #include "src/core/bound_tuner.hpp"
 #include "src/core/checkpoint.hpp"

@@ -24,6 +24,31 @@ const std::vector<std::size_t>& CompsoFramework::aggregation_candidates() {
   return kCandidates;
 }
 
+std::vector<CompsoFramework::FamilyCandidate>
+CompsoFramework::family_candidates(
+    const compress::CompsoParams& compso_params) {
+  // Fixed seed for the sketch candidates: scoring is a modeling exercise,
+  // and a deterministic pool keeps the differential test's replay exact.
+  constexpr std::uint64_t kSketchSeed = 0x5EEDULL;
+  std::vector<FamilyCandidate> pool;
+  const auto add = [&pool](const char* name,
+                           std::unique_ptr<compress::GradientCompressor> c) {
+    pool.push_back({name, std::move(c)});
+  };
+  add("COMPSO", compress::make_compso(compso_params));
+  add("EF+COMPSO", compress::make_error_feedback(
+                       compress::make_compso(compso_params)));
+  add("TopK", compress::make_topk(0.1));
+  add("EF+TopK",
+      compress::make_error_feedback(compress::make_topk(0.1)));
+  add("CocktailSGD", compress::make_cocktail(0.2, 8));
+  add("EF+CocktailSGD",
+      compress::make_error_feedback(compress::make_cocktail(0.2, 8)));
+  add("CountSketch", compress::make_count_sketch(0.25, 3, kSketchSeed));
+  add("RandProj", compress::make_random_projection(0.25, kSketchSeed));
+  return pool;
+}
+
 void CompsoFramework::tune(const std::vector<std::size_t>& layer_bytes,
                            std::span<const float> sample_gradient,
                            double comm_fraction, tensor::Rng& rng) {
@@ -101,6 +126,35 @@ void CompsoFramework::tune(const std::vector<std::size_t>& layer_bytes,
   obs_.gauge("tune.selected.aggregation",
              static_cast<double>(aggregation_));
   obs_.gauge("tune.est_e2e", est_e2e_);
+  agg_span.end();
+
+  // --- compressor-family selection (DESIGN.md §17): score the widened
+  // Eq. 5 pool on the same sample. Each candidate gets its own split Rng
+  // stream (kFamilyRngStream + i), so this stage never perturbs the main
+  // draw sequence the earlier stages consumed. Strict > keeps the
+  // earliest candidate on a tie (COMPSO is first in the pool).
+  auto family_span = obs_.span(obs::kMainTrack, "tune.family_select", "tune");
+  family_scores_.clear();
+  const auto pool = family_candidates(schedule_.params_at(0, encoder_));
+  std::size_t best_family = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    tensor::Rng fam_rng = rng.split(kFamilyRngStream + i);
+    perf::FamilyScore score = perf::score_family(
+        *pool[i].compressor, sample_gradient, comm_fraction, dev_, table_,
+        fam_rng);
+    score.name = pool[i].name;
+    const std::string stem = "tune.family." + score.name;
+    obs_.gauge(stem + ".est_e2e", score.est_end_to_end);
+    obs_.gauge(stem + ".ratio", score.compression_ratio);
+    family_scores_.push_back(std::move(score));
+    if (family_scores_.back().est_end_to_end >
+        family_scores_[best_family].est_end_to_end) {
+      best_family = i;
+    }
+  }
+  selected_family_ = pool.empty() ? "COMPSO" : pool[best_family].name;
+  obs_.count("tune.selected.family." + selected_family_);
+  family_span.end();
 }
 
 const compress::GradientCompressor* CompsoFramework::compressor_for(

@@ -56,6 +56,39 @@ class CompsoFramework {
   /// The aggregation candidates tune() evaluates (paper §4.4).
   static const std::vector<std::size_t>& aggregation_candidates();
 
+  /// One compressor-family candidate for the Eq. 5 pool (DESIGN.md §17).
+  struct FamilyCandidate {
+    std::string name;
+    std::unique_ptr<compress::GradientCompressor> compressor;
+  };
+
+  /// The compressor-family pool tune() scores under Eq. 5 (ROADMAP item
+  /// 3): COMPSO itself, the strongest baselines with and without the
+  /// error-feedback wrapper, and the randomized-linear (sketch) family.
+  /// Order is fixed and COMPSO is first; tune() keeps the *earliest*
+  /// candidate on an exact end-to-end tie (strict > replaces the best),
+  /// so ties resolve toward COMPSO, then toward EF variants. The
+  /// differential tuner test enumerates this same pool independently.
+  static std::vector<FamilyCandidate> family_candidates(
+      const compress::CompsoParams& compso_params);
+
+  /// Per-candidate Rng stream for family scoring: candidate i is scored
+  /// with rng.split(kFamilyRngStream + i), leaving the caller's main
+  /// draw sequence untouched (the encoder/warm-up replay in the
+  /// differential test stays valid).
+  static constexpr std::uint64_t kFamilyRngStream = 0xFA171E50ULL;
+
+  /// Eq. 5 scores per family candidate from the last tune() call, in
+  /// family_candidates() order.
+  const std::vector<perf::FamilyScore>& family_scores() const noexcept {
+    return family_scores_;
+  }
+  /// Name of the family tune() selected (argmax est_end_to_end, ties to
+  /// the earliest candidate). "COMPSO" before the first tune() call.
+  const std::string& selected_family() const noexcept {
+    return selected_family_;
+  }
+
   /// Attaches metrics/tracer hooks: tune() then records per-candidate
   /// encoder and aggregation scores as gauges ("tune.encoder.<name>.*",
   /// "tune.aggregation.m<m>.est_e2e") plus the selected values, and wraps
@@ -79,6 +112,8 @@ class CompsoFramework {
   std::size_t aggregation_;
   double est_e2e_ = 1.0;
   std::vector<perf::EncoderScore> encoder_scores_;
+  std::vector<perf::FamilyScore> family_scores_;
+  std::string selected_family_ = "COMPSO";
   perf::WarmupProfile profile_;
   obs::ObsHooks obs_;
   mutable std::map<std::size_t, std::unique_ptr<compress::GradientCompressor>>

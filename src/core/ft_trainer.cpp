@@ -2,6 +2,7 @@
 
 #include "src/comm/network_model.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/compress/error_feedback.hpp"
 #include "src/compress/payload_fuzz.hpp"
 #include "src/tensor/matrix_ops.hpp"
 
@@ -10,6 +11,9 @@
 
 namespace compso::core {
 namespace {
+
+/// Seed offset for the sketch families' counter-derived payload seeds.
+constexpr std::uint64_t kSketchSeedSalt = 0x5EEDC0DEULL;
 
 std::vector<nn::Model> build_replicas(const TrainerConfig& cfg) {
   std::vector<nn::Model> replicas;
@@ -37,6 +41,35 @@ FaultTolerantTrainer::FaultTolerantTrainer(FtTrainerConfig config)
       data_rng_(cfg_.base.seed ^ 0xBA7C4ULL),
       sr_rng_(cfg_.base.seed ^ 0x5121ULL) {
   comm_.set_membership_config(cfg_.membership);
+  // Persistent family compressor (DESIGN.md §17). The EF families carry
+  // their own residual state, so DistSgd's built-in per-(rank, slot)
+  // residual is turned off for them — two stacked error feedbacks would
+  // double-count the compression error.
+  switch (cfg_.family) {
+    case CompressorFamily::kCompso:
+      break;  // rebuilt per step from the adaptive schedule.
+    case CompressorFamily::kEfCompso:
+      family_compressor_ = compress::make_error_feedback(
+          compress::make_compso(schedule_.params_at(0)));
+      cfg_.sgd.error_feedback = false;
+      break;
+    case CompressorFamily::kTopK:
+      family_compressor_ = compress::make_topk(cfg_.family_keep_fraction);
+      break;
+    case CompressorFamily::kEfTopK:
+      family_compressor_ = compress::make_error_feedback(
+          compress::make_topk(cfg_.family_keep_fraction));
+      cfg_.sgd.error_feedback = false;
+      break;
+    case CompressorFamily::kCountSketch:
+      family_compressor_ = compress::make_count_sketch(
+          cfg_.family_sketch_ratio, 3, cfg_.base.seed ^ kSketchSeedSalt);
+      break;
+    case CompressorFamily::kRandomProjection:
+      family_compressor_ = compress::make_random_projection(
+          cfg_.family_sketch_ratio, cfg_.base.seed ^ kSketchSeedSalt);
+      break;
+  }
   std::vector<nn::Model*> ptrs;
   for (auto& m : replicas_) ptrs.push_back(&m);
   if (cfg_.optimizer == OptimizerKind::kKfac) {
@@ -135,17 +168,30 @@ double FaultTolerantTrainer::step() {
   compute_span.end();
 
   std::unique_ptr<compress::GradientCompressor> compressor;
+  const compress::GradientCompressor* active = nullptr;
   if (cfg_.compress) {
-    // Post-NaN conservative mode: no filtering, half the SR bound (see
-    // effective_params).
-    compressor = compress::make_compso(effective_params(t));
+    if (cfg_.family == CompressorFamily::kCompso) {
+      // Post-NaN conservative mode: no filtering, half the SR bound (see
+      // effective_params).
+      compressor = compress::make_compso(effective_params(t));
+      active = compressor.get();
+    } else {
+      if (cfg_.family == CompressorFamily::kEfCompso) {
+        // EF-over-COMPSO follows the same adaptive schedule: swap the
+        // inner compressor, keep the residual streams.
+        static_cast<compress::ErrorFeedbackCompressor*>(
+            family_compressor_.get())
+            ->set_inner(compress::make_compso(effective_params(t)));
+      }
+      active = family_compressor_.get();
+    }
   }
 
   const auto skips_before = comm_.recovery().nonfinite_skips;
   if (kfac_ != nullptr) {
-    kfac_->step(t, lr_.lr(t), compressor.get(), sr_rng_);
+    kfac_->step(t, lr_.lr(t), active, sr_rng_);
   } else {
-    sgd_->step(lr_.lr(t), compressor.get(), sr_rng_);
+    sgd_->step(lr_.lr(t), active, sr_rng_);
   }
   if (comm_.recovery().nonfinite_skips > skips_before && !tightened_) {
     tightened_ = true;
@@ -290,6 +336,15 @@ ckpt::Bytes FaultTolerantTrainer::checkpoint(
   } else {
     sgd_->save_state(body);
   }
+  // --- persistent compressor-family state (DESIGN.md §17): the EF
+  // residual map / sketch seed counters that make a resumed run's
+  // payloads bit-identical to an uninterrupted one ---
+  section("compressor");
+  ckpt::put_u8(body, static_cast<std::uint8_t>(cfg_.family));
+  auto* stateful =
+      dynamic_cast<compress::StatefulCompressor*>(family_compressor_.get());
+  ckpt::put_u8(body, stateful != nullptr ? 1 : 0);
+  if (stateful != nullptr) stateful->serialize_state(body);
   // --- RNG streams ---
   section("rng");
   ckpt::put_rng(body, data_rng_.save_state());
@@ -387,6 +442,20 @@ void FaultTolerantTrainer::restore(ckpt::ByteView frame) {
   } else {
     sgd_->load_state(reader);
   }
+  // --- compressor-family state (DESIGN.md §17) ---
+  if (reader.u8() != static_cast<std::uint8_t>(cfg_.family)) {
+    throw PayloadError("checkpoint: compressor family mismatch");
+  }
+  const std::uint8_t has_comp_state = reader.u8();
+  if (has_comp_state > 1) {
+    throw PayloadError("checkpoint: bad compressor state flag");
+  }
+  auto* stateful =
+      dynamic_cast<compress::StatefulCompressor*>(family_compressor_.get());
+  if ((has_comp_state != 0) != (stateful != nullptr)) {
+    throw PayloadError("checkpoint: compressor state presence mismatch");
+  }
+  if (stateful != nullptr) stateful->deserialize_state(reader);
   data_rng_.restore_state(ckpt::get_rng(reader));
   sr_rng_.restore_state(ckpt::get_rng(reader));
   const auto clock_count = reader.bounded_u64(1 << 20, "sim clocks");

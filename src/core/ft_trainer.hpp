@@ -32,6 +32,21 @@ namespace compso::core {
 
 enum class OptimizerKind : std::uint8_t { kSgd = 0, kKfac = 1 };
 
+/// Which compressor family drives the gradient exchange (DESIGN.md §17).
+/// kCompso is the legacy default: a fresh COMPSO configured by the
+/// iteration-wise adaptive schedule. The other families carry cross-step
+/// state (error-feedback residuals, sketch seed counters), so the trainer
+/// owns one persistent compressor for the whole run and checkpoints its
+/// state as the "compressor" CKPT section.
+enum class CompressorFamily : std::uint8_t {
+  kCompso = 0,
+  kEfCompso = 1,            ///< error feedback wrapped around COMPSO.
+  kTopK = 2,
+  kEfTopK = 3,              ///< error feedback wrapped around top-k.
+  kCountSketch = 4,
+  kRandomProjection = 5,
+};
+
 struct FtTrainerConfig {
   TrainerConfig base{};  ///< cluster / model / seed, as for ClusterTrainer.
   OptimizerKind optimizer = OptimizerKind::kKfac;
@@ -49,6 +64,13 @@ struct FtTrainerConfig {
   /// When true, each iteration uses a COMPSO compressor configured by the
   /// iteration-wise adaptive schedule (tightened after a non-finite event).
   bool compress = true;
+  /// Compressor family for the gradient exchange when `compress` is true.
+  /// EF-over-COMPSO still follows the adaptive schedule: the wrapper's
+  /// inner compressor is rebuilt from effective_params(t) each iteration
+  /// while the residuals persist.
+  CompressorFamily family = CompressorFamily::kCompso;
+  double family_keep_fraction = 0.1;  ///< top-k keep for the TopK families.
+  double family_sketch_ratio = 0.25;  ///< size ratio for sketch families.
   std::size_t total_iterations = 100;  ///< sizes the adaptive schedule.
   AdaptiveScheduleParams schedule{};
   /// Worker threads for the parallel compression engine. 0 = serial
@@ -96,6 +118,13 @@ class FaultTolerantTrainer {
   /// bit-exactly (see tests/test_stage_resume.cpp).
   compress::CompsoParams effective_params(std::size_t t) const;
 
+  /// The run-persistent family compressor (null for kCompso, whose
+  /// compressor is rebuilt per step). Tests reach EF residuals / sketch
+  /// counters through it via the StatefulCompressor interface.
+  compress::GradientCompressor* family_compressor() noexcept {
+    return family_compressor_.get();
+  }
+
   /// Attaches observability to the whole runtime: the Communicator (per
   /// collective spans + byte counters), the CompressionEngine (per-task
   /// spans), its ThreadPool, and the trainer itself (per-step spans,
@@ -141,6 +170,9 @@ class FaultTolerantTrainer {
   compress::CompressionEngine engine_;  ///< shared by whichever optimizer.
   std::unique_ptr<optim::DistSgd> sgd_;
   std::unique_ptr<optim::DistKfac> kfac_;
+  /// Persistent family compressor (families other than kCompso); its
+  /// cross-step state rides in the "compressor" checkpoint section.
+  std::unique_ptr<compress::GradientCompressor> family_compressor_;
   std::unique_ptr<comm::FaultInjector> injector_;
   tensor::Rng data_rng_;
   tensor::Rng sr_rng_;

@@ -746,7 +746,15 @@ void DistKfac::step(std::size_t iteration, double lr,
           if (gather_comp != nullptr) {
             tensor::Rng task_rng =
                 compress::CompressionEngine::task_rng(step_seed, grp.tid);
-            gather_comp->compress_into(concat, task_rng, group_payloads_[g]);
+            // Stream key (owner rank, first owned slot): stable across
+            // steps while the shard layout holds, so stateful compressors
+            // (EF residual, sketch counters) survive group reordering; a
+            // reassignment changes the group's size and the state resets
+            // itself (DESIGN.md §17).
+            gather_comp->compress_stream_into(
+                (static_cast<std::uint64_t>(grp.rank) << 32) |
+                    owned_[grp.rank][grp.first],
+                concat, task_rng, group_payloads_[g]);
           } else {
             auto& raw = group_payloads_[g];
             raw.resize(concat.size() * sizeof(float));
@@ -835,7 +843,16 @@ void DistKfac::step(std::size_t iteration, double lr,
             // Uncompressed fallback exchange: raw payloads cannot fail
             // decode (framing damage would surface as PayloadError on the
             // retried collective, but injector events are one-shot, so
-            // this is clean).
+            // this is clean). The raw re-send delivers the full
+            // preconditioned gradients, so stateful compressors roll
+            // their per-stream state back (DESIGN.md §17).
+            if (gather_comp != nullptr) {
+              for (const GroupPlan& grp : groups) {
+                gather_comp->notify_fallback(
+                    (static_cast<std::uint64_t>(grp.rank) << 32) |
+                    owned_[grp.rank][grp.first]);
+              }
+            }
             comp_bytes_ = 0;
             send =
                 build_gather_payloads(preconditioned_, owned_, nullptr,
@@ -999,7 +1016,7 @@ void DistKfac::step(std::size_t iteration, double lr,
     // decode + fallback/degradation ladder.
     gather = graph_.add_main(
         "gather", kPrioGather,
-        [this, gather_comp, step_seed, world, lead] {
+        [this, groups, gather_comp, step_seed, world, lead] {
           auto gather_span =
               comm_.obs().span(obs::kMainTrack, "kfac.gather", "kfac");
           const obs::ObsHooks& hooks = comm_.obs();
@@ -1034,6 +1051,15 @@ void DistKfac::step(std::size_t iteration, double lr,
             }
           }
           if (!decoded) {
+            // Same stateful-compressor rollback as the monolithic
+            // fallback (DESIGN.md §17).
+            if (gather_comp != nullptr) {
+              for (const GroupPlan& grp : groups) {
+                gather_comp->notify_fallback(
+                    (static_cast<std::uint64_t>(grp.rank) << 32) |
+                    owned_[grp.rank][grp.first]);
+              }
+            }
             comp_bytes_ = 0;
             auto send = build_gather_payloads(preconditioned_, owned_,
                                               nullptr, step_seed);

@@ -353,7 +353,7 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
       const std::size_t li = layer_indices_[s];
       resync_ids[s] = graph_.add_compute(
           "resync" + std::to_string(s), static_cast<int>(s),
-          [this, li, s, lead_rank, rejoining] {
+          [this, li, s, lead_rank, rejoining, compressor, world] {
             auto& src = replicas_[lead_rank]->layer(li);
             codec::ckpt::Bytes body;
             codec::ckpt::put_tensor(body, *src.weight());
@@ -370,6 +370,12 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
               *dst.weight() = w;
               *dst.bias() = b;
               residual_[j][s].assign(w.size() + b.size(), 0.0F);
+              // A rejoiner starts with empty compressor memory: drop any
+              // stateful-compressor stream keyed to its (slot, rank).
+              if (compressor != nullptr) {
+                compressor->reset_stream(
+                    static_cast<std::uint64_t>(s) * world + j);
+              }
             }
           });
     }
@@ -398,8 +404,12 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
                 if (res.size() != n) res.assign(n, 0.0F);
                 for (std::size_t i = 0; i < n; ++i) to_send[i] += res[i];
               }
-              compressor->compress_into(to_send, task_rng,
-                                        send_payloads_[s][r]);
+              // Stream id == task id: stateful compressors (EF wrapper,
+              // sketch seed counters) key cross-step state by it, so it
+              // must be fixed by (slot, rank) alone (DESIGN.md §17).
+              compressor->compress_stream_into(
+                  static_cast<std::uint64_t>(s) * world + r, to_send,
+                  task_rng, send_payloads_[s][r]);
               if (cfg_.error_feedback) {
                 compressor->decompress_into(send_payloads_[s][r], rec);
                 for (std::size_t i = 0; i < n; ++i) {
@@ -432,6 +442,15 @@ void DistSgd::step(double lr, const compress::GradientCompressor* compressor,
               hooks.count("recovery.fallback_steps");
               hooks.instant(obs::kMainTrack, "sgd.layer_fallback",
                             "recovery");
+              // The raw-gradient fallback below delivers the *full*
+              // gradient; a stateful compressor rolls its per-stream
+              // state back so the dropped payload's error is not
+              // double-counted next step (DESIGN.md §17).
+              for (std::size_t r = 0; r < world; ++r) {
+                if (!comm_.is_participating(r)) continue;
+                compressor->notify_fallback(
+                    static_cast<std::uint64_t>(s) * world + r);
+              }
             }
           }
           if (!averaged_ok) {

@@ -98,9 +98,10 @@ class CkptFuzz : public ::testing::Test {
 };
 
 TEST_F(CkptFuzz, SectionMapCoversTheWholeBodyContiguously) {
-  const char* expected[] = {"config",   "cursor",    "mask",
-                            "membership", "counters", "params",
-                            "optimizer", "rng",       "clocks"};
+  const char* expected[] = {"config",     "cursor",     "mask",
+                            "membership", "counters",   "params",
+                            "optimizer",  "compressor", "rng",
+                            "clocks"};
   ASSERT_EQ(sections_.size(), std::size(expected));
   std::size_t cursor = 0;
   for (std::size_t i = 0; i < sections_.size(); ++i) {

@@ -222,8 +222,18 @@ TEST(ObsDeterminism, TuneGaugesAreRecorded) {
     EXPECT_TRUE(snap.gauges.contains("tune.aggregation.m" +
                                      std::to_string(m) + ".est_e2e"));
   }
-  // tune() ran entirely on this thread: four spans plus the parent.
-  EXPECT_EQ(tracer.event_count(), 4U);
+  // One gauge pair per Eq. 5 family candidate (DESIGN.md §17), and the
+  // selection matches the recorded argmax.
+  ASSERT_FALSE(fw.family_scores().empty());
+  for (const auto& score : fw.family_scores()) {
+    const std::string stem = "tune.family." + score.name;
+    EXPECT_DOUBLE_EQ(snap.gauges.at(stem + ".est_e2e"),
+                     score.est_end_to_end);
+    EXPECT_DOUBLE_EQ(snap.gauges.at(stem + ".ratio"),
+                     score.compression_ratio);
+  }
+  // tune() ran entirely on this thread: five spans plus the parent.
+  EXPECT_EQ(tracer.event_count(), 5U);
   EXPECT_EQ(obs::validate_trace(tracer.trace_json()), std::nullopt);
 }
 

@@ -40,10 +40,17 @@ std::vector<FuzzCase> all_cases() {
   std::vector<FuzzCase> cases;
   // COMPSO crossed with every codec of Table 2 (the codec frames ride
   // inside the compressor payload, so this fuzzes both layers at once).
+  // The error-feedback wrapper sends the inner compressor's payload
+  // unchanged, so EF-over-COMPSO runs the same cross too: the residual
+  // path feeds the payload but must not weaken any decode guard.
   for (cc::CodecKind kind : cc::kAllCodecKinds) {
     cases.push_back(
         {std::string("COMPSO_") + cc::to_string(kind), [kind] {
            return cp::make_compso({.encoder = kind});
+         }});
+    cases.push_back(
+        {std::string("EF_COMPSO_") + cc::to_string(kind), [kind] {
+           return cp::make_error_feedback(cp::make_compso({.encoder = kind}));
          }});
   }
   cases.push_back({"QSGD", [] { return cp::make_qsgd(8); }});
@@ -51,6 +58,15 @@ std::vector<FuzzCase> all_cases() {
   cases.push_back({"Cocktail", [] { return cp::make_cocktail(0.2, 8); }});
   cases.push_back({"TopK", [] { return cp::make_topk(0.1); }});
   cases.push_back({"Identity", [] { return cp::make_identity(); }});
+  cases.push_back({"EF_TopK", [] {
+                     return cp::make_error_feedback(cp::make_topk(0.1));
+                   }});
+  cases.push_back({"CountSketch", [] {
+                     return cp::make_count_sketch(0.25, 3, 0x5EED);
+                   }});
+  cases.push_back({"RandProj", [] {
+                     return cp::make_random_projection(0.25, 0x5EED);
+                   }});
   return cases;
 }
 

@@ -132,6 +132,34 @@ void check_tuner_against_brute_force(const cm::NetworkModel& net) {
   EXPECT_EQ(fw.aggregation(), best_m);
   EXPECT_DOUBLE_EQ(fw.estimated_end_to_end(), best_e2e);
   EXPECT_GT(best_e2e, 1.0);
+
+  // --- family: brute-force Eq. 5 over the widened compressor pool ---
+  // tune()'s family stage derives each candidate's Rng by splitting the
+  // main generator (kFamilyRngStream + i) without drawing from it, and
+  // the aggregation stage before it is draw-free too — so the post-tune
+  // tune_rng state is exactly the state those splits came from, and the
+  // reference replays the identical streams.
+  const auto pool = cc::CompsoFramework::family_candidates(
+      fw.schedule().params_at(0, fw.encoder()));
+  ASSERT_EQ(fw.family_scores().size(), pool.size());
+  std::size_t best_family = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    ct::Rng fam_rng =
+        tune_rng.split(cc::CompsoFramework::kFamilyRngStream + i);
+    const perf::FamilyScore ref = perf::score_family(
+        *pool[i].compressor, grad, 0.4, dev, table, fam_rng);
+    const auto& got = fw.family_scores()[i];
+    EXPECT_EQ(got.name, pool[i].name);
+    EXPECT_DOUBLE_EQ(got.compression_ratio, ref.compression_ratio) << got.name;
+    EXPECT_DOUBLE_EQ(got.est_comm_speedup, ref.est_comm_speedup) << got.name;
+    EXPECT_DOUBLE_EQ(got.est_end_to_end, ref.est_end_to_end) << got.name;
+    // Strict >: exact ties keep the earliest candidate (COMPSO is first).
+    if (ref.est_end_to_end >
+        fw.family_scores()[best_family].est_end_to_end) {
+      best_family = i;
+    }
+  }
+  EXPECT_EQ(fw.selected_family(), pool[best_family].name);
 }
 
 TEST(TunerDiff, MatchesBruteForceOnPlatform1) {
@@ -159,6 +187,25 @@ TEST(TunerDiff, AggregationTieBreaksToSmallestFactor) {
 TEST(TunerDiff, CandidateListMatchesPaper) {
   const auto& c = cc::CompsoFramework::aggregation_candidates();
   EXPECT_EQ(c, (std::vector<std::size_t>{1, 2, 4, 8, 16, 32}));
+}
+
+TEST(TunerDiff, FamilyPoolIsOrderedForFirstWinsTieBreak) {
+  // The pool order is part of the tie-break contract: selection uses
+  // strict >, so an exact tie resolves to the earliest entry, and COMPSO
+  // leads the pool. EF variants sit right after their inner compressor —
+  // the EF wrapper adds a memory pass, so on an exact model tie the plain
+  // variant wins, never the wrapper.
+  const auto pool = cc::CompsoFramework::family_candidates({});
+  std::vector<std::string> names;
+  names.reserve(pool.size());
+  for (const auto& cand : pool) names.push_back(cand.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "COMPSO", "EF+COMPSO", "TopK", "EF+TopK",
+                       "CocktailSGD", "EF+CocktailSGD", "CountSketch",
+                       "RandProj"}));
+  for (const auto& cand : pool) {
+    ASSERT_NE(cand.compressor, nullptr) << cand.name;
+  }
 }
 
 }  // namespace
